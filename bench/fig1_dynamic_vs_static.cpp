@@ -1,0 +1,93 @@
+// Figure 1 / §2: the savings of dynamic pooling over a static pool. A
+// static pool must be sized for the peak to keep the hit rate up, burning
+// idle capacity overnight; Intelligent Pooling's schedule follows demand.
+//
+// Paper: dynamic pooling achieves "potentially significant savings over the
+// static pool"; at 99% hit rate, up to 43% idle-time reduction.
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ipool;
+  using namespace ipool::bench;
+  PrintHeader("Figure 1: dynamic pool vs static pool",
+              "Paper: dynamic sizing saves significantly vs static pools; up "
+              "to 43% idle reduction at 99% hit rate (abstract, Fig 1).");
+
+  // A diurnal region: busy days, quiet nights.
+  WorkloadConfig workload = RegionNodeProfile(Region::kWestUs2,
+                                              NodeSize::kMedium, /*seed=*/11);
+  workload.duration_days = QuickMode() ? 2.0 : 4.0;
+  auto generator = CheckOk(DemandGenerator::Create(workload), "workload");
+  TimeSeries all = generator.GenerateBinned();
+  auto [history, eval] = all.Split(0.5);
+
+  PoolModelConfig pool = EvalPool();
+
+  std::printf("\n%-28s %10s %12s %12s %12s\n", "policy", "avg pool",
+              "hit rate", "avg wait(s)", "idle (h)");
+
+  // Static pools of increasing size.
+  double static_idle_at_99 = -1.0;
+  for (int64_t n : {2, 4, 8, 12, 16, 24, 32}) {
+    std::vector<int64_t> schedule(eval.size(), n);
+    auto metrics = CheckOk(EvaluateSchedule(eval, schedule, pool), "static");
+    std::printf("%-28s %10.1f %11.1f%% %12.2f %12.1f\n",
+                StrFormat("static pool N=%ld", n).c_str(),
+                metrics.avg_pool_size, 100.0 * metrics.hit_rate,
+                metrics.avg_wait_seconds_capped,
+                metrics.idle_cluster_seconds / 3600.0);
+    if (static_idle_at_99 < 0 && metrics.hit_rate >= 0.99) {
+      static_idle_at_99 = metrics.idle_cluster_seconds;
+    }
+  }
+
+  // Dynamic: SAA on the max-filtered history (Eq 18 absorbs realization
+  // noise) with increasing headroom — the role the overshoot-trained
+  // forecaster (Eq 12, alpha' near 1) plays in the full ML pipeline.
+  double dynamic_idle_at_99 = -1.0;
+  double dynamic_hit_at_99 = 0.0;
+  struct Knob {
+    double alpha;
+    double headroom;
+  };
+  for (const Knob knob : {Knob{0.5, 0.0}, Knob{0.2, 0.0}, Knob{0.1, 0.15},
+                          Knob{0.05, 0.3}, Knob{0.02, 0.45},
+                          Knob{0.005, 0.6}}) {
+    SaaConfig config;
+    config.pool = pool;
+    config.alpha_prime = knob.alpha;
+    auto optimizer = CheckOk(SaaOptimizer::Create(config), "saa");
+    TimeSeries planning = MaxFilter(history, 10);
+    for (double& v : planning.values()) v *= 1.0 + knob.headroom;
+    PoolSchedule schedule = CheckOk(optimizer.Optimize(planning), "optimize");
+    // The history window and eval window have equal length: reuse the
+    // schedule position-by-position (same time of day/week).
+    auto metrics = CheckOk(
+        EvaluateSchedule(eval, schedule.pool_size_per_bin, pool), "dynamic");
+    std::printf("%-28s %10.1f %11.1f%% %12.2f %12.1f\n",
+                StrFormat("dynamic a'=%.3f +%.0f%%", knob.alpha,
+                          100.0 * knob.headroom)
+                    .c_str(),
+                metrics.avg_pool_size, 100.0 * metrics.hit_rate,
+                metrics.avg_wait_seconds_capped,
+                metrics.idle_cluster_seconds / 3600.0);
+    if (dynamic_idle_at_99 < 0 && metrics.hit_rate >= 0.99) {
+      dynamic_idle_at_99 = metrics.idle_cluster_seconds;
+      dynamic_hit_at_99 = metrics.hit_rate;
+    }
+  }
+
+  if (static_idle_at_99 > 0 && dynamic_idle_at_99 > 0) {
+    std::printf("\nAt >=99%% hit rate: static idle %.1f h vs dynamic idle %.1f h"
+                " -> %.0f%% idle reduction (paper: up to 43%%; hit %.1f%%).\n",
+                static_idle_at_99 / 3600.0, dynamic_idle_at_99 / 3600.0,
+                100.0 * (1.0 - dynamic_idle_at_99 / static_idle_at_99),
+                100.0 * dynamic_hit_at_99);
+  } else {
+    std::printf("\nNote: one of the policies did not reach 99%% hit rate in "
+                "this configuration.\n");
+  }
+  return 0;
+}

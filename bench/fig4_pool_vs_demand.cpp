@@ -1,0 +1,66 @@
+// Figure 4 / §7.1: the optimal pool size increases in advance of demand.
+// Many jobs are scheduled at round hours, so the SAA optimizer raises the
+// pool ~5 minutes before each hour (5:55, 6:55, ...) to have clusters ready
+// when the surge lands.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ipool;
+  using namespace ipool::bench;
+  PrintHeader("Figure 4: pool size increases ahead of demand",
+              "Paper: pool size rises ~5 min before every round hour because "
+              "jobs are scheduled at 6AM, 7AM, ... (Fig 4).");
+
+  WorkloadConfig workload;
+  workload.duration_days = 1.0;
+  workload.base_rate_per_minute = 2.0;
+  workload.diurnal_amplitude = 0.3;
+  workload.hourly_spike_requests = 40.0;  // strong top-of-hour scheduler load
+  workload.hourly_spike_width_seconds = 120.0;
+  workload.noise_cv = 0.1;
+  workload.seed = 5;
+  auto generator = CheckOk(DemandGenerator::Create(workload), "workload");
+  TimeSeries demand = generator.GenerateBinned();
+
+  PoolModelConfig pool = EvalPool();  // 5 min STABLENESS, tau = 90 s
+  SaaConfig config;
+  config.pool = pool;
+  config.alpha_prime = 0.05;  // target high hit rate: the spike must be covered
+  auto optimizer = CheckOk(SaaOptimizer::Create(config), "saa");
+  PoolSchedule schedule = CheckOk(optimizer.Optimize(demand), "optimize");
+
+  // Print one morning window, 5-minute resolution, around the 9:00 surge.
+  std::printf("\n%8s %16s %12s\n", "time", "demand (req/bin)", "pool size");
+  const size_t bins_per_5min = 10;
+  for (size_t bin = demand.IndexOf(8.5 * 3600); bin <= demand.IndexOf(9.5 * 3600);
+       bin += bins_per_5min) {
+    double window_demand = 0.0;
+    for (size_t b = bin; b < bin + bins_per_5min && b < demand.size(); ++b) {
+      window_demand += demand.value(b);
+    }
+    std::printf("%8s %16.1f %12ld\n",
+                HumanClock(demand.TimeAt(bin)).c_str() + 3,  // strip day part
+                window_demand / bins_per_5min,
+                schedule.pool_size_per_bin[bin]);
+  }
+
+  // Quantify the anticipation: for each hour h, compare the pool during the
+  // 5 minutes before the hour vs mid-hour (h:25-h:30).
+  size_t anticipated = 0;
+  size_t hours = 0;
+  for (int h = 1; h < 24; ++h) {
+    const size_t before = demand.IndexOf(h * 3600.0 - 300.0 + 1.0);
+    const size_t mid = demand.IndexOf(h * 3600.0 - 1800.0);
+    if (before >= schedule.pool_size_per_bin.size()) break;
+    ++hours;
+    if (schedule.pool_size_per_bin[before] >
+        schedule.pool_size_per_bin[mid]) {
+      ++anticipated;
+    }
+  }
+  std::printf("\nPool raised in the 5 minutes before the hour (vs mid-hour) "
+              "for %zu of %zu hours.\n", anticipated, hours);
+  std::printf("Paper: \"the pool size increases 5 minutes before the start of "
+              "every hour\".\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7 / §7.5: raw versus max-filtered demand. The SMOOTHING FACTOR
+// widens ("fattens") demand spikes before ML training so the predicted pool
+// size stays raised long enough around irregular surges.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ipool;
+  using namespace ipool::bench;
+  PrintHeader("Figure 7: raw vs max-filtered demand (Eq 18)",
+              "Paper: the max filter produces 'fatter' spikes; peaks are "
+              "preserved, width grows with SF.");
+
+  WorkloadConfig workload = SpikyRegionProfile(/*seed=*/55);
+  workload.duration_days = 0.5;
+  auto generator = CheckOk(DemandGenerator::Create(workload), "workload");
+  TimeSeries raw = generator.GenerateBinned();
+
+  const std::vector<size_t> factors = {4, 10, 20};
+  std::vector<TimeSeries> filtered;
+  for (size_t sf : factors) filtered.push_back(MaxFilter(raw, sf));
+
+  // Locate the biggest spike and print the surrounding window.
+  size_t peak = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw.value(i) > raw.value(peak)) peak = i;
+  }
+  const size_t begin = peak >= 15 ? peak - 15 : 0;
+  const size_t end = std::min(raw.size(), peak + 16);
+  std::printf("\nDemand around the largest spike (bin %zu):\n", peak);
+  std::printf("%8s %8s", "bin", "raw");
+  for (size_t sf : factors) std::printf("   SF=%-4zu", sf);
+  std::printf("\n");
+  for (size_t i = begin; i < end; ++i) {
+    std::printf("%8zu %8.0f", i, raw.value(i));
+    for (const TimeSeries& f : filtered) std::printf(" %8.0f", f.value(i));
+    std::printf("\n");
+  }
+
+  // Quantify: spike width (bins above half the peak) grows with SF while the
+  // peak value is preserved exactly.
+  auto width_above = [&](const TimeSeries& ts, double level) {
+    size_t width = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (ts.value(i) >= level) ++width;
+    }
+    return width;
+  };
+  const double half_peak = raw.value(peak) / 2.0;
+  std::printf("\n%10s %12s %12s\n", "series", "peak", "width>=peak/2");
+  std::printf("%10s %12.0f %12zu\n", "raw", raw.Max(), width_above(raw, half_peak));
+  for (size_t i = 0; i < factors.size(); ++i) {
+    std::printf("%9s%zu %12.0f %12zu\n", "SF=", factors[i], filtered[i].Max(),
+                width_above(filtered[i], half_peak));
+  }
+  std::printf("\nThe peak is identical in every row (max filter) while the "
+              "spike fattens with SF —\nexactly the Figure 7 picture.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// §4.2 / §7.4: end-to-end latency micro-benchmarks (google-benchmark). The
+// paper requires the whole train-infer-optimize loop to finish in seconds so
+// it can rerun every few minutes; these benches verify each stage's cost and
+// the DP-vs-LP solver gap on this implementation.
+#include <benchmark/benchmark.h>
+
+#include "core/recommendation_engine.h"
+#include "forecast/forecaster.h"
+#include "forecast/ssa.h"
+#include "solver/saa_optimizer.h"
+#include "tsdata/smoothing.h"
+#include "workload/demand_generator.h"
+
+namespace {
+
+using namespace ipool;
+
+TimeSeries MakeDemand(size_t bins, uint64_t seed = 17) {
+  WorkloadConfig config;
+  config.duration_days = static_cast<double>(bins) / 2880.0;
+  config.base_rate_per_minute = 6.0;
+  config.hourly_spike_requests = 10.0;
+  config.seed = seed;
+  auto generator = DemandGenerator::Create(config);
+  return generator->GenerateBinned();
+}
+
+void BM_SaaOptimizerDp(benchmark::State& state) {
+  TimeSeries demand = MakeDemand(static_cast<size_t>(state.range(0)));
+  SaaConfig config;
+  config.pool.tau_bins = 3;
+  config.pool.stableness_bins = 10;
+  config.pool.max_pool_size = 200;
+  config.alpha_prime = 0.3;
+  auto optimizer = SaaOptimizer::Create(config);
+  for (auto _ : state) {
+    auto schedule = optimizer->Optimize(demand);
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.SetLabel("exact block DP");
+}
+BENCHMARK(BM_SaaOptimizerDp)->Arg(120)->Arg(1440)->Arg(2880)->Arg(20160)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SaaOptimizerLp(benchmark::State& state) {
+  TimeSeries demand = MakeDemand(static_cast<size_t>(state.range(0)));
+  SaaConfig config;
+  config.pool.tau_bins = 3;
+  config.pool.stableness_bins = 10;
+  config.pool.max_pool_size = 200;
+  config.alpha_prime = 0.3;
+  auto optimizer = SaaOptimizer::Create(config);
+  for (auto _ : state) {
+    auto schedule = optimizer->OptimizeLp(demand);
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.SetLabel("two-phase simplex on Eqs 4-11");
+}
+BENCHMARK(BM_SaaOptimizerLp)->Arg(60)->Arg(120)->Unit(benchmark::kMillisecond);
+
+void BM_SsaFit(benchmark::State& state) {
+  TimeSeries history = MakeDemand(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    SsaForecaster::Options options;
+    options.window = 96;
+    SsaForecaster ssa(options);
+    benchmark::DoNotOptimize(ssa.Fit(history));
+  }
+}
+BENCHMARK(BM_SsaFit)->Arg(720)->Arg(2880)->Unit(benchmark::kMillisecond);
+
+void BM_SsaPlusFitAndForecast(benchmark::State& state) {
+  TimeSeries history = MakeDemand(static_cast<size_t>(state.range(0)));
+  ForecastParams params;
+  params.window = 96;
+  params.horizon = 48;
+  for (auto _ : state) {
+    auto forecaster = CreateForecaster(ModelKind::kSsaPlus, params);
+    benchmark::DoNotOptimize((*forecaster)->Fit(history));
+    auto forecast = (*forecaster)->Forecast(120);
+    benchmark::DoNotOptimize(forecast);
+  }
+  state.SetLabel("deployed model: full retrain + 1h forecast");
+}
+BENCHMARK(BM_SsaPlusFitAndForecast)->Arg(720)->Arg(2880)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndPipeline(benchmark::State& state) {
+  TimeSeries history = MakeDemand(2880);
+  PipelineConfig config;
+  config.model = ModelKind::kSsaPlus;
+  config.forecast.window = 96;
+  config.forecast.horizon = 48;
+  config.saa.alpha_prime = 0.3;
+  config.recommendation_bins = 120;
+  auto engine = RecommendationEngine::Create(config);
+  for (auto _ : state) {
+    auto rec = engine->Run(history);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetLabel("train + infer + optimize, 1-day history (paper: seconds)");
+}
+BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_MaxFilter(benchmark::State& state) {
+  TimeSeries demand = MakeDemand(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    TimeSeries filtered = MaxFilter(demand, 20);
+    benchmark::DoNotOptimize(filtered);
+  }
+}
+BENCHMARK(BM_MaxFilter)->Arg(2880)->Arg(40320)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Table 2 / §7.3: estimated annual cost savings of Intelligent Pooling vs
+// static pooling at three wait-time SLAs (0.5 s ~ 99.9% hit, 1 s ~ 99%,
+// 5 s ~ 95%), scaled to a 7-region US deployment.
+//
+// Paper (Table 2): static pools cost >$20M/>$15M/>$5M per year at the three
+// SLAs; SSA+ and mWDN each save >$5M/>$5M/>$2M. Shapes to reproduce: the
+// tighter the SLA, the bigger both the absolute cost and the absolute
+// saving; both ML models land in the same band.
+#include "bench/bench_util.h"
+#include "forecast/forecaster.h"
+
+namespace {
+
+using namespace ipool;
+using namespace ipool::bench;
+
+// Cheapest Pareto point meeting the target wait, if any.
+const CurvePoint* CheapestMeetingSla(const std::vector<CurvePoint>& front,
+                                     double target_wait) {
+  const CurvePoint* best = nullptr;
+  for (const CurvePoint& p : front) {
+    if (p.metrics.avg_wait_seconds_capped > target_wait) continue;
+    if (best == nullptr || p.metrics.idle_cluster_seconds <
+                               best->metrics.idle_cluster_seconds) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ipool;
+  using namespace ipool::bench;
+  PrintHeader("Table 2: estimated annual cost savings (7 US regions)",
+              "Paper: static >$20M/>$15M/>$5M at 0.5s/1s/5s SLAs; SSA+ and "
+              "mWDN each save >$5M/>$5M/>$2M.");
+
+  TradeoffDataset dataset = MakeTradeoffDataset(/*seed=*/31);
+  const TimeSeries& eval = dataset.eval;
+
+  // One Pareto front per model (the expensive part), reused for every SLA.
+  auto ssa_plus_front = SweepTradeoffGrid(ModelKind::kSsaPlus,
+                                          PipelineKind::k2Step, dataset.train,
+                                          eval);
+  auto mwdn_front = SweepTradeoffGrid(ModelKind::kMwdn, PipelineKind::k2Step,
+                                      dataset.train, eval);
+
+  // Scale one pool's idle cost to a 7-region annual estimate: each region
+  // runs a session pool and a cluster pool (x2), year = 365 eval-windows.
+  const double eval_hours =
+      eval.interval() * static_cast<double>(eval.size()) / 3600.0;
+  const double annual_scale = 7.0 * 2.0 * (24.0 * 365.0) / eval_hours;
+  CogsModel cogs;
+  auto annual_dollars = [&](const PoolMetrics& m) {
+    return cogs.IdleDollars(m.idle_cluster_seconds) * annual_scale;
+  };
+
+  std::printf("\n%-22s %14s %14s %14s %14s %14s\n", "Target wait (hit)",
+              "Static $/yr", "SSA+ $/yr", "mWDN $/yr", "Save SSA+",
+              "Save mWDN");
+  for (double target : {0.5, 1.0, 5.0}) {
+    // A static pool is provisioned from history: the smallest constant size
+    // meeting the SLA over the training window (which contains the daytime
+    // peak), then billed on the evaluation window. Sizing it on the eval
+    // window itself would be an oracle no operator has.
+    auto [static_size, static_sizing_metrics] = SmallestStaticPool(
+        dataset.train, EvalPool(), [&](const PoolMetrics& m) {
+          return m.avg_wait_seconds_capped <= target;
+        });
+    PoolMetrics static_metrics;
+    if (static_size >= 0) {
+      std::vector<int64_t> schedule(eval.size(), static_size);
+      static_metrics =
+          CheckOk(EvaluateSchedule(eval, schedule, EvalPool()), "static");
+    }
+    const CurvePoint* ssa_plus = CheapestMeetingSla(ssa_plus_front, target);
+    const CurvePoint* mwdn = CheapestMeetingSla(mwdn_front, target);
+    if (static_size < 0 || ssa_plus == nullptr || mwdn == nullptr) {
+      std::printf("%-22s  SLA not reachable by every policy; skipped\n",
+                  StrFormat("%.1fs", target).c_str());
+      continue;
+    }
+    const double static_cost = annual_dollars(static_metrics);
+    const double ssa_cost = annual_dollars(ssa_plus->metrics);
+    const double mwdn_cost = annual_dollars(mwdn->metrics);
+    std::printf("%-22s %13.2fM %13.2fM %13.2fM %13.2fM %13.2fM\n",
+                StrFormat("%.1fs (~%.1f%%)", target,
+                          100.0 * static_metrics.hit_rate)
+                    .c_str(),
+                static_cost / 1e6, ssa_cost / 1e6, mwdn_cost / 1e6,
+                (static_cost - ssa_cost) / 1e6,
+                (static_cost - mwdn_cost) / 1e6);
+  }
+  std::printf("\nShapes to check: the ML pipelines save vs static pooling "
+              "and the savings grow\nas the SLA tightens (paper: >$5M at "
+              "0.5s/1s vs >$2M at 5s); SSA+ and mWDN land\nin a similar "
+              "band. EXPERIMENTS.md records the measured numbers.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// IPOOL_CHECK: invariant checks for programming errors (shape mismatches in
+// internal hot paths, violated preconditions that indicate a bug rather than
+// bad user input). Aborts with a message in all build types. User-facing
+// validation should use Status/Result instead.
+#ifndef IPOOL_COMMON_CHECK_H_
+#define IPOOL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define IPOOL_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "IPOOL_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#endif  // IPOOL_COMMON_CHECK_H_

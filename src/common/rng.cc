@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ipool {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+  // All-zero state is the one forbidden state for xoshiro; SplitMix64 cannot
+  // produce four zeros from any seed in practice, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Modulo bias is negligible for the span sizes used here (< 2^32).
+  return lo + static_cast<int64_t>(NextUint64() % span);
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    int64_t count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double draw = Normal(mean, std::sqrt(mean));
+  return draw < 0.0 ? 0 : static_cast<int64_t>(draw + 0.5);
+}
+
+double Rng::Exponential(double rate) {
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(uint64_t tag) {
+  // Mix the fork tag with fresh output so children are decorrelated from the
+  // parent's future stream as well as from each other.
+  SplitMix64 sm(NextUint64() ^ (tag * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL));
+  return Rng(sm.Next());
+}
+
+}  // namespace ipool

@@ -1,0 +1,146 @@
+// Status and Result<T>: exception-free error propagation for the ipool
+// library, in the style of Arrow/RocksDB. Library entry points that can fail
+// return Status (no payload) or Result<T> (payload or error); callers are
+// expected to check before use.
+#ifndef IPOOL_COMMON_STATUS_H_
+#define IPOOL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ipool {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
+};
+
+/// Returns a short human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an errored
+/// Result is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // arrow::Result so `return value;` works from functions returning Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("uninitialized Result");
+};
+
+// Propagates an error Status from an expression, Arrow-style:
+//   IPOOL_RETURN_NOT_OK(DoThing());
+#define IPOOL_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::ipool::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+// Assigns the value of a Result expression or propagates its error:
+//   IPOOL_ASSIGN_OR_RETURN(auto x, MakeX());
+#define IPOOL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define IPOOL_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define IPOOL_ASSIGN_OR_RETURN_NAME(a, b) IPOOL_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define IPOOL_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  IPOOL_ASSIGN_OR_RETURN_IMPL(                                                \
+      IPOOL_ASSIGN_OR_RETURN_NAME(_ipool_result_, __LINE__), lhs, expr)
+
+}  // namespace ipool
+
+#endif  // IPOOL_COMMON_STATUS_H_

@@ -1,0 +1,54 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ipool {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 0) return "-" + HumanDuration(-seconds);
+  if (seconds < 60.0) return StrFormat("%.1fs", seconds);
+  const int64_t whole = static_cast<int64_t>(seconds);
+  const int64_t h = whole / 3600;
+  const int64_t m = (whole % 3600) / 60;
+  const int64_t s = whole % 60;
+  if (h > 0) return StrFormat("%ldh %02ldm %02lds", h, m, s);
+  return StrFormat("%ldm %02lds", m, s);
+}
+
+std::string HumanClock(double seconds) {
+  const int64_t whole = static_cast<int64_t>(std::floor(seconds));
+  const int64_t d = whole / 86400;
+  const int64_t h = (whole % 86400) / 3600;
+  const int64_t m = (whole % 3600) / 60;
+  const int64_t s = whole % 60;
+  return StrFormat("%ldd %02ld:%02ld:%02ld", d, h, m, s);
+}
+
+}  // namespace ipool

@@ -1,0 +1,28 @@
+// Small string/formatting helpers shared across the library. Kept minimal on
+// purpose; this is not a general-purpose strings library.
+#ifndef IPOOL_COMMON_STRINGS_H_
+#define IPOOL_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace ipool {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Renders seconds as "1h 02m 03s" / "42.5s" for human-readable reports.
+std::string HumanDuration(double seconds);
+
+/// Renders a virtual-time offset (seconds since trace start) as "Dd HH:MM:SS".
+std::string HumanClock(double seconds);
+
+}  // namespace ipool
+
+#endif  // IPOOL_COMMON_STRINGS_H_

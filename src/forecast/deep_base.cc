@@ -1,0 +1,196 @@
+#include "forecast/deep_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace ipool {
+
+Status ForecastParams::Validate() const {
+  if (window < 4) return Status::InvalidArgument("window must be >= 4");
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  if (batch_size == 0) return Status::InvalidArgument("batch_size must be >= 1");
+  if (stride == 0) return Status::InvalidArgument("stride must be >= 1");
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (alpha_prime < 0.0 || alpha_prime > 1.0) {
+    return Status::InvalidArgument("alpha_prime must be in [0,1]");
+  }
+  if (gamma <= 0.0) return Status::InvalidArgument("gamma must be positive");
+  if (ssa_rank == 0) return Status::InvalidArgument("ssa_rank must be >= 1");
+  return Status::OK();
+}
+
+Result<WindowDataset> BuildWindowDataset(const std::vector<double>& series,
+                                         size_t window, size_t horizon,
+                                         size_t stride) {
+  if (window == 0 || horizon == 0 || stride == 0) {
+    return Status::InvalidArgument("window/horizon/stride must be positive");
+  }
+  if (series.size() < window + horizon) {
+    return Status::InvalidArgument(
+        StrFormat("series length %zu < window %zu + horizon %zu",
+                  series.size(), window, horizon));
+  }
+  WindowDataset dataset;
+  for (size_t start = 0; start + window + horizon <= series.size();
+       start += stride) {
+    dataset.inputs.emplace_back(series.begin() + static_cast<ptrdiff_t>(start),
+                                series.begin() + static_cast<ptrdiff_t>(start + window));
+    dataset.targets.emplace_back(
+        series.begin() + static_cast<ptrdiff_t>(start + window),
+        series.begin() + static_cast<ptrdiff_t>(start + window + horizon));
+  }
+  return dataset;
+}
+
+Status DeepForecasterBase::Fit(const TimeSeries& history) {
+  IPOOL_RETURN_NOT_OK(params_.Validate());
+  const size_t window = params_.window;
+  const size_t horizon = params_.horizon;
+  if (history.size() < window + horizon + 1) {
+    return Status::InvalidArgument(
+        StrFormat("history length %zu too short for window %zu + horizon %zu",
+                  history.size(), window, horizon));
+  }
+
+  scale_ = std::max(1.0, history.Max());
+  std::vector<double> scaled(history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    scaled[i] = history.value(i) / scale_;
+  }
+
+  IPOOL_ASSIGN_OR_RETURN(
+      WindowDataset dataset,
+      BuildWindowDataset(scaled, window, horizon, params_.stride));
+  const size_t num_samples = dataset.inputs.size();
+
+  // Trailing 10% as validation (time-ordered split, matching the paper's
+  // train/validation protocol for DNN models).
+  const size_t num_val = std::max<size_t>(1, num_samples / 10);
+  const size_t num_train = num_samples > num_val ? num_samples - num_val : 0;
+  if (num_train == 0) {
+    return Status::InvalidArgument("not enough samples to train");
+  }
+
+  Rng rng(params_.seed);
+  BuildModel(rng);
+  std::vector<nn::Tensor> parameters = ModelParameters();
+  nn::Adam adam(parameters, params_.learning_rate);
+
+  auto sample_loss = [&](size_t idx) {
+    nn::Tensor input = nn::Tensor::FromVector(dataset.inputs[idx]);
+    nn::Tensor target = nn::Tensor::FromVector(dataset.targets[idx]);
+    nn::Tensor pred = ForwardWindow(input);
+    return nn::AsymmetricLoss(pred, target, params_.alpha_prime);
+  };
+
+  std::vector<size_t> order(num_train);
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  size_t patience = 0;
+  constexpr size_t kPatienceLimit = 3;
+  epochs_run_ = 0;
+
+  // Snapshot of the best parameters seen (early-stopping restore).
+  std::vector<std::vector<double>> best_params;
+  auto snapshot = [&]() {
+    best_params.clear();
+    for (const nn::Tensor& p : parameters) best_params.push_back(p.value());
+  };
+  auto restore = [&]() {
+    for (size_t i = 0; i < parameters.size(); ++i) {
+      parameters[i].mutable_value() = best_params[i];
+    }
+  };
+
+  for (size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    ++epochs_run_;
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (size_t i = num_train; i > 1; --i) {
+      const size_t j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    double train_loss = 0.0;
+    size_t processed = 0;
+    while (processed < num_train) {
+      const size_t batch_end =
+          std::min(processed + params_.batch_size, num_train);
+      adam.ZeroGrad();
+      for (size_t i = processed; i < batch_end; ++i) {
+        nn::Tensor loss = sample_loss(order[i]);
+        train_loss += loss.scalar();
+        IPOOL_RETURN_NOT_OK(loss.Backward());
+      }
+      // Average the accumulated gradients over the batch.
+      const double inv = 1.0 / static_cast<double>(batch_end - processed);
+      for (nn::Tensor& p : parameters) {
+        for (double& g : p.mutable_grad()) g *= inv;
+      }
+      adam.Step();
+      processed = batch_end;
+    }
+    last_train_loss_ = train_loss / static_cast<double>(num_train);
+
+    // Validation.
+    double val_loss = 0.0;
+    for (size_t i = num_train; i < num_samples; ++i) {
+      val_loss += sample_loss(i).scalar();
+    }
+    val_loss /= static_cast<double>(num_val);
+    last_validation_loss_ = val_loss;
+
+    if (val_loss + 1e-9 < best_val) {
+      best_val = val_loss;
+      patience = 0;
+      snapshot();
+    } else if (params_.early_stopping && ++patience >= kPatienceLimit) {
+      restore();
+      break;
+    }
+  }
+  if (params_.early_stopping && !best_params.empty() &&
+      last_validation_loss_ > best_val) {
+    restore();
+  }
+
+  history_tail_.assign(scaled.end() - static_cast<ptrdiff_t>(window),
+                       scaled.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> DeepForecasterBase::Forecast(size_t horizon) {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  std::vector<double> window = history_tail_;
+  std::vector<double> out;
+  out.reserve(horizon);
+  while (out.size() < horizon) {
+    nn::Tensor input = nn::Tensor::FromVector(window);
+    nn::Tensor pred = ForwardWindow(input);
+    const size_t take = std::min(pred.size(), horizon - out.size());
+    for (size_t i = 0; i < take; ++i) {
+      const double v = std::max(0.0, pred.value()[i]);
+      out.push_back(v * scale_);
+    }
+    // Slide the window over the model's own (clamped) predictions for
+    // horizons beyond the native output length.
+    const size_t shift = std::min(pred.size(), window.size());
+    window.erase(window.begin(), window.begin() + static_cast<ptrdiff_t>(shift));
+    for (size_t i = pred.size() - shift; i < pred.size(); ++i) {
+      window.push_back(std::max(0.0, pred.value()[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ipool

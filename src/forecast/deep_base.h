@@ -1,0 +1,68 @@
+// Shared machinery for the trainable forecasters (InceptionTime, TST, mWDN
+// and the SSA+ corrector): sliding-window dataset construction, scaling,
+// mini-batch training with Adam and the Eq 12 asymmetric loss, early
+// stopping on a trailing validation split (the paper's 90/10 protocol), and
+// iterated multi-step forecasting.
+#ifndef IPOOL_FORECAST_DEEP_BASE_H_
+#define IPOOL_FORECAST_DEEP_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "forecast/forecaster.h"
+#include "nn/tensor.h"
+
+namespace ipool {
+
+/// Supervised window -> horizon samples cut from a series (already scaled).
+struct WindowDataset {
+  std::vector<std::vector<double>> inputs;   // each of length window
+  std::vector<std::vector<double>> targets;  // each of length horizon
+};
+
+/// Cuts sliding windows with the given stride. Requires
+/// series.size() >= window + horizon.
+Result<WindowDataset> BuildWindowDataset(const std::vector<double>& series,
+                                         size_t window, size_t horizon,
+                                         size_t stride);
+
+/// Base class implementing Fit/Forecast; subclasses provide the network.
+class DeepForecasterBase : public Forecaster {
+ public:
+  explicit DeepForecasterBase(const ForecastParams& params)
+      : params_(params) {}
+
+  Status Fit(const TimeSeries& history) override;
+  Result<std::vector<double>> Forecast(size_t horizon) override;
+
+  /// Training diagnostics from the last Fit.
+  double last_train_loss() const { return last_train_loss_; }
+  double last_validation_loss() const { return last_validation_loss_; }
+  size_t epochs_run() const { return epochs_run_; }
+
+ protected:
+  /// Constructs (or reconstructs) the network. Called once per Fit with a
+  /// deterministic RNG derived from params_.seed.
+  virtual void BuildModel(Rng& rng) = 0;
+  /// Forward pass: input {window} (scaled) -> prediction {horizon} (scaled).
+  virtual nn::Tensor ForwardWindow(const nn::Tensor& input) const = 0;
+  /// Trainable parameters of the current model.
+  virtual std::vector<nn::Tensor> ModelParameters() const = 0;
+
+  const ForecastParams& params() const { return params_; }
+
+ private:
+  ForecastParams params_;
+  bool fitted_ = false;
+  double scale_ = 1.0;
+  std::vector<double> history_tail_;  // last `window` scaled values
+  double last_train_loss_ = 0.0;
+  double last_validation_loss_ = 0.0;
+  size_t epochs_run_ = 0;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_FORECAST_DEEP_BASE_H_

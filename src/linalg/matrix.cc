@@ -1,0 +1,115 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Result<Matrix> Matrix::FromRowMajor(size_t rows, size_t cols,
+                                    std::vector<double> data) {
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument(
+        StrFormat("data size %zu != %zu x %zu", data.size(), rows, cols));
+  }
+  Matrix m(rows, cols);
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  return std::vector<double>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+double Matrix::Norm() const {
+  double total = 0.0;
+  for (double v : data_) total += v * v;
+  return std::sqrt(total);
+}
+
+Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("matmul shape mismatch: (%zux%zu) x (%zux%zu)", a.rows(),
+                  a.cols(), b.rows(), b.cols()));
+  }
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Result<std::vector<double>> MatVec(const Matrix& a,
+                                   const std::vector<double>& x) {
+  if (a.cols() != x.size()) {
+    return Status::InvalidArgument(
+        StrFormat("matvec shape mismatch: (%zux%zu) x %zu", a.rows(), a.cols(),
+                  x.size()));
+  }
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+Result<Matrix> HankelMatrix(const std::vector<double>& series, size_t window) {
+  if (window == 0 || window > series.size()) {
+    return Status::InvalidArgument(
+        StrFormat("window %zu invalid for series of length %zu", window,
+                  series.size()));
+  }
+  const size_t k = series.size() - window + 1;
+  Matrix h(window, k);
+  for (size_t i = 0; i < window; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      h(i, j) = series[i + j];
+    }
+  }
+  return h;
+}
+
+}  // namespace ipool

@@ -1,0 +1,45 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace ipool::nn {
+
+Result<GradCheckReport> CheckGradients(
+    const std::function<Tensor()>& forward, std::vector<Tensor> params,
+    double epsilon) {
+  // Analytic pass.
+  for (Tensor& p : params) {
+    p.impl()->EnsureGrad();
+    std::fill(p.mutable_grad().begin(), p.mutable_grad().end(), 0.0);
+  }
+  Tensor out = forward();
+  if (!out.defined() || out.size() != 1) {
+    return Status::InvalidArgument("forward must return a scalar tensor");
+  }
+  IPOOL_RETURN_NOT_OK(out.Backward());
+
+  std::vector<std::vector<double>> analytic;
+  analytic.reserve(params.size());
+  for (Tensor& p : params) analytic.push_back(p.grad());
+
+  GradCheckReport report;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = params[pi];
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double original = p.value()[i];
+      p.mutable_value()[i] = original + epsilon;
+      const double plus = forward().scalar();
+      p.mutable_value()[i] = original - epsilon;
+      const double minus = forward().scalar();
+      p.mutable_value()[i] = original;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double err = std::fabs(analytic[pi][i] - numeric) /
+                         std::max(1.0, std::fabs(numeric));
+      report.max_relative_error = std::max(report.max_relative_error, err);
+      ++report.elements_checked;
+    }
+  }
+  return report;
+}
+
+}  // namespace ipool::nn

@@ -1,0 +1,31 @@
+// Numeric gradient checking: the correctness oracle for every op and layer.
+// Compares reverse-mode gradients against central finite differences.
+#ifndef IPOOL_NN_GRADCHECK_H_
+#define IPOOL_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace ipool::nn {
+
+struct GradCheckReport {
+  /// Largest |analytic - numeric| / max(1, |numeric|) over all checked
+  /// parameter elements.
+  double max_relative_error = 0.0;
+  size_t elements_checked = 0;
+};
+
+/// Evaluates `forward` (which must rebuild the graph from `params` each call
+/// and return a scalar tensor), backprops once for analytic gradients, then
+/// perturbs every element of every parameter by +/- `epsilon` for the
+/// numeric estimate.
+Result<GradCheckReport> CheckGradients(
+    const std::function<Tensor()>& forward, std::vector<Tensor> params,
+    double epsilon = 1e-6);
+
+}  // namespace ipool::nn
+
+#endif  // IPOOL_NN_GRADCHECK_H_

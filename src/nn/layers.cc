@@ -1,0 +1,223 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ipool::nn {
+
+Dense::Dense(size_t in, size_t out, Rng& rng)
+    : in_(in),
+      out_(out),
+      weight_(Tensor::Glorot({in, out}, rng)),
+      bias_(Tensor::Zeros({out}, /*requires_grad=*/true)) {}
+
+Tensor Dense::Forward(const Tensor& x) const {
+  IPOOL_CHECK(x.shape().size() == 1 && x.size() == in_, "Dense input shape");
+  Tensor row = Reshape(x, {1, in_});
+  Tensor y = RowBroadcastAdd(MatMul(row, weight_), bias_);
+  return Reshape(y, {out_});
+}
+
+Tensor Dense::ForwardRows(const Tensor& x) const {
+  IPOOL_CHECK(x.shape().size() == 2 && x.cols() == in_, "Dense rows input");
+  return RowBroadcastAdd(MatMul(x, weight_), bias_);
+}
+
+Conv1d::Conv1d(size_t c_in, size_t c_out, size_t kernel, Rng& rng)
+    : c_in_(c_in), c_out_(c_out), kernel_(kernel) {
+  // He-style fan-in init suited to the ReLU/sigmoid activations downstream.
+  const double limit = std::sqrt(6.0 / static_cast<double>(c_in * kernel + c_out));
+  weight_ = Tensor::Zeros({c_out, c_in * kernel}, /*requires_grad=*/true);
+  for (double& v : weight_.mutable_value()) v = rng.Uniform(-limit, limit);
+  bias_ = Tensor::Zeros({c_out}, /*requires_grad=*/true);
+}
+
+Tensor Conv1d::Forward(const Tensor& x) const {
+  IPOOL_CHECK(x.shape().size() == 2 && x.rows() == c_in_, "Conv1d input shape");
+  Tensor y = Conv1dSame(x, weight_, kernel_);
+  // Bias per output channel: broadcast over length via transpose round-trip.
+  Tensor yt = Transpose(y);                      // {L, c_out}
+  Tensor biased = RowBroadcastAdd(yt, bias_);    // add bias to each time step
+  return Transpose(biased);                      // {c_out, L}
+}
+
+LayerNorm::LayerNorm(size_t dim)
+    : dim_(dim),
+      gain_(Tensor::Full({dim}, 1.0, /*requires_grad=*/true)),
+      bias_(Tensor::Zeros({dim}, /*requires_grad=*/true)) {}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  const bool rank1 = x.shape().size() == 1;
+  IPOOL_CHECK((rank1 ? x.size() : x.cols()) == dim_, "LayerNorm input shape");
+  if (rank1) {
+    Tensor row = Reshape(x, {1, dim_});
+    Tensor y = RowBroadcastAdd(
+        RowBroadcastMul(NormalizeRows(row), gain_), bias_);
+    return Reshape(y, {dim_});
+  }
+  return RowBroadcastAdd(RowBroadcastMul(NormalizeRows(x), gain_), bias_);
+}
+
+MultiHeadAttention::MultiHeadAttention(size_t d_model, size_t num_heads,
+                                       Rng& rng)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      head_dim_(d_model / num_heads) {
+  IPOOL_CHECK(num_heads > 0 && d_model % num_heads == 0,
+              "d_model must be divisible by num_heads");
+  for (size_t h = 0; h < num_heads_; ++h) {
+    wq_.push_back(Tensor::Glorot({d_model_, head_dim_}, rng));
+    wk_.push_back(Tensor::Glorot({d_model_, head_dim_}, rng));
+    wv_.push_back(Tensor::Glorot({d_model_, head_dim_}, rng));
+  }
+  wo_ = Tensor::Glorot({num_heads_ * head_dim_, d_model_}, rng);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) const {
+  IPOOL_CHECK(x.shape().size() == 2 && x.cols() == d_model_,
+              "MultiHeadAttention input shape");
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+
+  // Build {head_dim, L} outputs and stack them along rows, then transpose
+  // back to {L, num_heads * head_dim}. Avoids a column-concat op.
+  Tensor stacked;  // {h * head_dim, L}
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Tensor q = MatMul(x, wq_[h]);  // {L, hd}
+    Tensor k = MatMul(x, wk_[h]);  // {L, hd}
+    Tensor v = MatMul(x, wv_[h]);  // {L, hd}
+    Tensor scores = MulScalar(MatMul(q, Transpose(k)), scale);  // {L, L}
+    Tensor attn = SoftmaxRows(scores);
+    Tensor head = Transpose(MatMul(attn, v));  // {hd, L}
+    stacked = h == 0 ? head : ConcatRows(stacked, head);
+  }
+  Tensor merged = Transpose(stacked);  // {L, h * hd}
+  return MatMul(merged, wo_);
+}
+
+std::vector<Tensor> MultiHeadAttention::Parameters() const {
+  std::vector<Tensor> params;
+  for (size_t h = 0; h < num_heads_; ++h) {
+    params.push_back(wq_[h]);
+    params.push_back(wk_[h]);
+    params.push_back(wv_[h]);
+  }
+  params.push_back(wo_);
+  return params;
+}
+
+TransformerBlock::TransformerBlock(size_t d_model, size_t num_heads,
+                                   size_t ff_dim, Rng& rng)
+    : attention_(d_model, num_heads, rng),
+      norm1_(d_model),
+      ff1_(d_model, ff_dim, rng),
+      ff2_(ff_dim, d_model, rng),
+      norm2_(d_model) {}
+
+Tensor TransformerBlock::Forward(const Tensor& x) const {
+  Tensor attended = norm1_.Forward(Add(x, attention_.Forward(x)));
+  Tensor ff = ff2_.ForwardRows(Relu(ff1_.ForwardRows(attended)));
+  return norm2_.Forward(Add(attended, ff));
+}
+
+std::vector<Tensor> TransformerBlock::Parameters() const {
+  return CollectParameters({&attention_, &norm1_, &ff1_, &ff2_, &norm2_});
+}
+
+namespace {
+
+// Daubechies-4 low-pass decomposition coefficients (length 8). The
+// corresponding high-pass filter is the quadrature mirror.
+constexpr double kDb4Lowpass[WaveletLevel::kFilterLength] = {
+    -0.0105974018, 0.0328830117, 0.0308413818, -0.1870348117,
+    -0.0279837694, 0.6308807679, 0.7148465706, 0.2303778133};
+
+}  // namespace
+
+WaveletLevel::WaveletLevel(Rng& rng)
+    : lowpass_(1, 1, kFilterLength, rng), highpass_(1, 1, kFilterLength, rng) {
+  // Re-initialize the filters to epsilon-perturbed db4 coefficients, the
+  // mWDN paper's trick to start from a true wavelet transform while keeping
+  // the filters trainable.
+  Tensor low_w = lowpass_.Parameters()[0];
+  Tensor high_w = highpass_.Parameters()[0];
+  for (size_t k = 0; k < kFilterLength; ++k) {
+    const double eps_l = rng.Normal(0.0, 0.01);
+    const double eps_h = rng.Normal(0.0, 0.01);
+    low_w.mutable_value()[k] = kDb4Lowpass[k] + eps_l;
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    high_w.mutable_value()[k] =
+        sign * kDb4Lowpass[kFilterLength - 1 - k] + eps_h;
+  }
+}
+
+WaveletLevel::Output WaveletLevel::Forward(const Tensor& x) const {
+  Output out;
+  out.approximation = DownsampleRows2(Sigmoid(lowpass_.Forward(x)));
+  out.detail = DownsampleRows2(Sigmoid(highpass_.Forward(x)));
+  return out;
+}
+
+std::vector<Tensor> WaveletLevel::Parameters() const {
+  return CollectParameters({&lowpass_, &highpass_});
+}
+
+Lstm::Lstm(size_t input_dim, size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      weight_(Tensor::Glorot({4 * hidden_dim, input_dim + hidden_dim}, rng)),
+      bias_(Tensor::Zeros({4 * hidden_dim}, /*requires_grad=*/true)) {
+  IPOOL_CHECK(input_dim > 0 && hidden_dim > 0, "Lstm dims must be positive");
+  // Forget-gate bias starts at 1 so early training does not erase state.
+  for (size_t i = hidden_dim_; i < 2 * hidden_dim_; ++i) {
+    bias_.mutable_value()[i] = 1.0;
+  }
+}
+
+Tensor Lstm::ForwardSequence(const Tensor& seq) const {
+  IPOOL_CHECK(seq.shape().size() == 2 && seq.cols() == input_dim_,
+              "Lstm input shape");
+  const size_t len = seq.rows();
+  Tensor flat = Reshape(seq, {len * input_dim_});
+  Tensor h = Tensor::Zeros({hidden_dim_});
+  Tensor c = Tensor::Zeros({hidden_dim_});
+  for (size_t t = 0; t < len; ++t) {
+    Tensor x = SliceVec(flat, t * input_dim_, (t + 1) * input_dim_);
+    Tensor xh = ConcatVec(x, h);
+    Tensor z = Add(MatVec(weight_, xh), bias_);
+    Tensor i_gate = Sigmoid(SliceVec(z, 0, hidden_dim_));
+    Tensor f_gate = Sigmoid(SliceVec(z, hidden_dim_, 2 * hidden_dim_));
+    Tensor o_gate = Sigmoid(SliceVec(z, 2 * hidden_dim_, 3 * hidden_dim_));
+    Tensor g_gate = Tanh(SliceVec(z, 3 * hidden_dim_, 4 * hidden_dim_));
+    c = Add(Mul(f_gate, c), Mul(i_gate, g_gate));
+    h = Mul(o_gate, Tanh(c));
+  }
+  return h;
+}
+
+Tensor SinusoidalPositionalEncoding(size_t len, size_t d_model) {
+  Tensor pe = Tensor::Zeros({len, d_model});
+  auto& v = pe.mutable_value();
+  for (size_t pos = 0; pos < len; ++pos) {
+    for (size_t i = 0; i < d_model; ++i) {
+      const double exponent =
+          static_cast<double>(2 * (i / 2)) / static_cast<double>(d_model);
+      const double angle =
+          static_cast<double>(pos) / std::pow(10000.0, exponent);
+      v[pos * d_model + i] = (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return pe;
+}
+
+std::vector<Tensor> CollectParameters(
+    std::initializer_list<const Layer*> layers) {
+  std::vector<Tensor> params;
+  for (const Layer* layer : layers) {
+    auto p = layer->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+}  // namespace ipool::nn

@@ -1,0 +1,182 @@
+// Neural-network building blocks assembled from the autograd ops: dense
+// layers, 1-D convolution blocks, layer normalization, multi-head attention
+// (for the TST forecaster) and the learnable wavelet decomposition pair (for
+// the mWDN forecaster).
+#ifndef IPOOL_NN_LAYERS_H_
+#define IPOOL_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace ipool::nn {
+
+/// Common interface so optimizers can harvest parameters from any stack of
+/// layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  /// All trainable parameter tensors (shared handles, not copies).
+  virtual std::vector<Tensor> Parameters() const = 0;
+};
+
+/// Fully connected layer, weight layout {in, out}.
+class Dense : public Layer {
+ public:
+  Dense(size_t in, size_t out, Rng& rng);
+
+  /// x: {in} -> {out}.
+  Tensor Forward(const Tensor& x) const;
+  /// x: {m, in} -> {m, out} (row-wise application).
+  Tensor ForwardRows(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override { return {weight_, bias_}; }
+
+  size_t in() const { return in_; }
+  size_t out() const { return out_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  Tensor weight_;  // {in, out}
+  Tensor bias_;    // {out}
+};
+
+/// 1-D convolution (same padding, stride 1) with bias, over {c_in, L} maps.
+class Conv1d : public Layer {
+ public:
+  Conv1d(size_t c_in, size_t c_out, size_t kernel, Rng& rng);
+
+  /// x: {c_in, L} -> {c_out, L}.
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override { return {weight_, bias_}; }
+
+  size_t kernel() const { return kernel_; }
+
+ private:
+  size_t c_in_;
+  size_t c_out_;
+  size_t kernel_;
+  Tensor weight_;  // {c_out, c_in * kernel}
+  Tensor bias_;    // {c_out}
+};
+
+/// Layer normalization over the last dimension with learned gain/bias.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(size_t dim);
+
+  /// x: {m, dim} or {dim}.
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override { return {gain_, bias_}; }
+
+ private:
+  size_t dim_;
+  Tensor gain_;  // {dim}, ones
+  Tensor bias_;  // {dim}, zeros
+};
+
+/// Scaled dot-product multi-head self attention over a {L, d_model}
+/// sequence. Head projections are stored per head to avoid column slicing.
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(size_t d_model, size_t num_heads, Rng& rng);
+
+  /// x: {L, d_model} -> {L, d_model}.
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  size_t num_heads() const { return num_heads_; }
+  size_t head_dim() const { return head_dim_; }
+
+ private:
+  size_t d_model_;
+  size_t num_heads_;
+  size_t head_dim_;
+  std::vector<Tensor> wq_, wk_, wv_;  // each {d_model, head_dim}
+  Tensor wo_;                         // {num_heads * head_dim, d_model}
+};
+
+/// One transformer encoder block: MHA + residual + LayerNorm, then a
+/// position-wise feed-forward + residual + LayerNorm (post-norm, as in the
+/// original TST formulation).
+class TransformerBlock : public Layer {
+ public:
+  TransformerBlock(size_t d_model, size_t num_heads, size_t ff_dim, Rng& rng);
+
+  /// x: {L, d_model} -> {L, d_model}.
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  MultiHeadAttention attention_;
+  LayerNorm norm1_;
+  Dense ff1_;
+  Dense ff2_;
+  LayerNorm norm2_;
+};
+
+/// One level of the multilevel wavelet decomposition network (mWDN): a
+/// learnable low-pass / high-pass convolution pair initialized from
+/// epsilon-perturbed Daubechies-4 coefficients, sigmoid activations, and
+/// dyadic downsampling. Returns (approximation, detail), each {1, ceil(L/2)}.
+class WaveletLevel : public Layer {
+ public:
+  explicit WaveletLevel(Rng& rng);
+
+  struct Output {
+    Tensor approximation;
+    Tensor detail;
+  };
+  /// x: {1, L}.
+  Output Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  static constexpr size_t kFilterLength = 8;
+
+ private:
+  Conv1d lowpass_;
+  Conv1d highpass_;
+};
+
+/// A single-layer LSTM over a sequence, returning the final hidden state.
+/// Used by the mWDN forecaster, whose original architecture runs one
+/// recurrent network per frequency band. Gates are fused into one
+/// {4*hidden, input+hidden} weight; layout i|f|o|g. The forget-gate bias is
+/// initialized to 1 (the standard trick for gradient flow).
+class Lstm : public Layer {
+ public:
+  Lstm(size_t input_dim, size_t hidden_dim, Rng& rng);
+
+  /// seq: {len, input_dim} (rows are time steps) -> final hidden {hidden}.
+  Tensor ForwardSequence(const Tensor& seq) const;
+
+  std::vector<Tensor> Parameters() const override { return {weight_, bias_}; }
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Tensor weight_;  // {4*hidden, input+hidden}
+  Tensor bias_;    // {4*hidden}
+};
+
+/// Fixed (non-trainable) sinusoidal positional encoding, {len, d_model}.
+Tensor SinusoidalPositionalEncoding(size_t len, size_t d_model);
+
+/// Collects parameters from several layers into one flat list.
+std::vector<Tensor> CollectParameters(
+    std::initializer_list<const Layer*> layers);
+
+}  // namespace ipool::nn
+
+#endif  // IPOOL_NN_LAYERS_H_

@@ -1,0 +1,21 @@
+#include "nn/loss.h"
+
+#include "common/check.h"
+
+namespace ipool::nn {
+
+Tensor AsymmetricLoss(const Tensor& prediction, const Tensor& target,
+                      double alpha_prime) {
+  IPOOL_CHECK(alpha_prime >= 0.0 && alpha_prime <= 1.0, "alpha' out of [0,1]");
+  Tensor delta = Sub(target, prediction);  // positive = underprediction
+  Tensor under = MeanAll(Relu(delta));
+  Tensor over = MeanAll(Relu(Neg(delta)));
+  return Add(MulScalar(under, alpha_prime), MulScalar(over, 1.0 - alpha_prime));
+}
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  Tensor delta = Sub(prediction, target);
+  return MeanAll(Mul(delta, delta));
+}
+
+}  // namespace ipool::nn

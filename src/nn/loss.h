@@ -1,0 +1,24 @@
+// Training losses. AsymmetricLoss is the paper's Eq 12: an over/undershoot
+// weighted absolute error that lets a forecaster deliberately overshoot
+// demand (lower customer wait time at the cost of idle clusters) or
+// undershoot it, controlled by alpha'.
+#ifndef IPOOL_NN_LOSS_H_
+#define IPOOL_NN_LOSS_H_
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace ipool::nn {
+
+/// Eq 12: alpha' * mean(relu(y - yhat)) + (1 - alpha') * mean(relu(yhat - y)).
+/// alpha' > 0.5 punishes underprediction harder (forecast overshoots, wait
+/// time drops); alpha' < 0.5 punishes overprediction (idle cost drops).
+Tensor AsymmetricLoss(const Tensor& prediction, const Tensor& target,
+                      double alpha_prime);
+
+/// Mean squared error, for symmetric baselines and unit tests.
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+
+}  // namespace ipool::nn
+
+#endif  // IPOOL_NN_LOSS_H_

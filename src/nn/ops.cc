@@ -1,0 +1,520 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ipool::nn {
+
+namespace {
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// Shorthand for unary elementwise ops: out[i] = f(a[i]),
+// da[i] += dout[i] * dfda(a[i], out[i]).
+Tensor UnaryElementwise(const Tensor& a, double (*f)(double),
+                        double (*dfda)(double /*x*/, double /*y*/)) {
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode(a.shape(), {pa}, [pa, dfda](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i] * dfda(pa->value[i], self.value[i]);
+    }
+  });
+  auto& v = out.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = f(a.value()[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  IPOOL_CHECK(SameShape(a.shape(), b.shape()), "Add shape mismatch");
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor out = MakeNode(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i];
+      pb->grad[i] += self.grad[i];
+    }
+  });
+  auto& v = out.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] + b.value()[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  IPOOL_CHECK(SameShape(a.shape(), b.shape()), "Sub shape mismatch");
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor out = MakeNode(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i];
+      pb->grad[i] -= self.grad[i];
+    }
+  });
+  auto& v = out.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] - b.value()[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  IPOOL_CHECK(SameShape(a.shape(), b.shape()), "Mul shape mismatch");
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor out = MakeNode(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i] * pb->value[i];
+      pb->grad[i] += self.grad[i] * pa->value[i];
+    }
+  });
+  auto& v = out.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] * b.value()[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, double s) {
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode(a.shape(), {pa}, [pa](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) pa->grad[i] += self.grad[i];
+  });
+  auto& v = out.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] + s;
+  return out;
+}
+
+Tensor MulScalar(const Tensor& a, double s) {
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode(a.shape(), {pa}, [pa, s](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i] * s;
+    }
+  });
+  auto& v = out.mutable_value();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = a.value()[i] * s;
+  return out;
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryElementwise(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryElementwise(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryElementwise(a, [](double x) { return std::tanh(x); },
+                          [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryElementwise(a, [](double x) { return std::exp(x); },
+                          [](double, double y) { return y; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryElementwise(a, [](double x) { return std::sqrt(x); },
+                          [](double, double y) { return 0.5 / y; });
+}
+
+Tensor RowBroadcastAdd(const Tensor& a, const Tensor& v) {
+  IPOOL_CHECK(a.shape().size() == 2 && v.shape().size() == 1 &&
+                  a.cols() == v.size(),
+              "RowBroadcastAdd shape mismatch");
+  ImplPtr pa = a.impl(), pv = v.impl();
+  const size_t n = a.cols();
+  Tensor out = MakeNode(a.shape(), {pa, pv}, [pa, pv, n](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i];
+      pv->grad[i % n] += self.grad[i];
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < o.size(); ++i) o[i] = a.value()[i] + v.value()[i % n];
+  return out;
+}
+
+Tensor RowBroadcastMul(const Tensor& a, const Tensor& v) {
+  IPOOL_CHECK(a.shape().size() == 2 && v.shape().size() == 1 &&
+                  a.cols() == v.size(),
+              "RowBroadcastMul shape mismatch");
+  ImplPtr pa = a.impl(), pv = v.impl();
+  const size_t n = a.cols();
+  Tensor out = MakeNode(a.shape(), {pa, pv}, [pa, pv, n](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[i] += self.grad[i] * pv->value[i % n];
+      pv->grad[i % n] += self.grad[i] * pa->value[i];
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < o.size(); ++i) o[i] = a.value()[i] * v.value()[i % n];
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  IPOOL_CHECK(a.shape().size() == 2 && b.shape().size() == 2 &&
+                  a.cols() == b.rows(),
+              "MatMul shape mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor out =
+      MakeNode({m, n}, {pa, pb}, [pa, pb, m, k, n](TensorImpl& self) {
+        // dA = dC * B^T ; dB = A^T * dC
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            const double g = self.grad[i * n + j];
+            if (g == 0.0) continue;
+            for (size_t kk = 0; kk < k; ++kk) {
+              pa->grad[i * k + kk] += g * pb->value[kk * n + j];
+              pb->grad[kk * n + j] += g * pa->value[i * k + kk];
+            }
+          }
+        }
+      });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = a.value()[i * k + kk];
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        o[i * n + j] += av * b.value()[kk * n + j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatVec(const Tensor& w, const Tensor& x) {
+  IPOOL_CHECK(w.shape().size() == 2 && x.shape().size() == 1 &&
+                  w.cols() == x.size(),
+              "MatVec shape mismatch");
+  const size_t m = w.rows(), n = w.cols();
+  ImplPtr pw = w.impl(), px = x.impl();
+  Tensor out = MakeNode({m}, {pw, px}, [pw, px, m, n](TensorImpl& self) {
+    for (size_t i = 0; i < m; ++i) {
+      const double g = self.grad[i];
+      if (g == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        pw->grad[i * n + j] += g * px->value[j];
+        px->grad[j] += g * pw->value[i * n + j];
+      }
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < n; ++j) acc += w.value()[i * n + j] * x.value()[j];
+    o[i] = acc;
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  IPOOL_CHECK(a.shape().size() == 2, "Transpose requires rank-2");
+  const size_t m = a.rows(), n = a.cols();
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode({n, m}, {pa}, [pa, m, n](TensorImpl& self) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        pa->grad[j * n + i] += self.grad[i * m + j];
+      }
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) o[j * m + i] = a.value()[i * n + j];
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode({1}, {pa}, [pa](TensorImpl& self) {
+    for (double& g : pa->grad) g += self.grad[0];
+  });
+  double acc = 0.0;
+  for (double v : a.value()) acc += v;
+  out.mutable_value()[0] = acc;
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  IPOOL_CHECK(a.size() > 0, "MeanAll on empty tensor");
+  return MulScalar(SumAll(a), 1.0 / static_cast<double>(a.size()));
+}
+
+Tensor MeanRows(const Tensor& a) {
+  IPOOL_CHECK(a.shape().size() == 2 && a.cols() > 0, "MeanRows requires rank-2");
+  const size_t m = a.rows(), n = a.cols();
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode({m}, {pa}, [pa, m, n](TensorImpl& self) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (size_t i = 0; i < m; ++i) {
+      const double g = self.grad[i] * inv;
+      for (size_t j = 0; j < n; ++j) pa->grad[i * n + j] += g;
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < n; ++j) acc += a.value()[i * n + j];
+    o[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  IPOOL_CHECK(NumElements(shape) == a.size(), "Reshape element count mismatch");
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode(shape, {pa}, [pa](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) pa->grad[i] += self.grad[i];
+  });
+  out.mutable_value() = a.value();
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  IPOOL_CHECK(a.shape().size() == 2 && b.shape().size() == 2 &&
+                  a.cols() == b.cols(),
+              "ConcatRows shape mismatch");
+  const size_t na = a.size();
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor out =
+      MakeNode({a.rows() + b.rows(), a.cols()}, {pa, pb},
+               [pa, pb, na](TensorImpl& self) {
+                 for (size_t i = 0; i < na; ++i) pa->grad[i] += self.grad[i];
+                 for (size_t i = na; i < self.value.size(); ++i) {
+                   pb->grad[i - na] += self.grad[i];
+                 }
+               });
+  auto& o = out.mutable_value();
+  std::copy(a.value().begin(), a.value().end(), o.begin());
+  std::copy(b.value().begin(), b.value().end(), o.begin() + static_cast<ptrdiff_t>(na));
+  return out;
+}
+
+Tensor ConcatVec(const Tensor& a, const Tensor& b) {
+  IPOOL_CHECK(a.shape().size() == 1 && b.shape().size() == 1,
+              "ConcatVec requires rank-1");
+  const size_t na = a.size();
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor out = MakeNode({na + b.size()}, {pa, pb}, [pa, pb, na](TensorImpl& self) {
+    for (size_t i = 0; i < na; ++i) pa->grad[i] += self.grad[i];
+    for (size_t i = na; i < self.value.size(); ++i) {
+      pb->grad[i - na] += self.grad[i];
+    }
+  });
+  auto& o = out.mutable_value();
+  std::copy(a.value().begin(), a.value().end(), o.begin());
+  std::copy(b.value().begin(), b.value().end(), o.begin() + static_cast<ptrdiff_t>(na));
+  return out;
+}
+
+Tensor SliceVec(const Tensor& a, size_t begin, size_t end) {
+  IPOOL_CHECK(a.shape().size() == 1 && begin <= end && end <= a.size(),
+              "SliceVec out of range");
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode({end - begin}, {pa}, [pa, begin](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[begin + i] += self.grad[i];
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < o.size(); ++i) o[i] = a.value()[begin + i];
+  return out;
+}
+
+Tensor DownsampleRows2(const Tensor& a) {
+  IPOOL_CHECK(a.shape().size() == 2 && a.cols() > 0,
+              "DownsampleRows2 requires rank-2");
+  const size_t m = a.rows(), n = a.cols();
+  const size_t half = (n + 1) / 2;
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode({m, half}, {pa}, [pa, m, n, half](TensorImpl& self) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < half; ++j) {
+        pa->grad[i * n + 2 * j] += self.grad[i * half + j];
+      }
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < half; ++j) o[i * half + j] = a.value()[i * n + 2 * j];
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  const bool rank1 = a.shape().size() == 1;
+  const size_t m = rank1 ? 1 : a.rows();
+  const size_t n = rank1 ? a.size() : a.cols();
+  IPOOL_CHECK(n > 0, "SoftmaxRows on empty rows");
+  ImplPtr pa = a.impl();
+  Tensor out = MakeNode(a.shape(), {pa}, [pa, m, n](TensorImpl& self) {
+    // dx_j = y_j * (dy_j - sum_k dy_k y_k), per row.
+    for (size_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        dot += self.grad[i * n + j] * self.value[i * n + j];
+      }
+      for (size_t j = 0; j < n; ++j) {
+        pa->grad[i * n + j] +=
+            self.value[i * n + j] * (self.grad[i * n + j] - dot);
+      }
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    double mx = a.value()[i * n];
+    for (size_t j = 1; j < n; ++j) mx = std::max(mx, a.value()[i * n + j]);
+    double denom = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      o[i * n + j] = std::exp(a.value()[i * n + j] - mx);
+      denom += o[i * n + j];
+    }
+    for (size_t j = 0; j < n; ++j) o[i * n + j] /= denom;
+  }
+  return out;
+}
+
+Tensor NormalizeRows(const Tensor& a, double epsilon) {
+  const bool rank1 = a.shape().size() == 1;
+  const size_t m = rank1 ? 1 : a.rows();
+  const size_t n = rank1 ? a.size() : a.cols();
+  IPOOL_CHECK(n > 0, "NormalizeRows on empty rows");
+  ImplPtr pa = a.impl();
+
+  // Precompute per-row mean and inverse stddev; shared with backward.
+  auto mean = std::make_shared<std::vector<double>>(m);
+  auto inv_std = std::make_shared<std::vector<double>>(m);
+  for (size_t i = 0; i < m; ++i) {
+    double mu = 0.0;
+    for (size_t j = 0; j < n; ++j) mu += a.value()[i * n + j];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double d = a.value()[i * n + j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    (*mean)[i] = mu;
+    (*inv_std)[i] = 1.0 / std::sqrt(var + epsilon);
+  }
+
+  Tensor out =
+      MakeNode(a.shape(), {pa}, [pa, m, n, inv_std](TensorImpl& self) {
+        // With y = (x - mu) * s where s = 1/sqrt(var + eps):
+        // dx_j = s * (dy_j - mean(dy) - y_j * mean(dy * y)).
+        for (size_t i = 0; i < m; ++i) {
+          double gmean = 0.0, gy = 0.0;
+          for (size_t j = 0; j < n; ++j) {
+            gmean += self.grad[i * n + j];
+            gy += self.grad[i * n + j] * self.value[i * n + j];
+          }
+          gmean /= static_cast<double>(n);
+          gy /= static_cast<double>(n);
+          for (size_t j = 0; j < n; ++j) {
+            pa->grad[i * n + j] +=
+                (*inv_std)[i] *
+                (self.grad[i * n + j] - gmean - self.value[i * n + j] * gy);
+          }
+        }
+      });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      o[i * n + j] = (a.value()[i * n + j] - (*mean)[i]) * (*inv_std)[i];
+    }
+  }
+  return out;
+}
+
+Tensor Conv1dSame(const Tensor& input, const Tensor& weight, size_t kernel) {
+  IPOOL_CHECK(input.shape().size() == 2 && weight.shape().size() == 2,
+              "Conv1dSame requires rank-2 input and weight");
+  const size_t c_in = input.rows(), len = input.cols();
+  const size_t c_out = weight.rows();
+  IPOOL_CHECK(weight.cols() == c_in * kernel, "Conv1dSame weight layout");
+  const size_t pad = kernel / 2;
+  ImplPtr pin = input.impl(), pw = weight.impl();
+  Tensor out = MakeNode(
+      {c_out, len}, {pin, pw},
+      [pin, pw, c_in, c_out, len, kernel, pad](TensorImpl& self) {
+        for (size_t o = 0; o < c_out; ++o) {
+          for (size_t t = 0; t < len; ++t) {
+            const double g = self.grad[o * len + t];
+            if (g == 0.0) continue;
+            for (size_t c = 0; c < c_in; ++c) {
+              for (size_t k = 0; k < kernel; ++k) {
+                const ptrdiff_t src =
+                    static_cast<ptrdiff_t>(t + k) - static_cast<ptrdiff_t>(pad);
+                if (src < 0 || src >= static_cast<ptrdiff_t>(len)) continue;
+                const size_t widx = o * (c_in * kernel) + c * kernel + k;
+                pin->grad[c * len + static_cast<size_t>(src)] +=
+                    g * pw->value[widx];
+                pw->grad[widx] +=
+                    g * pin->value[c * len + static_cast<size_t>(src)];
+              }
+            }
+          }
+        }
+      });
+  auto& ov = out.mutable_value();
+  for (size_t o = 0; o < c_out; ++o) {
+    for (size_t t = 0; t < len; ++t) {
+      double acc = 0.0;
+      for (size_t c = 0; c < c_in; ++c) {
+        for (size_t k = 0; k < kernel; ++k) {
+          const ptrdiff_t src =
+              static_cast<ptrdiff_t>(t + k) - static_cast<ptrdiff_t>(pad);
+          if (src < 0 || src >= static_cast<ptrdiff_t>(len)) continue;
+          acc += weight.value()[o * (c_in * kernel) + c * kernel + k] *
+                 input.value()[c * len + static_cast<size_t>(src)];
+        }
+      }
+      ov[o * len + t] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool1dSame(const Tensor& a, size_t kernel) {
+  IPOOL_CHECK(a.shape().size() == 2 && kernel > 0,
+              "MaxPool1dSame requires rank-2");
+  const size_t m = a.rows(), n = a.cols();
+  const size_t pad = kernel / 2;
+  ImplPtr pa = a.impl();
+  // argmax indices recorded at forward time for the backward route.
+  auto argmax = std::make_shared<std::vector<size_t>>(m * n);
+  Tensor out = MakeNode({m, n}, {pa}, [pa, argmax](TensorImpl& self) {
+    for (size_t i = 0; i < self.value.size(); ++i) {
+      pa->grad[(*argmax)[i]] += self.grad[i];
+    }
+  });
+  auto& o = out.mutable_value();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t t = 0; t < n; ++t) {
+      double best = -1e300;
+      size_t best_idx = i * n + t;
+      for (size_t k = 0; k < kernel; ++k) {
+        const ptrdiff_t src =
+            static_cast<ptrdiff_t>(t + k) - static_cast<ptrdiff_t>(pad);
+        if (src < 0 || src >= static_cast<ptrdiff_t>(n)) continue;
+        const size_t idx = i * n + static_cast<size_t>(src);
+        if (a.value()[idx] > best) {
+          best = a.value()[idx];
+          best_idx = idx;
+        }
+      }
+      o[i * n + t] = best;
+      (*argmax)[i * n + t] = best_idx;
+    }
+  }
+  return out;
+}
+
+}  // namespace ipool::nn

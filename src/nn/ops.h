@@ -1,0 +1,83 @@
+// Differentiable operations over Tensor. Shape preconditions are programming
+// errors and are enforced with IPOOL_CHECK; model-level configuration is
+// validated with Status at construction time in nn/layers.h and the
+// forecasters.
+//
+// Conventions:
+//  * rank-1 tensors are column vectors of length n, shape {n};
+//  * rank-2 tensors are row-major matrices, shape {rows, cols};
+//  * "Rows" variants treat each row of a rank-2 tensor independently.
+#ifndef IPOOL_NN_OPS_H_
+#define IPOOL_NN_OPS_H_
+
+#include "nn/tensor.h"
+
+namespace ipool::nn {
+
+// ---- elementwise ----------------------------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);        // same shape
+Tensor Sub(const Tensor& a, const Tensor& b);        // same shape
+Tensor Mul(const Tensor& a, const Tensor& b);        // same shape (Hadamard)
+Tensor AddScalar(const Tensor& a, double s);
+Tensor MulScalar(const Tensor& a, double s);
+Tensor Neg(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Sqrt(const Tensor& a);  // elementwise; input must be positive
+
+// ---- broadcasting over rows (bias-style) ----------------------------------
+/// a: {m, n}, v: {n}; adds v to every row.
+Tensor RowBroadcastAdd(const Tensor& a, const Tensor& v);
+/// a: {m, n}, v: {n}; multiplies every row elementwise by v.
+Tensor RowBroadcastMul(const Tensor& a, const Tensor& v);
+
+// ---- linear algebra --------------------------------------------------------
+/// a: {m, k}, b: {k, n} -> {m, n}.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// w: {m, n}, x: {n} -> {m}.
+Tensor MatVec(const Tensor& w, const Tensor& x);
+/// {m, n} -> {n, m}.
+Tensor Transpose(const Tensor& a);
+
+// ---- reductions ------------------------------------------------------------
+Tensor SumAll(const Tensor& a);   // -> scalar {1}
+Tensor MeanAll(const Tensor& a);  // -> scalar {1}
+/// {m, n} -> {m}: mean over each row (global average pooling over length
+/// when rows are channels).
+Tensor MeanRows(const Tensor& a);
+
+// ---- shape ------------------------------------------------------------------
+/// Reinterprets the buffer with a new shape of equal element count.
+Tensor Reshape(const Tensor& a, Shape shape);
+/// Stacks two rank-2 tensors with equal cols along rows: {m1+m2, n}.
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+/// Concatenates two rank-1 tensors.
+Tensor ConcatVec(const Tensor& a, const Tensor& b);
+/// Rank-1 slice [begin, end).
+Tensor SliceVec(const Tensor& a, size_t begin, size_t end);
+/// Keeps every second element of each row (even indices): {m, ceil(n/2)}.
+/// This is the dyadic downsampling step of the wavelet decomposition.
+Tensor DownsampleRows2(const Tensor& a);
+
+// ---- nonlinarities over rows -----------------------------------------------
+/// Softmax over each row of a rank-2 tensor (or over the whole rank-1
+/// vector). Numerically stabilized by row-max subtraction.
+Tensor SoftmaxRows(const Tensor& a);
+/// Normalizes each row to zero mean / unit variance (epsilon-guarded).
+/// Affine gain/bias are applied by the LayerNorm layer via broadcasts.
+Tensor NormalizeRows(const Tensor& a, double epsilon = 1e-5);
+
+// ---- convolution / pooling --------------------------------------------------
+/// 1-D convolution with "same" zero padding and stride 1.
+/// input: {c_in, len}; weight: {c_out, c_in * k}; -> {c_out, len}.
+/// Row o of weight holds the kernel for output channel o laid out as
+/// [c_in][k].
+Tensor Conv1dSame(const Tensor& input, const Tensor& weight, size_t kernel);
+/// Max pooling over each row with "same" padding and stride 1 (window k).
+Tensor MaxPool1dSame(const Tensor& a, size_t kernel);
+
+}  // namespace ipool::nn
+
+#endif  // IPOOL_NN_OPS_H_

@@ -1,0 +1,59 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ipool::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) {
+    p.impl()->EnsureGrad();
+    std::fill(p.mutable_grad().begin(), p.mutable_grad().end(), 0.0);
+  }
+}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    p.impl()->EnsureGrad();
+    auto& value = p.mutable_value();
+    const auto& grad = p.grad();
+    for (size_t i = 0; i < value.size(); ++i) value[i] -= lr_ * grad[i];
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double epsilon)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.size(), 0.0);
+    v_.emplace_back(p.size(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    p.impl()->EnsureGrad();
+    auto& value = p.mutable_value();
+    const auto& grad = p.grad();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (size_t i = 0; i < value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace ipool::nn

@@ -1,0 +1,57 @@
+// First-order optimizers over a fixed parameter list. The trainer calls
+// ZeroGrad(), accumulates gradients over a mini-batch (one backward pass per
+// sample), then Step().
+#ifndef IPOOL_NN_OPTIMIZER_H_
+#define IPOOL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ipool::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Clears accumulated gradients on all parameters.
+  void ZeroGrad();
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr) : Optimizer(std::move(params)), lr_(lr) {}
+  void Step() override;
+
+ private:
+  double lr_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double epsilon = 1e-8);
+  void Step() override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t t_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+}  // namespace ipool::nn
+
+#endif  // IPOOL_NN_OPTIMIZER_H_

@@ -1,0 +1,132 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace ipool::nn {
+
+size_t NumElements(const Shape& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+std::string ShapeToString(const Shape& shape) {
+  std::vector<std::string> dims;
+  dims.reserve(shape.size());
+  for (size_t d : shape) dims.push_back(StrFormat("%zu", d));
+  return "[" + Join(dims, ", ") + "]";
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != value.size()) grad.assign(value.size(), 0.0);
+}
+
+Tensor Tensor::FromVector(std::vector<double> values, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = {values.size()};
+  impl->value = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromMatrix(size_t rows, size_t cols, std::vector<double> values,
+                          bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = {rows, cols};
+  impl->value = std::move(values);
+  impl->value.resize(rows * cols, 0.0);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, double fill, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->value.assign(NumElements(shape), fill);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Glorot(const Shape& shape, Rng& rng, double gain) {
+  const size_t fan_in = shape.size() == 2 ? shape[1] : shape[0];
+  const size_t fan_out = shape[0];
+  const double limit =
+      gain * std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Tensor t = Zeros(shape, /*requires_grad=*/true);
+  for (double& v : t.mutable_value()) v = rng.Uniform(-limit, limit);
+  return t;
+}
+
+Status Tensor::Backward() {
+  if (!defined()) return Status::FailedPrecondition("Backward on undefined tensor");
+  if (size() != 1) {
+    return Status::FailedPrecondition(
+        StrFormat("Backward requires scalar output, got shape %s",
+                  ShapeToString(shape()).c_str()));
+  }
+
+  // Iterative post-order DFS to get a topological order (children first).
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  for (TensorImpl* node : order) node->EnsureGrad();
+  impl_->grad[0] = 1.0;
+
+  // order is children-before-parents; iterate outputs-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward) node->backward(*node);
+  }
+  return Status::OK();
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->value = impl_->value;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor MakeNode(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents,
+                std::function<void(TensorImpl&)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->value.assign(NumElements(impl->shape), 0.0);
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad = needs_grad || p->requires_grad;
+  impl->requires_grad = needs_grad;
+  if (needs_grad) {
+    impl->parents = std::move(parents);
+    impl->backward = std::move(backward);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace ipool::nn

@@ -1,0 +1,99 @@
+// A small reverse-mode automatic differentiation engine. Each op builds a
+// node in a dynamic computation graph; Backward() on a scalar output
+// topologically sorts the graph and accumulates gradients into every tensor
+// with requires_grad set (model parameters).
+//
+// The engine supports rank-1/2 double tensors, which is all the forecasting
+// models here need: deep models process one window sample at a time and
+// mini-batching is done by gradient accumulation in the trainer. This keeps
+// every op simple enough to verify with the numeric grad-checker in
+// nn/gradcheck.h.
+#ifndef IPOOL_NN_TENSOR_H_
+#define IPOOL_NN_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ipool::nn {
+
+/// Tensor shape; rank 1 ({n}) or rank 2 ({rows, cols}).
+using Shape = std::vector<size_t>;
+
+size_t NumElements(const Shape& shape);
+bool SameShape(const Shape& a, const Shape& b);
+std::string ShapeToString(const Shape& shape);
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<double> value;
+  std::vector<double> grad;  // allocated lazily by Backward()
+  bool requires_grad = false;
+
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Pushes this node's grad into parents' grads. Null for leaves.
+  std::function<void(TensorImpl&)> backward;
+
+  size_t rows() const { return shape.empty() ? 0 : shape[0]; }
+  size_t cols() const { return shape.size() < 2 ? 1 : shape[1]; }
+  void EnsureGrad();
+};
+
+/// Value-semantics handle to a graph node. Copies share the node.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// Leaf constructors -------------------------------------------------
+  static Tensor FromVector(std::vector<double> values,
+                           bool requires_grad = false);
+  static Tensor FromMatrix(size_t rows, size_t cols,
+                           std::vector<double> values,
+                           bool requires_grad = false);
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, double fill,
+                     bool requires_grad = false);
+  /// Xavier/Glorot uniform init for a parameter of the given shape.
+  static Tensor Glorot(const Shape& shape, Rng& rng, double gain = 1.0);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  size_t size() const { return impl_->value.size(); }
+  size_t rows() const { return impl_->rows(); }
+  size_t cols() const { return impl_->cols(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  const std::vector<double>& value() const { return impl_->value; }
+  std::vector<double>& mutable_value() { return impl_->value; }
+  const std::vector<double>& grad() const { return impl_->grad; }
+  std::vector<double>& mutable_grad() { return impl_->grad; }
+
+  /// Scalar accessor; valid when size() == 1.
+  double scalar() const { return impl_->value[0]; }
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  /// Runs reverse-mode autodiff from this scalar node. Gradients accumulate
+  /// (callers zero parameter grads between steps via Optimizer/ZeroGrad).
+  Status Backward();
+
+  /// Drops graph history (parents/backward), keeping value. Used to detach
+  /// SSA output before feeding the hybrid corrector.
+  Tensor Detach() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Creates an interior node wired to its parents.
+Tensor MakeNode(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents,
+                std::function<void(TensorImpl&)> backward);
+
+}  // namespace ipool::nn
+
+#endif  // IPOOL_NN_TENSOR_H_

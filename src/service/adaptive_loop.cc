@@ -1,0 +1,47 @@
+#include "service/adaptive_loop.h"
+
+namespace ipool {
+
+Status AdaptiveLoopConfig::Validate() const {
+  IPOOL_RETURN_NOT_OK(pipeline.Validate());
+  IPOOL_RETURN_NOT_OK(loop.Validate());
+  IPOOL_RETURN_NOT_OK(tuner.Validate());
+  return Status::OK();
+}
+
+Result<AdaptiveLoopResult> AdaptiveLoop::Run(
+    const AdaptiveLoopConfig& config,
+    const std::vector<DemandPeriod>& periods) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  if (periods.empty()) {
+    return Status::InvalidArgument("need at least one demand period");
+  }
+
+  IPOOL_ASSIGN_OR_RETURN(AutoTuner tuner, AutoTuner::Create(config.tuner));
+
+  AdaptiveLoopResult result;
+  double alpha = tuner.alpha();
+  for (const DemandPeriod& period : periods) {
+    PipelineConfig pipeline = config.pipeline;
+    pipeline.saa.alpha_prime = alpha;
+    IPOOL_ASSIGN_OR_RETURN(RecommendationEngine engine,
+                           RecommendationEngine::Create(pipeline));
+    IPOOL_ASSIGN_OR_RETURN(
+        ControlLoopResult loop_result,
+        ControlLoop::Run(engine, config.loop, period.demand,
+                         period.request_events));
+
+    AdaptivePeriodResult entry;
+    entry.alpha_prime = alpha;
+    entry.avg_wait_seconds = loop_result.sim.avg_wait_seconds;
+    entry.hit_rate = loop_result.sim.hit_rate;
+    entry.idle_cluster_seconds = loop_result.sim.idle_cluster_seconds;
+    result.periods.push_back(entry);
+
+    alpha = tuner.Observe(alpha, loop_result.sim.avg_wait_seconds);
+  }
+  result.final_alpha = alpha;
+  return result;
+}
+
+}  // namespace ipool

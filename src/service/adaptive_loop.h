@@ -1,0 +1,58 @@
+// Closes the §6 feedback loop through the whole control plane: the
+// hyper-parameter tuning module runs at a lower frequency than the ML
+// pipeline (§3). Each tuning period (e.g. one day) the control loop runs
+// with the current alpha', the observed customer wait time is fed to the
+// AutoTuner, and the next period starts with the retuned alpha' — steering
+// the live system to its wait-time SLA with no engineering input.
+#ifndef IPOOL_SERVICE_ADAPTIVE_LOOP_H_
+#define IPOOL_SERVICE_ADAPTIVE_LOOP_H_
+
+#include <vector>
+
+#include "core/recommendation_engine.h"
+#include "service/control_loop.h"
+#include "tuning/auto_tuner.h"
+
+namespace ipool {
+
+struct AdaptiveLoopConfig {
+  /// Pipeline template; its saa.alpha_prime is overridden by the tuner each
+  /// period.
+  PipelineConfig pipeline;
+  ControlLoopConfig loop;
+  AutoTunerConfig tuner;
+
+  Status Validate() const;
+};
+
+struct AdaptivePeriodResult {
+  double alpha_prime = 0.0;
+  double avg_wait_seconds = 0.0;
+  double hit_rate = 0.0;
+  double idle_cluster_seconds = 0.0;
+};
+
+struct AdaptiveLoopResult {
+  /// One entry per tuning period, in order.
+  std::vector<AdaptivePeriodResult> periods;
+  double final_alpha = 0.0;
+};
+
+/// One demand period (typically a day) to run the control loop against.
+struct DemandPeriod {
+  TimeSeries demand;
+  std::vector<double> request_events;
+};
+
+class AdaptiveLoop {
+ public:
+  /// Runs the control loop over the given periods, retuning alpha' between
+  /// them.
+  static Result<AdaptiveLoopResult> Run(
+      const AdaptiveLoopConfig& config,
+      const std::vector<DemandPeriod>& periods);
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_ADAPTIVE_LOOP_H_

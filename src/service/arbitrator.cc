@@ -1,0 +1,108 @@
+#include "service/arbitrator.h"
+
+#include <limits>
+
+namespace ipool {
+
+Status ArbitratorConfig::Validate() const {
+  if (lease_duration_seconds <= 0.0) {
+    return Status::InvalidArgument("lease duration must be positive");
+  }
+  return Status::OK();
+}
+
+Result<Arbitrator> Arbitrator::Create(const ArbitratorConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  return Arbitrator(config);
+}
+
+Status Arbitrator::AddWorker(const std::string& worker_id) {
+  if (!workers_.emplace(worker_id, Worker{}).second) {
+    return Status::AlreadyExists("worker already registered: " + worker_id);
+  }
+  return Status::OK();
+}
+
+Status Arbitrator::SetWorkerHealth(const std::string& worker_id,
+                                   bool healthy) {
+  auto it = workers_.find(worker_id);
+  if (it == workers_.end()) {
+    return Status::NotFound("unknown worker: " + worker_id);
+  }
+  it->second.healthy = healthy;
+  return Status::OK();
+}
+
+Status Arbitrator::AddWorkItem(const std::string& item_id) {
+  if (!items_.emplace(item_id, WorkItem{}).second) {
+    return Status::AlreadyExists("work item already registered: " + item_id);
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> Arbitrator::PickWorker() const {
+  std::optional<std::string> best;
+  size_t best_load = std::numeric_limits<size_t>::max();
+  for (const auto& [id, worker] : workers_) {
+    if (!worker.healthy) continue;
+    const size_t load = LoadOf(id);
+    if (load < best_load) {
+      best_load = load;
+      best = id;
+    }
+  }
+  return best;
+}
+
+size_t Arbitrator::RunHealthCheck(double now) {
+  size_t assigned = 0;
+  for (auto& [id, item] : items_) {
+    bool needs_owner = !item.owner.has_value();
+    if (!needs_owner) {
+      auto worker = workers_.find(*item.owner);
+      const bool owner_healthy =
+          worker != workers_.end() && worker->second.healthy;
+      if (owner_healthy && item.lease_expires_at > now) {
+        // Healthy and within lease: refresh.
+        item.lease_expires_at = now + config_.lease_duration_seconds;
+        continue;
+      }
+      if (owner_healthy && item.lease_expires_at <= now) {
+        // Lease lapsed but the worker is healthy: renew in place (the
+        // paper's "undergoes refreshment upon lease expiration").
+        item.lease_expires_at = now + config_.lease_duration_seconds;
+        continue;
+      }
+      // Unhealthy or vanished owner: replace promptly.
+      item.owner.reset();
+      needs_owner = true;
+    }
+    if (needs_owner) {
+      std::optional<std::string> replacement = PickWorker();
+      if (replacement.has_value()) {
+        item.owner = replacement;
+        item.lease_expires_at = now + config_.lease_duration_seconds;
+        ++assigned;
+        ++reassignments_;
+      }
+    }
+  }
+  return assigned;
+}
+
+std::optional<std::string> Arbitrator::OwnerOf(
+    const std::string& item_id) const {
+  auto it = items_.find(item_id);
+  if (it == items_.end()) return std::nullopt;
+  return it->second.owner;
+}
+
+size_t Arbitrator::LoadOf(const std::string& worker_id) const {
+  size_t load = 0;
+  for (const auto& [id, item] : items_) {
+    if (item.owner == worker_id) ++load;
+  }
+  return load;
+}
+
+}  // namespace ipool

@@ -1,0 +1,78 @@
+// The Arbitrator of §7.6: pooling tasks are leased to workers; the
+// arbitrator runs periodic health checks, renews leases of healthy assigned
+// workers, and promptly reassigns work from unhealthy workers or expired
+// leases to a healthy replacement.
+#ifndef IPOOL_SERVICE_ARBITRATOR_H_
+#define IPOOL_SERVICE_ARBITRATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipool {
+
+struct ArbitratorConfig {
+  /// How long a lease lasts without renewal.
+  double lease_duration_seconds = 300.0;
+
+  Status Validate() const;
+};
+
+class Arbitrator {
+ public:
+  static Result<Arbitrator> Create(const ArbitratorConfig& config);
+
+  /// Registers a worker (healthy by default). AlreadyExists on duplicates.
+  Status AddWorker(const std::string& worker_id);
+
+  /// Marks a worker healthy/unhealthy (as a health probe would). NotFound
+  /// for unknown workers.
+  Status SetWorkerHealth(const std::string& worker_id, bool healthy);
+
+  /// Registers a work item needing an owner. AlreadyExists on duplicates.
+  Status AddWorkItem(const std::string& item_id);
+
+  /// One health-check pass at virtual time `now`:
+  ///  * leases of healthy assigned workers are refreshed,
+  ///  * items owned by unhealthy workers or with expired leases are
+  ///    reassigned to the healthy worker owning the fewest items,
+  ///  * items with no healthy candidate are left unassigned.
+  /// Returns the number of (re)assignments performed.
+  size_t RunHealthCheck(double now);
+
+  /// Current owner of the item, if any.
+  std::optional<std::string> OwnerOf(const std::string& item_id) const;
+
+  /// Number of items currently assigned to the worker.
+  size_t LoadOf(const std::string& worker_id) const;
+
+  size_t reassignments() const { return reassignments_; }
+
+ private:
+  explicit Arbitrator(const ArbitratorConfig& config) : config_(config) {}
+
+  struct Worker {
+    bool healthy = true;
+  };
+  struct WorkItem {
+    std::optional<std::string> owner;
+    double lease_expires_at = 0.0;
+  };
+
+  /// Healthy worker with the fewest owned items (ties: lexicographically
+  /// first, for determinism).
+  std::optional<std::string> PickWorker() const;
+
+  ArbitratorConfig config_;
+  std::map<std::string, Worker> workers_;
+  std::map<std::string, WorkItem> items_;
+  size_t reassignments_ = 0;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_ARBITRATOR_H_

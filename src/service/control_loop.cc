@@ -1,0 +1,82 @@
+#include "service/control_loop.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status ControlLoopConfig::Validate() const {
+  if (run_interval_seconds <= 0.0) {
+    return Status::InvalidArgument("run interval must be positive");
+  }
+  IPOOL_RETURN_NOT_OK(worker.Validate());
+  IPOOL_RETURN_NOT_OK(pooling.Validate());
+  IPOOL_RETURN_NOT_OK(sim.Validate());
+  return Status::OK();
+}
+
+Result<ControlLoopResult> ControlLoop::Run(
+    const RecommendationEngine& engine, const ControlLoopConfig& config,
+    const TimeSeries& demand, const std::vector<double>& request_events,
+    const std::function<bool(size_t)>& fail_run) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  if (demand.empty()) return Status::InvalidArgument("empty demand");
+  if (demand.interval() != config.worker.interval_seconds) {
+    return Status::InvalidArgument(
+        "demand bin width must match the worker's interval");
+  }
+
+  // Telemetry ingestion: the monitoring pipeline records every cluster
+  // request. Workers only ever query ranges strictly before "now", so
+  // preloading preserves causality.
+  TelemetryStore telemetry;
+  for (double t : request_events) {
+    IPOOL_RETURN_NOT_OK(
+        telemetry.RecordEvent(config.worker.demand_metric, t));
+  }
+
+  DocumentStore documents;
+  IPOOL_ASSIGN_OR_RETURN(
+      IntelligentPoolingWorker ip_worker,
+      IntelligentPoolingWorker::Create(&engine, &telemetry, &documents,
+                                       config.worker));
+  IPOOL_ASSIGN_OR_RETURN(PoolingWorker pooling_worker,
+                         PoolingWorker::Create(&documents, config.pooling));
+
+  ControlLoopResult result;
+  const size_t num_bins = demand.size();
+  result.applied_schedule.resize(num_bins);
+  const double interval = demand.interval();
+  const size_t bins_per_run = std::max<size_t>(
+      1, static_cast<size_t>(config.run_interval_seconds / interval));
+
+  size_t run_index = 0;
+  for (size_t bin = 0; bin < num_bins; ++bin) {
+    const double now = demand.TimeAt(bin);
+    if (bin > 0 && bin % bins_per_run == 0) {
+      if (fail_run && fail_run(run_index)) ip_worker.InjectFailures(1);
+      ++run_index;
+      ++result.pipeline_runs;
+      Status status = ip_worker.RunOnce(now);
+      (void)status;  // stats carried by the worker counters
+    }
+    const size_t fallbacks_before = pooling_worker.fallback_count();
+    result.applied_schedule[bin] = pooling_worker.TargetAt(now);
+    if (pooling_worker.fallback_count() > fallbacks_before) {
+      ++result.fallback_bins;
+    }
+  }
+  result.pipeline_failures = ip_worker.runs_failed();
+  result.guardrail_rejections = ip_worker.guardrail_rejections();
+
+  IPOOL_ASSIGN_OR_RETURN(PoolSimulator simulator,
+                         PoolSimulator::Create(config.sim));
+  const double horizon = demand.TimeAt(num_bins - 1) + interval;
+  IPOOL_ASSIGN_OR_RETURN(
+      result.sim, simulator.Run(request_events, result.applied_schedule,
+                                interval, horizon));
+  return result;
+}
+
+}  // namespace ipool

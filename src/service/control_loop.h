@@ -1,0 +1,55 @@
+// End-to-end control-plane driver: replays a demand trace through the full
+// production loop — telemetry ingestion, periodic Intelligent Pooling
+// Worker runs (with guardrail and failure injection), recommendation
+// persistence, Pooling Worker target maintenance with stale/default
+// fallbacks — and finally evaluates the applied schedule with the
+// event-driven pool simulator.
+#ifndef IPOOL_SERVICE_CONTROL_LOOP_H_
+#define IPOOL_SERVICE_CONTROL_LOOP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommendation_engine.h"
+#include "service/workers.h"
+#include "sim/pool_simulator.h"
+#include "tsdata/time_series.h"
+
+namespace ipool {
+
+struct ControlLoopConfig {
+  /// Cadence of Intelligent Pooling Worker runs (paper: e.g. 30 min, while
+  /// each run emits a 1 h recommendation).
+  double run_interval_seconds = 1800.0;
+  IntelligentPoolingWorkerConfig worker;
+  PoolingWorkerConfig pooling;
+  SimConfig sim;
+
+  Status Validate() const;
+};
+
+struct ControlLoopResult {
+  SimResult sim;
+  /// The pool target the Pooling Worker actually applied per bin.
+  std::vector<int64_t> applied_schedule;
+  size_t pipeline_runs = 0;
+  size_t pipeline_failures = 0;
+  size_t guardrail_rejections = 0;
+  /// Bins during which the Pooling Worker was running on the default size.
+  size_t fallback_bins = 0;
+};
+
+class ControlLoop {
+ public:
+  /// `fail_run` (optional) returns true to crash a given pipeline run
+  /// (0-based index) — the §7.6 fault-injection hook.
+  static Result<ControlLoopResult> Run(
+      const RecommendationEngine& engine, const ControlLoopConfig& config,
+      const TimeSeries& demand, const std::vector<double>& request_events,
+      const std::function<bool(size_t)>& fail_run = nullptr);
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_CONTROL_LOOP_H_

@@ -1,0 +1,26 @@
+#include "service/document_store.h"
+
+namespace ipool {
+
+void DocumentStore::Put(const std::string& key, std::string value,
+                        double time) {
+  Document& doc = documents_[key];
+  doc.value = std::move(value);
+  doc.updated_at = time;
+  ++doc.version;
+}
+
+Result<DocumentStore::Document> DocumentStore::Get(
+    const std::string& key) const {
+  auto it = documents_.find(key);
+  if (it == documents_.end()) {
+    return Status::NotFound("document not found: " + key);
+  }
+  return it->second;
+}
+
+bool DocumentStore::Delete(const std::string& key) {
+  return documents_.erase(key) > 0;
+}
+
+}  // namespace ipool

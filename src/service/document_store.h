@@ -1,0 +1,41 @@
+// An in-memory versioned document store standing in for Cosmos DB [34]: the
+// Intelligent Pooling Worker persists pool-size recommendation documents
+// here and Pooling Workers fetch the latest one. Timestamps are virtual-time
+// values supplied by the caller (nothing reads a wall clock).
+#ifndef IPOOL_SERVICE_DOCUMENT_STORE_H_
+#define IPOOL_SERVICE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace ipool {
+
+class DocumentStore {
+ public:
+  struct Document {
+    std::string value;
+    double updated_at = 0.0;
+    int64_t version = 0;
+  };
+
+  /// Creates or overwrites; the version increments monotonically per key.
+  void Put(const std::string& key, std::string value, double time);
+
+  /// NotFound if the key has never been written (or was deleted).
+  Result<Document> Get(const std::string& key) const;
+
+  /// True if something was deleted.
+  bool Delete(const std::string& key);
+
+  size_t size() const { return documents_.size(); }
+
+ private:
+  std::map<std::string, Document> documents_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_DOCUMENT_STORE_H_

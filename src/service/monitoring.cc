@@ -1,0 +1,192 @@
+#include "service/monitoring.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+std::string PipelineStatusToString(PipelineStatus status) {
+  switch (status) {
+    case PipelineStatus::kSucceeded:
+      return "succeeded";
+    case PipelineStatus::kFailed:
+      return "failed";
+    case PipelineStatus::kGuardrailRejected:
+      return "guardrail-rejected";
+  }
+  return "unknown";
+}
+
+Status AlertConfig::Validate() const {
+  if (consecutive_failure_threshold == 0) {
+    return Status::InvalidArgument("failure threshold must be >= 1");
+  }
+  if (min_hit_rate < 0.0 || min_hit_rate > 1.0) {
+    return Status::InvalidArgument("min_hit_rate must be in [0, 1]");
+  }
+  if (window_seconds <= 0.0) {
+    return Status::InvalidArgument("window must be positive");
+  }
+  if (min_requests_for_hit_alert < 1) {
+    return Status::InvalidArgument("min_requests_for_hit_alert must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<Monitor> Monitor::Create(const AlertConfig& config,
+                                const CogsModel& cogs,
+                                int64_t static_reference_pool) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  if (static_reference_pool < 0) {
+    return Status::InvalidArgument("static reference pool must be >= 0");
+  }
+  return Monitor(config, cogs, static_reference_pool);
+}
+
+void Monitor::Touch(double time) {
+  if (!saw_event_) {
+    first_event_time_ = time;
+    saw_event_ = true;
+  }
+}
+
+void Monitor::RecordRequest(double time, bool hit, double wait_seconds) {
+  Touch(time);
+  requests_.push_back({time, hit, wait_seconds});
+}
+
+void Monitor::RecordClusterIdle(double time, double idle_seconds) {
+  Touch(time);
+  total_idle_seconds_ += std::max(0.0, idle_seconds);
+}
+
+void Monitor::RecordPipelineRun(double time, PipelineStatus status) {
+  Touch(time);
+  switch (status) {
+    case PipelineStatus::kSucceeded:
+      ++successes_;
+      consecutive_failures_ = 0;
+      failure_alert_armed_ = true;
+      break;
+    case PipelineStatus::kFailed:
+      ++failures_;
+      ++consecutive_failures_;
+      break;
+    case PipelineStatus::kGuardrailRejected:
+      // The guardrail rejecting a bad forecast is the system working as
+      // designed; it neither fails nor clears the failure streak.
+      ++guardrail_rejections_;
+      break;
+  }
+}
+
+void Monitor::RecordRecommendation(double time, double pool_size) {
+  Touch(time);
+  latest_recommendation_ = pool_size;
+}
+
+void Monitor::RecordHydrationStatus(double time, int64_t provisioning,
+                                    int64_t ready, int64_t targeted) {
+  Touch(time);
+  provisioning_ = provisioning;
+  ready_ = ready;
+  targeted_ = targeted;
+}
+
+size_t Monitor::WindowBegin(double now) const {
+  const double start = now - config_.window_seconds;
+  auto it = std::lower_bound(
+      requests_.begin(), requests_.end(), start,
+      [](const RequestRecord& r, double t) { return r.time < t; });
+  return static_cast<size_t>(it - requests_.begin());
+}
+
+std::vector<Alert> Monitor::CheckAlerts(double now) {
+  std::vector<Alert> fired;
+
+  if (consecutive_failures_ >= config_.consecutive_failure_threshold) {
+    if (failure_alert_armed_) {
+      failure_alert_armed_ = false;
+      fired.push_back(
+          {now, "pipeline-failures",
+           StrFormat("%zu consecutive pipeline failures; pooling worker "
+                     "running on stale/default configuration",
+                     consecutive_failures_)});
+    }
+  }
+
+  DashboardSnapshot snap = Snapshot(now);
+  const bool hit_breached =
+      snap.window_requests >= config_.min_requests_for_hit_alert &&
+      snap.window_hit_rate < config_.min_hit_rate;
+  if (hit_breached) {
+    if (hit_alert_armed_) {
+      hit_alert_armed_ = false;
+      fired.push_back({now, "hit-rate",
+                       StrFormat("pool hit rate %.1f%% below SLO %.1f%% over "
+                                 "the last %s (%ld requests)",
+                                 100.0 * snap.window_hit_rate,
+                                 100.0 * config_.min_hit_rate,
+                                 HumanDuration(config_.window_seconds).c_str(),
+                                 snap.window_requests)});
+    }
+  } else {
+    hit_alert_armed_ = true;
+  }
+
+  alerts_.insert(alerts_.end(), fired.begin(), fired.end());
+  return fired;
+}
+
+DashboardSnapshot Monitor::Snapshot(double now) const {
+  DashboardSnapshot snap;
+  snap.time = now;
+  const size_t begin = WindowBegin(now);
+  double wait_total = 0.0;
+  for (size_t i = begin; i < requests_.size(); ++i) {
+    if (requests_[i].time > now) break;
+    ++snap.window_requests;
+    if (requests_[i].hit) {
+      ++snap.window_hits;
+    } else {
+      ++snap.window_misses;
+    }
+    wait_total += requests_[i].wait_seconds;
+  }
+  snap.window_hit_rate =
+      snap.window_requests > 0
+          ? static_cast<double>(snap.window_hits) /
+                static_cast<double>(snap.window_requests)
+          : 1.0;
+  const double window = std::min(
+      config_.window_seconds, saw_event_ ? now - first_event_time_ : 0.0);
+  snap.demand_per_minute =
+      window > 0.0 ? static_cast<double>(snap.window_requests) / window * 60.0
+                   : 0.0;
+  snap.avg_wait_seconds =
+      snap.window_requests > 0
+          ? wait_total / static_cast<double>(snap.window_requests)
+          : 0.0;
+  snap.total_idle_cluster_seconds = total_idle_seconds_;
+  snap.recommended_pool_size = latest_recommendation_;
+  snap.clusters_provisioning = provisioning_;
+  snap.clusters_ready = ready_;
+  snap.clusters_targeted = targeted_;
+  snap.pipeline_successes = successes_;
+  snap.pipeline_failures = failures_;
+  snap.guardrail_rejections = guardrail_rejections_;
+
+  // COGS saved: what the static reference pool would have burnt idling since
+  // the first event, minus what we actually burnt.
+  if (saw_event_ && now > first_event_time_) {
+    const double elapsed = now - first_event_time_;
+    const double static_idle =
+        static_cast<double>(static_reference_pool_) * elapsed;
+    snap.cogs_saved_dollars =
+        cogs_.IdleDollars(std::max(0.0, static_idle - total_idle_seconds_));
+  }
+  return snap;
+}
+
+}  // namespace ipool

@@ -1,0 +1,139 @@
+// The real-time monitoring described in §7.5: "we track the Intelligent
+// Pooling status (succeeded, failed), metrics of average idle time,
+// recommended pool size, demand request rate, pool miss/hit
+// count/percentage, COGS saved, hydration status ... in real-time", plus the
+// alerting system for pipeline failures. This comprehensive monitoring is
+// called out as "an essential part of Intelligent Pooling".
+#ifndef IPOOL_SERVICE_MONITORING_H_
+#define IPOOL_SERVICE_MONITORING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "solver/pool_model.h"
+
+namespace ipool {
+
+enum class PipelineStatus {
+  kSucceeded,
+  kFailed,
+  kGuardrailRejected,
+};
+
+std::string PipelineStatusToString(PipelineStatus status);
+
+struct AlertConfig {
+  /// Fire after this many consecutive failed pipeline runs (guardrail
+  /// rejections are not failures: the system is protecting itself).
+  size_t consecutive_failure_threshold = 2;
+  /// Fire when the pool hit rate over the trailing window drops below this.
+  double min_hit_rate = 0.95;
+  /// Trailing window for the hit-rate alert; also the dashboard's rate
+  /// window.
+  double window_seconds = 3600.0;
+  /// Minimum requests in the window before the hit-rate alert can fire (a
+  /// single missed request in a quiet hour is not an incident).
+  int64_t min_requests_for_hit_alert = 20;
+
+  Status Validate() const;
+};
+
+struct Alert {
+  double time = 0.0;
+  std::string kind;  // "pipeline-failures" | "hit-rate"
+  std::string message;
+};
+
+/// A point-in-time view of the §7.5 dashboard.
+struct DashboardSnapshot {
+  double time = 0.0;
+  /// Trailing-window demand and service quality.
+  int64_t window_requests = 0;
+  int64_t window_hits = 0;
+  int64_t window_misses = 0;
+  double window_hit_rate = 1.0;
+  double demand_per_minute = 0.0;
+  double avg_wait_seconds = 0.0;
+  /// Cumulative idle time of consumed/retired pooled clusters.
+  double total_idle_cluster_seconds = 0.0;
+  /// Latest recommendation and hydration status.
+  double recommended_pool_size = 0.0;
+  int64_t clusters_provisioning = 0;
+  int64_t clusters_ready = 0;
+  int64_t clusters_targeted = 0;
+  /// Pipeline health.
+  size_t pipeline_successes = 0;
+  size_t pipeline_failures = 0;
+  size_t guardrail_rejections = 0;
+  /// Estimated COGS saved vs the configured static reference pool.
+  double cogs_saved_dollars = 0.0;
+};
+
+class Monitor {
+ public:
+  static Result<Monitor> Create(const AlertConfig& config,
+                                const CogsModel& cogs,
+                                int64_t static_reference_pool);
+
+  /// Event feeds (times must be non-decreasing per feed).
+  void RecordRequest(double time, bool hit, double wait_seconds);
+  void RecordClusterIdle(double time, double idle_seconds);
+  void RecordPipelineRun(double time, PipelineStatus status);
+  void RecordRecommendation(double time, double pool_size);
+  void RecordHydrationStatus(double time, int64_t provisioning, int64_t ready,
+                             int64_t targeted);
+
+  /// Evaluates alert conditions at `now`; newly fired alerts are appended to
+  /// alerts() and returned. An alert kind re-arms once its condition clears.
+  std::vector<Alert> CheckAlerts(double now);
+
+  DashboardSnapshot Snapshot(double now) const;
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  Monitor(const AlertConfig& config, const CogsModel& cogs,
+          int64_t static_reference_pool)
+      : config_(config),
+        cogs_(cogs),
+        static_reference_pool_(static_reference_pool) {}
+
+  struct RequestRecord {
+    double time;
+    bool hit;
+    double wait_seconds;
+  };
+
+  /// Index of the first request inside the trailing window.
+  size_t WindowBegin(double now) const;
+
+  /// Marks monitoring as started at `time` if this is the first event.
+  void Touch(double time);
+
+  AlertConfig config_;
+  CogsModel cogs_;
+  int64_t static_reference_pool_;
+
+  std::vector<RequestRecord> requests_;
+  double total_idle_seconds_ = 0.0;
+  double latest_recommendation_ = 0.0;
+  int64_t provisioning_ = 0;
+  int64_t ready_ = 0;
+  int64_t targeted_ = 0;
+  size_t successes_ = 0;
+  size_t failures_ = 0;
+  size_t guardrail_rejections_ = 0;
+  size_t consecutive_failures_ = 0;
+  double first_event_time_ = 0.0;
+  bool saw_event_ = false;
+
+  bool failure_alert_armed_ = true;
+  bool hit_alert_armed_ = true;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_MONITORING_H_

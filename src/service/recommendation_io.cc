@@ -1,0 +1,108 @@
+#include "service/recommendation_io.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+int64_t StoredRecommendation::TargetAt(double t) const {
+  const auto& schedule = recommendation.pool_size_per_bin;
+  if (t < start_time) return schedule.front();
+  const double raw = (t - start_time) / interval_seconds;
+  const size_t idx = static_cast<size_t>(raw);
+  if (idx >= schedule.size()) return schedule.back();
+  return schedule[idx];
+}
+
+std::string SerializeRecommendation(const StoredRecommendation& stored) {
+  std::ostringstream out;
+  out << "v1\n";
+  out << "model=" << stored.recommendation.model_name << "\n";
+  out << "pipeline=" << PipelineKindToString(stored.recommendation.pipeline)
+      << "\n";
+  out << StrFormat("start=%.6f\n", stored.start_time);
+  out << StrFormat("interval=%.6f\n", stored.interval_seconds);
+  out << "pool=";
+  const auto& pool = stored.recommendation.pool_size_per_bin;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (i > 0) out << ",";
+    out << pool[i];
+  }
+  out << "\ndemand=";
+  const auto& demand = stored.recommendation.predicted_demand;
+  for (size_t i = 0; i < demand.size(); ++i) {
+    if (i > 0) out << ",";
+    out << StrFormat("%.6g", demand[i]);
+  }
+  out << "\n";
+  return out.str();
+}
+
+namespace {
+
+Result<std::pair<std::string, std::string>> SplitKeyValue(
+    const std::string& line) {
+  const size_t eq = line.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("malformed recommendation line: " + line);
+  }
+  return std::make_pair(line.substr(0, eq), line.substr(eq + 1));
+}
+
+}  // namespace
+
+Result<StoredRecommendation> ParseRecommendation(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "v1") {
+    return Status::InvalidArgument("unsupported recommendation format");
+  }
+  StoredRecommendation stored;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    IPOOL_ASSIGN_OR_RETURN(auto kv, SplitKeyValue(line));
+    const std::string& key = kv.first;
+    const std::string& value = kv.second;
+    if (key == "model") {
+      stored.recommendation.model_name = value;
+    } else if (key == "pipeline") {
+      stored.recommendation.pipeline = value == "E2E"
+                                           ? PipelineKind::kEndToEnd
+                                           : PipelineKind::k2Step;
+    } else if (key == "start") {
+      stored.start_time = std::atof(value.c_str());
+    } else if (key == "interval") {
+      stored.interval_seconds = std::atof(value.c_str());
+      if (stored.interval_seconds <= 0.0) {
+        return Status::InvalidArgument("non-positive interval");
+      }
+    } else if (key == "pool") {
+      std::istringstream items(value);
+      std::string item;
+      while (std::getline(items, item, ',')) {
+        if (item.empty()) continue;
+        stored.recommendation.pool_size_per_bin.push_back(
+            std::atoll(item.c_str()));
+      }
+    } else if (key == "demand") {
+      std::istringstream items(value);
+      std::string item;
+      while (std::getline(items, item, ',')) {
+        if (item.empty()) continue;
+        stored.recommendation.predicted_demand.push_back(
+            std::atof(item.c_str()));
+      }
+    } else {
+      return Status::InvalidArgument("unknown recommendation field: " + key);
+    }
+  }
+  if (stored.recommendation.pool_size_per_bin.empty()) {
+    return Status::InvalidArgument("recommendation has no pool schedule");
+  }
+  return stored;
+}
+
+}  // namespace ipool

@@ -1,0 +1,41 @@
+// Serialization of pool-size recommendations into the document store: the
+// production system persists recommendation files in Cosmos DB for the
+// pooling workers to fetch. A compact line-oriented text format keeps the
+// documents inspectable.
+#ifndef IPOOL_SERVICE_RECOMMENDATION_IO_H_
+#define IPOOL_SERVICE_RECOMMENDATION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/recommendation_engine.h"
+
+namespace ipool {
+
+/// A recommendation plus the time base it applies to.
+struct StoredRecommendation {
+  Recommendation recommendation;
+  /// Virtual time of the first bin.
+  double start_time = 0.0;
+  double interval_seconds = kDefaultIntervalSeconds;
+
+  /// End of the covered window.
+  double EndTime() const {
+    return start_time +
+           interval_seconds *
+               static_cast<double>(recommendation.pool_size_per_bin.size());
+  }
+
+  /// Target for time `t`: the covering bin, or the last bin when `t` is past
+  /// the window (the "slightly outdated" fallback of §7.6). Requires a
+  /// non-empty schedule.
+  int64_t TargetAt(double t) const;
+};
+
+std::string SerializeRecommendation(const StoredRecommendation& stored);
+
+Result<StoredRecommendation> ParseRecommendation(const std::string& text);
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_RECOMMENDATION_IO_H_

@@ -1,0 +1,75 @@
+#include "service/telemetry_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status TelemetryStore::Record(const std::string& metric, double time,
+                              double value) {
+  std::vector<Point>& points = metrics_[metric];
+  if (!points.empty() && time < points.back().time) {
+    return Status::InvalidArgument(
+        StrFormat("out-of-order telemetry for %s: %g < %g", metric.c_str(),
+                  time, points.back().time));
+  }
+  points.push_back({time, value});
+  return Status::OK();
+}
+
+Result<TimeSeries> TelemetryStore::QueryBinned(const std::string& metric,
+                                               double start,
+                                               double interval_seconds,
+                                               size_t bins) const {
+  if (interval_seconds <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  std::vector<double> values(bins, 0.0);
+  auto it = metrics_.find(metric);
+  if (it != metrics_.end()) {
+    const double end = start + interval_seconds * static_cast<double>(bins);
+    // Points are time-sorted: binary search the first in range.
+    const auto& points = it->second;
+    auto first = std::lower_bound(
+        points.begin(), points.end(), start,
+        [](const Point& p, double t) { return p.time < t; });
+    for (auto p = first; p != points.end() && p->time < end; ++p) {
+      const size_t idx =
+          static_cast<size_t>((p->time - start) / interval_seconds);
+      if (idx < bins) values[idx] += p->value;
+    }
+  }
+  return TimeSeries(start, interval_seconds, std::move(values));
+}
+
+double TelemetryStore::Sum(const std::string& metric, double start,
+                           double end) const {
+  auto it = metrics_.find(metric);
+  if (it == metrics_.end()) return 0.0;
+  double total = 0.0;
+  const auto& points = it->second;
+  auto first = std::lower_bound(
+      points.begin(), points.end(), start,
+      [](const Point& p, double t) { return p.time < t; });
+  for (auto p = first; p != points.end() && p->time < end; ++p) {
+    total += p->value;
+  }
+  return total;
+}
+
+size_t TelemetryStore::PointCount(const std::string& metric) const {
+  auto it = metrics_.find(metric);
+  return it == metrics_.end() ? 0 : it->second.size();
+}
+
+double TelemetryStore::LastTime(const std::string& metric) const {
+  auto it = metrics_.find(metric);
+  if (it == metrics_.end() || it->second.empty()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return it->second.back().time;
+}
+
+}  // namespace ipool

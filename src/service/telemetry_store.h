@@ -1,0 +1,54 @@
+// An append-only metric store standing in for the Kusto telemetry store
+// [30]: the monitoring system records cluster-request events and pool
+// health metrics here, and the ML predictor fetches its training history by
+// querying a binned view. Points must be appended in non-decreasing time
+// order per metric (as a real telemetry pipeline delivers them).
+#ifndef IPOOL_SERVICE_TELEMETRY_STORE_H_
+#define IPOOL_SERVICE_TELEMETRY_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsdata/time_series.h"
+
+namespace ipool {
+
+class TelemetryStore {
+ public:
+  /// Appends a point. Returns InvalidArgument if `time` is before the last
+  /// point of the same metric.
+  Status Record(const std::string& metric, double time, double value);
+
+  /// Convenience for counting events (value = 1).
+  Status RecordEvent(const std::string& metric, double time) {
+    return Record(metric, time, 1.0);
+  }
+
+  /// Sums point values into fixed bins over [start, start+bins*interval).
+  /// Metrics never written yield all-zero series (a region with no traffic
+  /// is not an error).
+  Result<TimeSeries> QueryBinned(const std::string& metric, double start,
+                                 double interval_seconds, size_t bins) const;
+
+  /// Sum of values in [start, end).
+  double Sum(const std::string& metric, double start, double end) const;
+
+  /// Number of points recorded for the metric.
+  size_t PointCount(const std::string& metric) const;
+
+  /// Most recent point time, or -infinity if none.
+  double LastTime(const std::string& metric) const;
+
+ private:
+  struct Point {
+    double time;
+    double value;
+  };
+  std::map<std::string, std::vector<Point>> metrics_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_TELEMETRY_STORE_H_

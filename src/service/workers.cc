@@ -1,0 +1,155 @@
+#include "service/workers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "tsdata/metrics.h"
+
+namespace ipool {
+
+Status IntelligentPoolingWorkerConfig::Validate() const {
+  if (interval_seconds <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  if (history_bins < 8) {
+    return Status::InvalidArgument("history_bins must be >= 8");
+  }
+  if (guardrail_mae_ratio <= 0.0) {
+    return Status::InvalidArgument("guardrail_mae_ratio must be positive");
+  }
+  return Status::OK();
+}
+
+Result<IntelligentPoolingWorker> IntelligentPoolingWorker::Create(
+    const RecommendationEngine* engine, TelemetryStore* telemetry,
+    DocumentStore* documents, const IntelligentPoolingWorkerConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  if (engine == nullptr || telemetry == nullptr || documents == nullptr) {
+    return Status::InvalidArgument("null dependency");
+  }
+  return IntelligentPoolingWorker(engine, telemetry, documents, config);
+}
+
+std::optional<double> IntelligentPoolingWorker::PreviousForecastError(
+    double now) const {
+  if (!last_output_.has_value() ||
+      last_output_->recommendation.predicted_demand.empty()) {
+    return std::nullopt;
+  }
+  const StoredRecommendation& prev = *last_output_;
+  // Bins of the previous forecast that have elapsed by `now`.
+  const double elapsed = now - prev.start_time;
+  const size_t bins = std::min(
+      prev.recommendation.predicted_demand.size(),
+      static_cast<size_t>(std::max(0.0, elapsed / prev.interval_seconds)));
+  if (bins == 0) return std::nullopt;
+  auto actual = telemetry_->QueryBinned(config_.demand_metric, prev.start_time,
+                                        prev.interval_seconds, bins);
+  if (!actual.ok()) return std::nullopt;
+  std::vector<double> predicted(
+      prev.recommendation.predicted_demand.begin(),
+      prev.recommendation.predicted_demand.begin() + static_cast<ptrdiff_t>(bins));
+  auto mae = Mae(actual->values(), predicted);
+  if (!mae.ok()) return std::nullopt;
+  return *mae;
+}
+
+Status IntelligentPoolingWorker::RunOnce(double now) {
+  if (injected_failures_ > 0) {
+    --injected_failures_;
+    ++runs_failed_;
+    return Status::Internal("injected pipeline failure");
+  }
+
+  const double history_span =
+      config_.interval_seconds * static_cast<double>(config_.history_bins);
+  const double start = now - history_span;
+  auto history = telemetry_->QueryBinned(config_.demand_metric, start,
+                                         config_.interval_seconds,
+                                         config_.history_bins);
+  if (!history.ok()) {
+    ++runs_failed_;
+    return history.status();
+  }
+
+  // Guardrail (§7.5): validate the previous run's forecast against the
+  // actuals observed since. A bad forecast means the model is mis-tracking
+  // this region, so the new schedule is not trusted and the existing
+  // recommendation stays in place.
+  bool guardrail_tripped = false;
+  double guardrail_error = 0.0;
+  double guardrail_limit = 0.0;
+  if (config_.guardrail_enabled) {
+    std::optional<double> error = PreviousForecastError(now);
+    if (error.has_value()) {
+      const double mean_actual =
+          history->Sum() / static_cast<double>(history->size());
+      guardrail_limit = config_.guardrail_mae_ratio * (mean_actual + 1.0);
+      guardrail_error = *error;
+      guardrail_tripped = guardrail_error > guardrail_limit;
+    }
+  }
+
+  auto recommendation = engine_->Run(*history);
+  if (!recommendation.ok()) {
+    ++runs_failed_;
+    return recommendation.status();
+  }
+
+  StoredRecommendation stored;
+  stored.recommendation = std::move(*recommendation);
+  stored.start_time = now;
+  stored.interval_seconds = config_.interval_seconds;
+  // The fresh forecast always becomes the next validation reference — the
+  // model retrains every run, so a single bad forecast must not poison
+  // validation forever.
+  last_output_ = stored;
+  if (guardrail_tripped) {
+    ++guardrail_rejections_;
+    return Status::FailedPrecondition(
+        StrFormat("guardrail: forecast MAE %.3f exceeds limit %.3f",
+                  guardrail_error, guardrail_limit));
+  }
+  documents_->Put(config_.recommendation_key, SerializeRecommendation(stored),
+                  now);
+  ++runs_succeeded_;
+  return Status::OK();
+}
+
+Status PoolingWorkerConfig::Validate() const {
+  if (recommendation_ttl_seconds <= 0.0) {
+    return Status::InvalidArgument("recommendation TTL must be positive");
+  }
+  if (default_pool_size < 0) {
+    return Status::InvalidArgument("default pool size must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<PoolingWorker> PoolingWorker::Create(const DocumentStore* documents,
+                                            const PoolingWorkerConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  if (documents == nullptr) return Status::InvalidArgument("null store");
+  return PoolingWorker(documents, config);
+}
+
+int64_t PoolingWorker::TargetAt(double now) {
+  auto doc = documents_->Get(config_.recommendation_key);
+  if (!doc.ok()) {
+    ++fallback_count_;
+    return config_.default_pool_size;
+  }
+  if (now - doc->updated_at > config_.recommendation_ttl_seconds) {
+    ++fallback_count_;
+    return config_.default_pool_size;
+  }
+  auto stored = ParseRecommendation(doc->value);
+  if (!stored.ok()) {
+    ++fallback_count_;
+    return config_.default_pool_size;
+  }
+  return stored->TargetAt(now);
+}
+
+}  // namespace ipool

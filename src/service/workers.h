@@ -1,0 +1,125 @@
+// The two workers of Figure 2 plus the §7.6 fault-tolerance behavior:
+//
+//  * IntelligentPoolingWorker — periodically runs the ML pipeline (fetch
+//    telemetry history -> RecommendationEngine -> persist recommendation in
+//    the document store), with a guardrail that validates the previous
+//    forecast against observed actuals before persisting a new schedule.
+//  * PoolingWorker — maintains the target pool size by reading the latest
+//    recommendation document; it tolerates a failed pipeline run by using
+//    the (slightly outdated) previous recommendation and reverts to a
+//    configurable default after consecutive failures exhaust the TTL.
+#ifndef IPOOL_SERVICE_WORKERS_H_
+#define IPOOL_SERVICE_WORKERS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/recommendation_engine.h"
+#include "service/document_store.h"
+#include "service/recommendation_io.h"
+#include "service/telemetry_store.h"
+
+namespace ipool {
+
+struct IntelligentPoolingWorkerConfig {
+  std::string recommendation_key = "pool-recommendation";
+  std::string demand_metric = "cluster_requests";
+  double interval_seconds = kDefaultIntervalSeconds;
+  /// How much history to fetch for training.
+  size_t history_bins = 2880;  // one day at 30 s
+  /// Guardrail: reject the run if the previous forecast's MAE against the
+  /// actuals observed since then exceeds
+  ///   guardrail_mae_ratio * (mean actual + 1).
+  /// The default is loose enough to tolerate deliberate overshoot (a
+  /// forecaster trained with alpha' near 1 systematically predicts above
+  /// demand).
+  bool guardrail_enabled = true;
+  double guardrail_mae_ratio = 3.0;
+
+  Status Validate() const;
+};
+
+class IntelligentPoolingWorker {
+ public:
+  static Result<IntelligentPoolingWorker> Create(
+      const RecommendationEngine* engine, TelemetryStore* telemetry,
+      DocumentStore* documents, const IntelligentPoolingWorkerConfig& config);
+
+  /// Runs one pipeline iteration at virtual time `now`. On success a fresh
+  /// recommendation document is persisted. FailedPrecondition signals a
+  /// guardrail rejection (previous recommendation stays in place); other
+  /// errors signal pipeline failure.
+  Status RunOnce(double now);
+
+  /// Test hook: injects a failure into the next `count` runs (simulating
+  /// pipeline crashes).
+  void InjectFailures(size_t count) { injected_failures_ += count; }
+
+  size_t runs_succeeded() const { return runs_succeeded_; }
+  size_t runs_failed() const { return runs_failed_; }
+  size_t guardrail_rejections() const { return guardrail_rejections_; }
+
+ private:
+  IntelligentPoolingWorker(const RecommendationEngine* engine,
+                           TelemetryStore* telemetry,
+                           DocumentStore* documents,
+                           const IntelligentPoolingWorkerConfig& config)
+      : engine_(engine),
+        telemetry_(telemetry),
+        documents_(documents),
+        config_(config) {}
+
+  /// MAE of the previous run's forecast against observed actuals over the
+  /// elapsed overlap; nullopt when there is no previous forecast.
+  std::optional<double> PreviousForecastError(double now) const;
+
+  const RecommendationEngine* engine_;
+  TelemetryStore* telemetry_;
+  DocumentStore* documents_;
+  IntelligentPoolingWorkerConfig config_;
+
+  std::optional<StoredRecommendation> last_output_;
+  size_t injected_failures_ = 0;
+  size_t runs_succeeded_ = 0;
+  size_t runs_failed_ = 0;
+  size_t guardrail_rejections_ = 0;
+};
+
+struct PoolingWorkerConfig {
+  std::string recommendation_key = "pool-recommendation";
+  /// Recommendations older than this are distrusted entirely and the worker
+  /// reverts to the default pool size (§7.6 "consecutive system failures").
+  double recommendation_ttl_seconds = 3600.0;
+  /// The configurable default fallback.
+  int64_t default_pool_size = 4;
+
+  Status Validate() const;
+};
+
+class PoolingWorker {
+ public:
+  static Result<PoolingWorker> Create(const DocumentStore* documents,
+                                      const PoolingWorkerConfig& config);
+
+  /// Target pool size to maintain at virtual time `now`.
+  int64_t TargetAt(double now);
+
+  /// Times TargetAt fell back to the default (no recommendation, stale
+  /// recommendation, or unparseable document).
+  size_t fallback_count() const { return fallback_count_; }
+
+ private:
+  PoolingWorker(const DocumentStore* documents,
+                const PoolingWorkerConfig& config)
+      : documents_(documents), config_(config) {}
+
+  const DocumentStore* documents_;
+  PoolingWorkerConfig config_;
+  size_t fallback_count_ = 0;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_WORKERS_H_

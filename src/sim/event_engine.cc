@@ -1,0 +1,45 @@
+#include "sim/event_engine.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status EventEngine::Schedule(double time, Callback callback) {
+  if (time < now_) {
+    return Status::InvalidArgument(
+        StrFormat("cannot schedule at %g before now %g", time, now_));
+  }
+  queue_.push(Event{time, next_seq_++, std::move(callback)});
+  return Status::OK();
+}
+
+Status EventEngine::ScheduleAfter(double delay, Callback callback) {
+  if (delay < 0.0) {
+    return Status::InvalidArgument("negative delay");
+  }
+  return Schedule(now_ + delay, std::move(callback));
+}
+
+void EventEngine::RunUntil(double end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    // Copy out before pop: the callback may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.callback();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
+void EventEngine::RunAll() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.callback();
+  }
+}
+
+}  // namespace ipool

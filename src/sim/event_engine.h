@@ -1,0 +1,57 @@
+// A minimal discrete-event simulation engine on a virtual clock. Events are
+// (time, callback) pairs; ties are broken by insertion order so runs are
+// fully deterministic. Nothing here reads wall-clock time.
+#ifndef IPOOL_SIM_EVENT_ENGINE_H_
+#define IPOOL_SIM_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipool {
+
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute virtual time `time`. Scheduling in the
+  /// past (before now()) is a programming error and returns InvalidArgument.
+  Status Schedule(double time, Callback callback);
+
+  /// Convenience: schedule `delay` seconds from now.
+  Status ScheduleAfter(double delay, Callback callback);
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `end_time`; the clock finishes at min(end_time, last event time).
+  void RunUntil(double end_time);
+
+  /// Runs until the queue is empty.
+  void RunAll();
+
+  double now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SIM_EVENT_ENGINE_H_

@@ -1,0 +1,217 @@
+#include "sim/live_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipool {
+
+LivePool::LivePool(EventEngine* engine, const SimConfig& config,
+                   int64_t initial_target)
+    : engine_(engine),
+      config_(config),
+      rng_(config.seed),
+      target_(initial_target) {}
+
+double LivePool::SampleLatency() {
+  double latency = config_.creation_latency_mean_seconds;
+  if (config_.creation_latency_cv > 0.0) {
+    const double cv2 = config_.creation_latency_cv * config_.creation_latency_cv;
+    const double sigma = std::sqrt(std::log1p(cv2));
+    const double mu = std::log(latency) - 0.5 * sigma * sigma;
+    latency = std::exp(rng_.Normal(mu, sigma));
+  }
+  return latency + config_.session_startup_seconds;
+}
+
+void LivePool::InitialFill() {
+  for (int64_t i = 0; i < target_; ++i) AddReadyCluster();
+}
+
+void LivePool::SetTarget(int64_t target) {
+  if (closed_) return;
+  target_ = target;
+  TrimExcess();
+  MaintainTarget();
+}
+
+void LivePool::Close() { closed_ = true; }
+
+bool LivePool::TryAcquire() {
+  if (pool_.empty()) return false;
+  const Cluster cluster = pool_.front();
+  ConsumeFrontCluster();
+  stats_.idle_cluster_seconds += engine_->now() - cluster.ready_time;
+  MaintainTarget();
+  return true;
+}
+
+void LivePool::QueueOnDemand(double arrival_time) {
+  waiting_.push_back(arrival_time);
+  ++stats_.on_demand_created;
+  const double ready_at = engine_->now() + SampleLatency();
+  (void)engine_->Schedule(ready_at,
+                          [this] { OnClusterReady(/*hydration_id=*/-1); });
+}
+
+void LivePool::FinishAt(double horizon) {
+  for (const Cluster& cluster : pool_) {
+    if (horizon > cluster.ready_time) {
+      stats_.idle_cluster_seconds += horizon - cluster.ready_time;
+    }
+  }
+  pool_.clear();
+  in_pool_.clear();
+}
+
+void LivePool::MaintainTarget() {
+  if (closed_) return;
+  while (static_cast<int64_t>(pool_.size()) +
+             static_cast<int64_t>(pending_hydrations_.size()) <
+         target_) {
+    Hydrate();
+  }
+}
+
+void LivePool::Hydrate() {
+  const int64_t id = next_hydration_id_++;
+  pending_hydrations_.insert(id);
+  const double ready_at = engine_->now() + SampleLatency();
+  (void)engine_->Schedule(ready_at, [this, id] { OnClusterReady(id); });
+}
+
+// hydration_id == -1 marks an on-demand creation (never cancellable).
+void LivePool::OnClusterReady(int64_t hydration_id) {
+  if (hydration_id >= 0) {
+    if (cancelled_.count(hydration_id) > 0) {
+      cancelled_.erase(hydration_id);
+      return;  // already accounted when cancelled
+    }
+    pending_hydrations_.erase(hydration_id);
+  }
+  ++stats_.clusters_created;
+  if (!waiting_.empty()) {
+    const double arrival = waiting_.front();
+    waiting_.pop_front();
+    queued_waits_.push_back(engine_->now() - arrival);
+    MaintainTarget();
+    return;
+  }
+  AddReadyCluster();
+  TrimExcess();
+}
+
+void LivePool::AddReadyCluster() {
+  const int64_t id = next_cluster_id_++;
+  pool_.push_back({id, engine_->now()});
+  in_pool_.insert(id);
+  if (std::isfinite(config_.max_cluster_lifetime_seconds)) {
+    const double expiry = engine_->now() + config_.max_cluster_lifetime_seconds;
+    (void)engine_->Schedule(expiry,
+                            [this, id] { OnClusterGone(id, /*failed=*/false); });
+  }
+  if (config_.failure_rate_per_hour > 0.0) {
+    const double ttf = rng_.Exponential(config_.failure_rate_per_hour / 3600.0);
+    (void)engine_->Schedule(engine_->now() + ttf,
+                            [this, id] { OnClusterGone(id, /*failed=*/true); });
+  }
+}
+
+void LivePool::ConsumeFrontCluster() {
+  in_pool_.erase(pool_.front().id);
+  pool_.pop_front();
+}
+
+void LivePool::OnClusterGone(int64_t id, bool failed) {
+  if (closed_) return;
+  if (in_pool_.count(id) == 0) return;  // already consumed or deleted
+  in_pool_.erase(id);
+  for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+    if (it->id == id) {
+      stats_.idle_cluster_seconds += engine_->now() - it->ready_time;
+      pool_.erase(it);
+      break;
+    }
+  }
+  if (failed) {
+    ++stats_.clusters_failed;
+  } else {
+    ++stats_.clusters_expired;
+  }
+  MaintainTarget();
+}
+
+void LivePool::TrimExcess() {
+  // Downsizing first cancels in-flight hydrations (cheapest: they never
+  // become clusters), newest first, then deletes the oldest ready clusters.
+  while (static_cast<int64_t>(pool_.size()) +
+                 static_cast<int64_t>(pending_hydrations_.size()) >
+             target_ &&
+         !pending_hydrations_.empty()) {
+    const auto newest = std::prev(pending_hydrations_.end());
+    cancelled_.insert(*newest);
+    pending_hydrations_.erase(newest);
+    ++stats_.hydrations_cancelled;
+  }
+  while (static_cast<int64_t>(pool_.size()) > target_) {
+    const Cluster cluster = pool_.front();
+    ConsumeFrontCluster();
+    stats_.idle_cluster_seconds += engine_->now() - cluster.ready_time;
+    ++stats_.clusters_deleted;
+  }
+}
+
+Status ValidateRunInputs(const std::vector<double>& request_times,
+                         const std::vector<int64_t>& schedule,
+                         double interval_seconds, double horizon_seconds) {
+  if (schedule.empty()) return Status::InvalidArgument("empty schedule");
+  if (interval_seconds <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  for (int64_t n : schedule) {
+    if (n < 0) return Status::InvalidArgument("negative pool target");
+  }
+  for (size_t i = 1; i < request_times.size(); ++i) {
+    if (request_times[i] < request_times[i - 1]) {
+      return Status::InvalidArgument("request times must be sorted");
+    }
+  }
+  if (!request_times.empty() &&
+      (request_times.front() < 0.0 || request_times.back() > horizon_seconds)) {
+    return Status::InvalidArgument("request outside [0, horizon]");
+  }
+  return Status::OK();
+}
+
+SimResult AssembleSimResult(const LivePool::Stats& stats,
+                            int64_t total_requests, int64_t hits,
+                            std::vector<double> waits) {
+  SimResult result;
+  result.total_requests = total_requests;
+  result.pool_hits = hits;
+  result.idle_cluster_seconds = stats.idle_cluster_seconds;
+  result.clusters_created = stats.clusters_created;
+  result.on_demand_created = stats.on_demand_created;
+  result.hydrations_cancelled = stats.hydrations_cancelled;
+  result.clusters_expired = stats.clusters_expired;
+  result.clusters_failed = stats.clusters_failed;
+  result.clusters_deleted = stats.clusters_deleted;
+
+  for (double w : waits) result.total_wait_seconds += w;
+  if (!waits.empty()) {
+    result.avg_wait_seconds =
+        result.total_wait_seconds / static_cast<double>(waits.size());
+    std::sort(waits.begin(), waits.end());
+    result.max_wait_seconds = waits.back();
+    const size_t idx = static_cast<size_t>(std::min<double>(
+        static_cast<double>(waits.size()) - 1.0,
+        std::ceil(0.99 * static_cast<double>(waits.size())) - 1.0));
+    result.p99_wait_seconds = waits[idx];
+  }
+  result.hit_rate = total_requests > 0
+                        ? static_cast<double>(hits) /
+                              static_cast<double>(total_requests)
+                        : 1.0;
+  return result;
+}
+
+}  // namespace ipool

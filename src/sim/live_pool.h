@@ -1,0 +1,122 @@
+// A single live pool driven by an external EventEngine: pre-created
+// clusters handed out on request, re-hydration through the (simulated)
+// cluster service, target retargeting with in-flight cancellation, optional
+// lifetime expiry and random failures, and an on-demand queue for requests
+// that found no pooled cluster anywhere.
+//
+// Extracted from the single-pool simulator so that PoolSimulator and the
+// multi-pool fleet (which routes one request stream across several pools on
+// one shared virtual clock) share exactly one implementation of the pool
+// mechanics.
+#ifndef IPOOL_SIM_LIVE_POOL_H_
+#define IPOOL_SIM_LIVE_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_engine.h"
+#include "sim/pool_simulator.h"
+
+namespace ipool {
+
+class LivePool {
+ public:
+  /// Cluster-side counters (request-side metrics belong to the caller).
+  struct Stats {
+    double idle_cluster_seconds = 0.0;
+    int64_t clusters_created = 0;
+    int64_t on_demand_created = 0;
+    int64_t hydrations_cancelled = 0;
+    int64_t clusters_expired = 0;
+    int64_t clusters_failed = 0;
+    int64_t clusters_deleted = 0;
+  };
+
+  /// The pool schedules its own events on `engine`, which must outlive it.
+  /// `config` is copied. The initial target is installed without clusters;
+  /// call InitialFill() to pre-create them ready at the current time.
+  LivePool(EventEngine* engine, const SimConfig& config,
+           int64_t initial_target);
+
+  /// Pre-fills the pool with `target` ready clusters (A'(t) = N(0)).
+  void InitialFill();
+
+  /// Retargets the pool: cancels in-flight hydrations / deletes ready
+  /// clusters on downsizing, hydrates on upsizing. No-op once closed.
+  void SetTarget(int64_t target);
+
+  /// Stops maintenance (retargeting, re-hydration, expiry handling) so the
+  /// shared event queue drains after the horizon.
+  void Close();
+
+  /// Hands out a ready cluster if one exists (FIFO), accounting its idle
+  /// time and triggering re-hydration. Returns false when drained.
+  bool TryAcquire();
+
+  /// Queues a request that missed every eligible pool and fires an
+  /// on-demand creation in this pool's class; the wait is recorded when a
+  /// cluster (on-demand or hydrated) serves it.
+  void QueueOnDemand(double arrival_time);
+
+  /// Accounts idle time for clusters still pooled at the horizon and empties
+  /// the pool. Call once, after the event queue has drained.
+  void FinishAt(double horizon);
+
+  const Stats& stats() const { return stats_; }
+  /// Waits (seconds) of the requests that went through QueueOnDemand, in
+  /// service order.
+  const std::vector<double>& queued_waits() const { return queued_waits_; }
+  int64_t ready_count() const { return static_cast<int64_t>(pool_.size()); }
+
+ private:
+  struct Cluster {
+    int64_t id;
+    double ready_time;
+  };
+
+  double SampleLatency();
+  void MaintainTarget();
+  void Hydrate();
+  void OnClusterReady(int64_t hydration_id);
+  void AddReadyCluster();
+  void ConsumeFrontCluster();
+  void OnClusterGone(int64_t id, bool failed);
+  void TrimExcess();
+
+  EventEngine* engine_;
+  SimConfig config_;
+  Rng rng_;
+  int64_t target_ = 0;
+  bool closed_ = false;
+
+  std::deque<Cluster> pool_;
+  std::unordered_set<int64_t> in_pool_;
+  std::deque<double> waiting_;
+  std::vector<double> queued_waits_;
+
+  int64_t next_hydration_id_ = 0;
+  int64_t next_cluster_id_ = 0;
+  std::set<int64_t> pending_hydrations_;
+  std::unordered_set<int64_t> cancelled_;
+
+  Stats stats_;
+};
+
+/// Validates the common Run() inputs shared by the pool drivers.
+Status ValidateRunInputs(const std::vector<double>& request_times,
+                         const std::vector<int64_t>& schedule,
+                         double interval_seconds, double horizon_seconds);
+
+/// Assembles a SimResult from a pool's cluster-side stats and the recorded
+/// request waits (hits contribute zero-wait entries).
+SimResult AssembleSimResult(const LivePool::Stats& stats,
+                            int64_t total_requests, int64_t hits,
+                            std::vector<double> waits);
+
+}  // namespace ipool
+
+#endif  // IPOOL_SIM_LIVE_POOL_H_

@@ -1,0 +1,80 @@
+// Event-driven simulation of the live-pool mechanism (§2, §4.1): a pool of
+// pre-created clusters, eviction on customer request, re-hydration through a
+// simulated Cluster Service with stochastic creation latency, on-demand
+// fallback when the pool is drained, optional cluster lifetime expiry and
+// random failures, and pool-size retargeting at bin boundaries (including
+// cancellation of in-flight re-hydrations on downsizing).
+//
+// This is the ground-truth executable model against which the analytical
+// cumulative-curve evaluator (solver/pool_model.h) is validated.
+#ifndef IPOOL_SIM_POOL_SIMULATOR_H_
+#define IPOOL_SIM_POOL_SIMULATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ipool {
+
+struct SimConfig {
+  /// Mean cluster creation latency (VM allocation + stitching + libraries;
+  /// the paper cites 60-120 s for clusters).
+  double creation_latency_mean_seconds = 90.0;
+  /// Coefficient of variation of the (log-normal) creation latency; 0 makes
+  /// creation deterministic.
+  double creation_latency_cv = 0.0;
+  /// Extra latency for session pools (Spark session startup, 30-40 s in the
+  /// paper); 0 simulates a cluster pool.
+  double session_startup_seconds = 0.0;
+  /// Pooled clusters are recycled after this long (Infinity disables).
+  double max_cluster_lifetime_seconds =
+      std::numeric_limits<double>::infinity();
+  /// Poisson failure rate for pooled (ready, idle) clusters.
+  double failure_rate_per_hour = 0.0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+struct SimResult {
+  int64_t total_requests = 0;
+  int64_t pool_hits = 0;
+  double hit_rate = 1.0;
+  double total_wait_seconds = 0.0;
+  double avg_wait_seconds = 0.0;
+  double p99_wait_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+  /// Cluster-seconds spent ready-but-unused in the pool.
+  double idle_cluster_seconds = 0.0;
+  int64_t clusters_created = 0;    // successful re-hydrations + initial fill
+  int64_t on_demand_created = 0;   // drained-pool fallbacks
+  int64_t hydrations_cancelled = 0;
+  int64_t clusters_expired = 0;
+  int64_t clusters_failed = 0;
+  int64_t clusters_deleted = 0;  // downsizing removals of ready clusters
+};
+
+class PoolSimulator {
+ public:
+  static Result<PoolSimulator> Create(const SimConfig& config);
+
+  /// Replays `request_times` (sorted, seconds) against the target-size
+  /// schedule (`schedule[i]` applies during
+  /// [i * interval, (i+1) * interval)). The simulation runs to
+  /// `horizon_seconds`, which must cover the last request.
+  Result<SimResult> Run(const std::vector<double>& request_times,
+                        const std::vector<int64_t>& schedule,
+                        double interval_seconds, double horizon_seconds);
+
+ private:
+  explicit PoolSimulator(const SimConfig& config) : config_(config) {}
+
+  SimConfig config_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SIM_POOL_SIMULATOR_H_

@@ -1,0 +1,142 @@
+#include "solver/pool_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status PoolModelConfig::Validate() const {
+  if (stableness_bins == 0) {
+    return Status::InvalidArgument("stableness_bins must be >= 1");
+  }
+  if (min_pool_size < 0) {
+    return Status::InvalidArgument("min_pool_size must be non-negative");
+  }
+  if (max_pool_size < min_pool_size) {
+    return Status::InvalidArgument(StrFormat(
+        "max_pool_size %ld < min_pool_size %ld", max_pool_size, min_pool_size));
+  }
+  if (max_new_requests_per_bin < 0) {
+    return Status::InvalidArgument("max_new_requests_per_bin must be >= 0");
+  }
+  return Status::OK();
+}
+
+size_t PoolModelConfig::NumBlocks(size_t num_bins) const {
+  return (num_bins + stableness_bins - 1) / stableness_bins;
+}
+
+std::vector<int64_t> ExpandBlockSchedule(const std::vector<int64_t>& per_block,
+                                         size_t num_bins,
+                                         size_t stableness_bins) {
+  std::vector<int64_t> out(num_bins, 0);
+  for (size_t t = 0; t < num_bins; ++t) {
+    const size_t b = std::min(t / stableness_bins, per_block.size() - 1);
+    out[t] = per_block[b];
+  }
+  return out;
+}
+
+Result<PoolMetrics> EvaluateSchedule(const TimeSeries& demand,
+                                     const std::vector<int64_t>& schedule,
+                                     const PoolModelConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  const size_t num_bins = demand.size();
+  if (schedule.size() != num_bins) {
+    return Status::InvalidArgument(
+        StrFormat("schedule size %zu != demand size %zu", schedule.size(),
+                  num_bins));
+  }
+  if (num_bins == 0) return Status::InvalidArgument("empty demand");
+  const double interval = demand.interval();
+  const size_t tau = config.tau_bins;
+
+  // Cumulative demand D(t) and clusters-ready A'(t) per §4.1.
+  std::vector<double> cum_demand(num_bins);
+  double running = 0.0;
+  for (size_t t = 0; t < num_bins; ++t) {
+    running += demand.value(t);
+    cum_demand[t] = running;
+  }
+  std::vector<double> ready(num_bins);
+  for (size_t t = 0; t < num_bins; ++t) {
+    if (t < tau) {
+      // Before the first re-hydration completes, only the initial pool is
+      // ready: A'(t) = N(0).
+      ready[t] = static_cast<double>(schedule[0]);
+    } else {
+      ready[t] =
+          cum_demand[t - tau] + static_cast<double>(schedule[t - tau]);
+    }
+  }
+
+  PoolMetrics metrics;
+  double idle_area = 0.0;
+  double wait_area = 0.0;
+  for (size_t t = 0; t < num_bins; ++t) {
+    const double gap = ready[t] - cum_demand[t];
+    if (gap > 0.0) {
+      idle_area += gap;
+    } else {
+      wait_area -= gap;
+    }
+  }
+  metrics.idle_cluster_seconds = idle_area * interval;
+  metrics.wait_request_seconds = wait_area * interval;
+
+  // Per-request FCFS wait: request k (1-based) arrives in the first bin with
+  // D >= k and is served by the k-th ready cluster (first bin with A' >= k).
+  const int64_t total_requests = static_cast<int64_t>(std::llround(running));
+  metrics.total_requests = total_requests;
+  double capped_wait = 0.0;
+  int64_t hits = 0;
+  double total_wait = 0.0;
+  {
+    size_t arrive_bin = 0;
+    size_t ready_bin = 0;
+    for (int64_t k = 1; k <= total_requests; ++k) {
+      const double kd = static_cast<double>(k);
+      while (arrive_bin < num_bins && cum_demand[arrive_bin] < kd) ++arrive_bin;
+      while (ready_bin < num_bins && ready[ready_bin] < kd) ++ready_bin;
+      size_t served_bin;
+      if (ready_bin >= num_bins) {
+        // Never enough pooled clusters within the horizon: the request goes
+        // on-demand and waits the full startup latency.
+        served_bin = arrive_bin + tau;
+      } else {
+        served_bin = std::max(ready_bin, arrive_bin);
+      }
+      const double wait_bins =
+          static_cast<double>(served_bin - arrive_bin);
+      total_wait += wait_bins * interval;
+      capped_wait += std::min(wait_bins, static_cast<double>(tau)) * interval;
+      if (served_bin == arrive_bin) ++hits;
+    }
+  }
+  metrics.pool_hits = hits;
+  metrics.hit_rate = total_requests > 0
+                         ? static_cast<double>(hits) /
+                               static_cast<double>(total_requests)
+                         : 1.0;
+  metrics.avg_wait_seconds =
+      total_requests > 0 ? total_wait / static_cast<double>(total_requests)
+                         : 0.0;
+  metrics.wait_request_seconds_capped = capped_wait;
+  metrics.avg_wait_seconds_capped =
+      total_requests > 0 ? capped_wait / static_cast<double>(total_requests)
+                         : 0.0;
+
+  double pool_sum = 0.0;
+  double pool_max = 0.0;
+  for (int64_t n : schedule) {
+    pool_sum += static_cast<double>(n);
+    pool_max = std::max(pool_max, static_cast<double>(n));
+  }
+  metrics.avg_pool_size = pool_sum / static_cast<double>(num_bins);
+  metrics.max_pool_size = pool_max;
+  return metrics;
+}
+
+}  // namespace ipool

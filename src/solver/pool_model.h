@@ -1,0 +1,90 @@
+// The live-pool queueing model of §4.1: cumulative demand D(t), re-hydration
+// requests A(t) = D(t) + N(t), clusters ready A'(t) = A(t - tau), and the
+// idle/wait areas between A'(t) and D(t). This analytical model is what the
+// SAA optimizer minimizes over and what the Pareto benches evaluate
+// schedules against; the discrete-event simulator in src/sim cross-checks it
+// with explicit cluster lifecycles.
+#ifndef IPOOL_SOLVER_POOL_MODEL_H_
+#define IPOOL_SOLVER_POOL_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tsdata/time_series.h"
+
+namespace ipool {
+
+struct PoolModelConfig {
+  /// Cluster creation latency tau, in bins (e.g. 3 bins x 30 s = 90 s).
+  size_t tau_bins = 3;
+  /// Hard bounds on the target pool size N(t) (Eq 10). In production these
+  /// come from regional capacity.
+  int64_t min_pool_size = 0;
+  int64_t max_pool_size = 200;
+  /// N(t) is held constant for this many bins (Eq 11); 10 bins x 30 s =
+  /// 5 min, the paper's default.
+  size_t stableness_bins = 10;
+  /// Cap on pool-size increase per bin (Eq 9).
+  int64_t max_new_requests_per_bin = 1'000'000;
+
+  Status Validate() const;
+
+  /// Number of STABLENESS blocks covering `num_bins` bins.
+  size_t NumBlocks(size_t num_bins) const;
+  /// Block index of bin t.
+  size_t BlockOf(size_t bin) const { return bin / stableness_bins; }
+};
+
+/// A target-pool-size schedule, one value per bin.
+struct PoolSchedule {
+  std::vector<int64_t> pool_size_per_bin;
+  /// Objective value reported by the optimizer that produced it
+  /// (alpha'-weighted idle + wait area, in cluster-bins).
+  double objective = 0.0;
+};
+
+/// Expands per-block sizes into a per-bin schedule of length num_bins.
+std::vector<int64_t> ExpandBlockSchedule(const std::vector<int64_t>& per_block,
+                                         size_t num_bins,
+                                         size_t stableness_bins);
+
+struct PoolMetrics {
+  /// Grey area: cluster-seconds spent idle in the pool.
+  double idle_cluster_seconds = 0.0;
+  /// Red area: request-seconds spent waiting (analytical FCFS model).
+  double wait_request_seconds = 0.0;
+  /// Same, but each request's wait is capped at tau: a drained pool falls
+  /// back to on-demand creation, so no request waits longer than a full
+  /// cluster startup (footnote 1 of the paper).
+  double wait_request_seconds_capped = 0.0;
+  int64_t total_requests = 0;
+  /// Requests served with zero wait.
+  int64_t pool_hits = 0;
+  double hit_rate = 1.0;
+  double avg_wait_seconds = 0.0;
+  double avg_wait_seconds_capped = 0.0;
+  double avg_pool_size = 0.0;
+  double max_pool_size = 0.0;
+};
+
+/// Evaluates a schedule against a demand series (per-bin request counts)
+/// under the cumulative-curve model. schedule size must equal demand size.
+Result<PoolMetrics> EvaluateSchedule(const TimeSeries& demand,
+                                     const std::vector<int64_t>& schedule,
+                                     const PoolModelConfig& config);
+
+/// Cost-of-goods-sold model: translates idle cluster time into dollars.
+struct CogsModel {
+  double cores_per_cluster = 24.0;  // e.g. 3 medium nodes x 8 cores
+  double dollars_per_core_hour = 0.09;
+
+  double IdleDollars(double idle_cluster_seconds) const {
+    return idle_cluster_seconds / 3600.0 * cores_per_cluster *
+           dollars_per_core_hour;
+  }
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SOLVER_POOL_MODEL_H_

@@ -1,0 +1,283 @@
+#include "solver/saa_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status SaaConfig::Validate() const {
+  IPOOL_RETURN_NOT_OK(pool.Validate());
+  if (alpha_prime < 0.0 || alpha_prime > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("alpha_prime must be in [0,1], got %g", alpha_prime));
+  }
+  return Status::OK();
+}
+
+Result<SaaOptimizer> SaaOptimizer::Create(const SaaConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  return SaaOptimizer(config);
+}
+
+std::vector<double> SaaOptimizer::InFlightDemand(
+    const TimeSeries& demand) const {
+  const size_t num_bins = demand.size();
+  const size_t tau = config_.pool.tau_bins;
+  std::vector<double> cum(num_bins);
+  double running = 0.0;
+  for (size_t t = 0; t < num_bins; ++t) {
+    running += demand.value(t);
+    cum[t] = running;
+  }
+  std::vector<double> w(num_bins);
+  for (size_t t = 0; t < num_bins; ++t) {
+    // For t < tau nothing re-hydrated has landed yet, so the ready side is
+    // the initial pool N(0) and the full cumulative demand weighs on it.
+    w[t] = t < tau ? cum[t] : cum[t] - cum[t - tau];
+  }
+  return w;
+}
+
+std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
+    const std::vector<std::vector<double>>& group_w) const {
+  const PoolModelConfig& pool = config_.pool;
+  const size_t num_groups = group_w.size();
+  const int64_t min_n = pool.min_pool_size;
+  const int64_t max_n = pool.max_pool_size;
+  const size_t num_sizes = static_cast<size_t>(max_n - min_n + 1);
+  const double alpha = config_.alpha_prime;
+
+  // Per-group piecewise-linear convex cost over the integer pool size:
+  // g(N) = sum_w alpha * max(0, N - w) + (1 - alpha) * max(0, w - N).
+  // Computed for all N via sorted w + prefix sums.
+  auto group_cost = [&](size_t g) {
+    std::vector<double> cost(num_sizes, 0.0);
+    std::vector<double> ws = group_w[g];
+    std::sort(ws.begin(), ws.end());
+    std::vector<double> prefix(ws.size() + 1, 0.0);
+    for (size_t i = 0; i < ws.size(); ++i) prefix[i + 1] = prefix[i] + ws[i];
+    const double total = prefix[ws.size()];
+    size_t below = 0;  // count of ws <= N
+    for (size_t s = 0; s < num_sizes; ++s) {
+      const double n = static_cast<double>(min_n + static_cast<int64_t>(s));
+      while (below < ws.size() && ws[below] <= n) ++below;
+      const double cnt_below = static_cast<double>(below);
+      const double sum_below = prefix[below];
+      const double cnt_above = static_cast<double>(ws.size()) - cnt_below;
+      const double sum_above = total - sum_below;
+      cost[s] = alpha * (n * cnt_below - sum_below) +
+                (1.0 - alpha) * (sum_above - n * cnt_above);
+    }
+    return cost;
+  };
+
+  // DP over groups. f[s] = best cost through group g ending at size s.
+  const int64_t ramp = pool.max_new_requests_per_bin;
+  std::vector<double> f = group_cost(0);
+  std::vector<std::vector<size_t>> choice(num_groups);  // predecessor index
+  for (size_t g = 1; g < num_groups; ++g) {
+    // suffix_min[s] = argmin/valmin of f over indices >= s (ties -> smallest
+    // index, i.e. smallest predecessor pool size).
+    std::vector<double> suffix_val(num_sizes);
+    std::vector<size_t> suffix_arg(num_sizes);
+    suffix_val[num_sizes - 1] = f[num_sizes - 1];
+    suffix_arg[num_sizes - 1] = num_sizes - 1;
+    for (size_t s = num_sizes - 1; s-- > 0;) {
+      if (f[s] <= suffix_val[s + 1]) {
+        suffix_val[s] = f[s];
+        suffix_arg[s] = s;
+      } else {
+        suffix_val[s] = suffix_val[s + 1];
+        suffix_arg[s] = suffix_arg[s + 1];
+      }
+    }
+    const std::vector<double> cost = group_cost(g);
+    std::vector<double> next(num_sizes);
+    choice[g].resize(num_sizes);
+    for (size_t s = 0; s < num_sizes; ++s) {
+      // Ramp limits the *increase* N_g - N_{g-1} <= ramp, so the predecessor
+      // index must be >= s - ramp.
+      const int64_t lo = static_cast<int64_t>(s) - ramp;
+      const size_t from = lo <= 0 ? 0 : static_cast<size_t>(lo);
+      next[s] = cost[s] + suffix_val[from];
+      choice[g][s] = suffix_arg[from];
+    }
+    f = std::move(next);
+  }
+
+  // Best terminal state (ties -> smallest pool).
+  size_t best = 0;
+  for (size_t s = 1; s < num_sizes; ++s) {
+    if (f[s] < f[best]) best = s;
+  }
+
+  // Backtrack the per-group sizes.
+  std::vector<int64_t> per_group(num_groups);
+  size_t state = best;
+  for (size_t g = num_groups; g-- > 0;) {
+    per_group[g] = min_n + static_cast<int64_t>(state);
+    if (g > 0) state = choice[g][state];
+  }
+  return {std::move(per_group), f[best]};
+}
+
+Result<PoolSchedule> SaaOptimizer::Optimize(const TimeSeries& demand) const {
+  const size_t num_bins = demand.size();
+  if (num_bins == 0) return Status::InvalidArgument("empty demand");
+  const PoolModelConfig& pool = config_.pool;
+  const size_t tau = pool.tau_bins;
+  const size_t num_blocks = pool.NumBlocks(num_bins);
+
+  // Group in-flight demand values by the block whose pool size serves them.
+  const std::vector<double> w = InFlightDemand(demand);
+  std::vector<std::vector<double>> block_w(num_blocks);
+  for (size_t t = 0; t < num_bins; ++t) {
+    const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
+    block_w[b].push_back(w[t]);
+  }
+
+  auto [per_block, objective] = SolveGroupedDp(block_w);
+  PoolSchedule schedule;
+  schedule.pool_size_per_bin =
+      ExpandBlockSchedule(per_block, num_bins, pool.stableness_bins);
+  schedule.objective = objective;
+  return schedule;
+}
+
+Result<PoolSchedule> SaaOptimizer::OptimizePeriodic(const TimeSeries& demand,
+                                                    size_t period_bins) const {
+  const size_t num_bins = demand.size();
+  if (num_bins == 0) return Status::InvalidArgument("empty demand");
+  const PoolModelConfig& pool = config_.pool;
+  if (period_bins == 0 || period_bins % pool.stableness_bins != 0) {
+    return Status::InvalidArgument(
+        "period_bins must be a positive multiple of stableness_bins");
+  }
+  if (num_bins < period_bins) {
+    return Status::InvalidArgument("demand shorter than one period");
+  }
+  const size_t tau = pool.tau_bins;
+  const size_t groups_per_period = period_bins / pool.stableness_bins;
+
+  // Fold every block onto its position within the period: the pool size at
+  // 06:00 is the same on every day of the sample (§4.2's simplified
+  // "same time of day" policy).
+  const std::vector<double> w = InFlightDemand(demand);
+  std::vector<std::vector<double>> group_w(groups_per_period);
+  for (size_t t = 0; t < num_bins; ++t) {
+    const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
+    group_w[b % groups_per_period].push_back(w[t]);
+  }
+
+  auto [per_group, objective] = SolveGroupedDp(group_w);
+  // Tile the template across the whole horizon. The ramp constraint is
+  // enforced within the period; the wrap-around boundary is not constrained
+  // (a decrease at midnight is always feasible, and increases there are rare
+  // because demand troughs overnight).
+  std::vector<int64_t> per_block(pool.NumBlocks(num_bins));
+  for (size_t b = 0; b < per_block.size(); ++b) {
+    per_block[b] = per_group[b % groups_per_period];
+  }
+  PoolSchedule schedule;
+  schedule.pool_size_per_bin =
+      ExpandBlockSchedule(per_block, num_bins, pool.stableness_bins);
+  schedule.objective = objective;
+  return schedule;
+}
+
+Result<LpProblem> SaaOptimizer::BuildLp(const TimeSeries& demand) const {
+  const size_t num_bins = demand.size();
+  if (num_bins == 0) return Status::InvalidArgument("empty demand");
+  const PoolModelConfig& pool = config_.pool;
+  const size_t tau = pool.tau_bins;
+  const size_t num_blocks = pool.NumBlocks(num_bins);
+  const double alpha = config_.alpha_prime;
+
+  const std::vector<double> w = InFlightDemand(demand);
+
+  // Variable layout: [Delta+ 0..T), [Delta- 0..T), [N_b 0..B).
+  LpProblem lp;
+  lp.num_vars = 2 * num_bins + num_blocks;
+  lp.objective.assign(lp.num_vars, 0.0);
+  for (size_t t = 0; t < num_bins; ++t) {
+    lp.objective[t] = alpha;                  // Delta+
+    lp.objective[num_bins + t] = 1.0 - alpha;  // Delta-
+  }
+  const auto n_var = [&](size_t b) { return 2 * num_bins + b; };
+
+  for (size_t t = 0; t < num_bins; ++t) {
+    const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
+    // Delta+(t) >= A'(t) - D(t) = N_b - w_t   =>  Delta+ - N_b >= -w_t.
+    lp.constraints.push_back(
+        {{{t, 1.0}, {n_var(b), -1.0}}, ConstraintType::kGreaterEqual, -w[t]});
+    // Delta-(t) >= D(t) - A'(t) = w_t - N_b   =>  Delta- + N_b >= w_t.
+    lp.constraints.push_back({{{num_bins + t, 1.0}, {n_var(b), 1.0}},
+                              ConstraintType::kGreaterEqual,
+                              w[t]});
+  }
+  for (size_t b = 0; b < num_blocks; ++b) {
+    lp.constraints.push_back({{{n_var(b), 1.0}},
+                              ConstraintType::kGreaterEqual,
+                              static_cast<double>(pool.min_pool_size)});
+    lp.constraints.push_back({{{n_var(b), 1.0}},
+                              ConstraintType::kLessEqual,
+                              static_cast<double>(pool.max_pool_size)});
+    if (b > 0) {
+      lp.constraints.push_back(
+          {{{n_var(b), 1.0}, {n_var(b - 1), -1.0}},
+           ConstraintType::kLessEqual,
+           static_cast<double>(pool.max_new_requests_per_bin)});
+    }
+  }
+  return lp;
+}
+
+Result<PoolSchedule> SaaOptimizer::OptimizeLp(const TimeSeries& demand) const {
+  IPOOL_ASSIGN_OR_RETURN(LpProblem lp, BuildLp(demand));
+  SimplexSolver solver;
+  IPOOL_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+
+  const size_t num_bins = demand.size();
+  const PoolModelConfig& pool = config_.pool;
+  const size_t num_blocks = pool.NumBlocks(num_bins);
+  std::vector<int64_t> per_block(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    per_block[b] =
+        static_cast<int64_t>(std::llround(solution.x[2 * num_bins + b]));
+  }
+  PoolSchedule schedule;
+  schedule.pool_size_per_bin =
+      ExpandBlockSchedule(per_block, num_bins, pool.stableness_bins);
+  schedule.objective = solution.objective;
+  return schedule;
+}
+
+Result<std::vector<ParetoPoint>> SweepPareto(
+    const TimeSeries& planning_demand, const TimeSeries& actual_demand,
+    const PoolModelConfig& pool_config, const std::vector<double>& alphas) {
+  if (!planning_demand.SameShape(actual_demand)) {
+    return Status::InvalidArgument(
+        "planning and actual demand must share bin count and width");
+  }
+  std::vector<ParetoPoint> points;
+  points.reserve(alphas.size());
+  for (double alpha : alphas) {
+    SaaConfig config;
+    config.pool = pool_config;
+    config.alpha_prime = alpha;
+    IPOOL_ASSIGN_OR_RETURN(SaaOptimizer optimizer, SaaOptimizer::Create(config));
+    IPOOL_ASSIGN_OR_RETURN(PoolSchedule schedule,
+                           optimizer.Optimize(planning_demand));
+    IPOOL_ASSIGN_OR_RETURN(
+        PoolMetrics metrics,
+        EvaluateSchedule(actual_demand, schedule.pool_size_per_bin,
+                         pool_config));
+    points.push_back({alpha, metrics});
+  }
+  return points;
+}
+
+}  // namespace ipool

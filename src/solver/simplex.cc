@@ -1,0 +1,244 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status LpProblem::Validate() const {
+  if (num_vars == 0) return Status::InvalidArgument("LP has no variables");
+  if (objective.size() != num_vars) {
+    return Status::InvalidArgument(
+        StrFormat("objective size %zu != num_vars %zu", objective.size(),
+                  num_vars));
+  }
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    for (const auto& [var, coeff] : constraints[i].terms) {
+      if (var >= num_vars) {
+        return Status::InvalidArgument(
+            StrFormat("constraint %zu references variable %zu out of %zu", i,
+                      var, num_vars));
+      }
+      if (!std::isfinite(coeff)) {
+        return Status::InvalidArgument("non-finite constraint coefficient");
+      }
+    }
+    if (!std::isfinite(constraints[i].rhs)) {
+      return Status::InvalidArgument("non-finite constraint rhs");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Dense tableau: rows = constraints, cols = all variables + rhs.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  size_t rows() const { return data_.size() / cols_; }
+  size_t cols() const { return cols_; }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double pivot = at(pivot_row, pivot_col);
+    for (size_t c = 0; c < cols_; ++c) at(pivot_row, c) /= pivot;
+    for (size_t r = 0; r < rows(); ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+Result<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
+  IPOOL_RETURN_NOT_OK(problem.Validate());
+  const double tol = options_.tolerance;
+  const size_t n = problem.num_vars;
+  const size_t m = problem.constraints.size();
+
+  // Column layout: [original n][slack/surplus per inequality][artificials].
+  size_t num_slack = 0;
+  for (const auto& c : problem.constraints) {
+    if (c.type != ConstraintType::kEqual) ++num_slack;
+  }
+  // Worst case every row needs an artificial.
+  const size_t slack_base = n;
+  const size_t art_base = n + num_slack;
+  const size_t total_cols = art_base + m + 1;  // +1 for rhs
+  const size_t rhs_col = total_cols - 1;
+
+  Tableau tab(m, total_cols);
+  std::vector<size_t> basis(m);
+  size_t slack_idx = 0;
+  size_t num_art = 0;
+  std::vector<size_t> artificial_cols;
+
+  for (size_t i = 0; i < m; ++i) {
+    const LpConstraint& c = problem.constraints[i];
+    double sign = 1.0;
+    ConstraintType type = c.type;
+    if (c.rhs < 0.0) {
+      sign = -1.0;
+      if (type == ConstraintType::kLessEqual) {
+        type = ConstraintType::kGreaterEqual;
+      } else if (type == ConstraintType::kGreaterEqual) {
+        type = ConstraintType::kLessEqual;
+      }
+    }
+    for (const auto& [var, coeff] : c.terms) {
+      tab.at(i, var) += sign * coeff;
+    }
+    tab.at(i, rhs_col) = sign * c.rhs;
+
+    if (type == ConstraintType::kLessEqual) {
+      const size_t col = slack_base + slack_idx++;
+      tab.at(i, col) = 1.0;
+      basis[i] = col;
+    } else if (type == ConstraintType::kGreaterEqual) {
+      const size_t scol = slack_base + slack_idx++;
+      tab.at(i, scol) = -1.0;
+      const size_t acol = art_base + num_art++;
+      tab.at(i, acol) = 1.0;
+      artificial_cols.push_back(acol);
+      basis[i] = acol;
+    } else {
+      const size_t acol = art_base + num_art++;
+      tab.at(i, acol) = 1.0;
+      artificial_cols.push_back(acol);
+      basis[i] = acol;
+    }
+  }
+
+  const size_t num_structural = art_base;  // original + slack columns
+  std::vector<bool> is_artificial(total_cols, false);
+  for (size_t col : artificial_cols) is_artificial[col] = true;
+
+  size_t iterations = 0;
+
+  // Runs simplex iterations for the given cost vector (indexed over all
+  // columns except rhs). `allow` masks which columns may enter the basis.
+  auto run_phase = [&](const std::vector<double>& cost,
+                       const std::vector<bool>& allow) -> Status {
+    // Reduced-cost row: z[j] = cost[j] - sum_i cost[basis_i] * tab[i][j].
+    std::vector<double> z(total_cols, 0.0);
+    auto recompute_z = [&]() {
+      for (size_t j = 0; j < rhs_col; ++j) {
+        double acc = cost[j];
+        for (size_t i = 0; i < m; ++i) {
+          const double cb = cost[basis[i]];
+          if (cb != 0.0) acc -= cb * tab.at(i, j);
+        }
+        z[j] = acc;
+      }
+    };
+    recompute_z();
+
+    while (true) {
+      if (++iterations > options_.max_iterations) {
+        return Status::DeadlineExceeded("simplex iteration cap reached");
+      }
+      // Bland's rule: smallest-index column with negative reduced cost.
+      size_t enter = total_cols;
+      for (size_t j = 0; j < rhs_col; ++j) {
+        if (!allow[j]) continue;
+        if (z[j] < -tol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == total_cols) return Status::OK();  // optimal
+
+      // Ratio test, Bland tie-break on basis index.
+      size_t leave = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m; ++i) {
+        const double a = tab.at(i, enter);
+        if (a > tol) {
+          const double ratio = tab.at(i, rhs_col) / a;
+          if (ratio < best_ratio - tol ||
+              (std::fabs(ratio - best_ratio) <= tol &&
+               (leave == m || basis[i] < basis[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m) {
+        return Status::OutOfRange("LP is unbounded");
+      }
+      tab.Pivot(leave, enter);
+      basis[leave] = enter;
+      // Incremental update of z: z -= z[enter] * (pivot row).
+      const double ze = z[enter];
+      if (ze != 0.0) {
+        for (size_t j = 0; j < rhs_col; ++j) z[j] -= ze * tab.at(leave, j);
+      }
+      z[enter] = 0.0;  // numerically exact
+    }
+  };
+
+  // Phase 1: drive artificials to zero.
+  if (num_art > 0) {
+    std::vector<double> phase1_cost(total_cols, 0.0);
+    for (size_t col : artificial_cols) phase1_cost[col] = 1.0;
+    std::vector<bool> allow(total_cols, true);
+    IPOOL_RETURN_NOT_OK(run_phase(phase1_cost, allow));
+
+    double infeasibility = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (is_artificial[basis[i]]) infeasibility += tab.at(i, rhs_col);
+    }
+    if (infeasibility > 1e-6) {
+      return Status::FailedPrecondition(
+          StrFormat("LP infeasible (phase-1 objective %g)", infeasibility));
+    }
+    // Pivot any zero-valued artificial out of the basis where possible so
+    // phase 2 starts from a clean structural basis.
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_artificial[basis[i]]) continue;
+      for (size_t j = 0; j < num_structural; ++j) {
+        if (std::fabs(tab.at(i, j)) > tol) {
+          tab.Pivot(i, j);
+          basis[i] = j;
+          break;
+        }
+      }
+      // If the row is all-zero across structural columns it is redundant;
+      // the artificial stays basic at value zero and is barred from phase 2.
+    }
+  }
+
+  // Phase 2: original objective; artificials may not re-enter.
+  std::vector<double> phase2_cost(total_cols, 0.0);
+  for (size_t j = 0; j < n; ++j) phase2_cost[j] = problem.objective[j];
+  std::vector<bool> allow(total_cols, true);
+  for (size_t col : artificial_cols) allow[col] = false;
+  IPOOL_RETURN_NOT_OK(run_phase(phase2_cost, allow));
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = tab.at(i, rhs_col);
+  }
+  double obj = 0.0;
+  for (size_t j = 0; j < n; ++j) obj += problem.objective[j] * solution.x[j];
+  solution.objective = obj;
+  solution.iterations = iterations;
+  return solution;
+}
+
+}  // namespace ipool

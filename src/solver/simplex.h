@@ -1,0 +1,68 @@
+// A dense two-phase primal simplex solver for linear programs in the form
+//   minimize    c^T x
+//   subject to  a_i^T x {<=,>=,==} b_i   for each constraint i
+//               x >= 0.
+//
+// This is the stand-in for the commercial LP solver the paper uses for the
+// SAA formulation (§4.2). It targets correctness and transparency over raw
+// speed: Bland's rule guards against cycling, and the tableau is dense. The
+// structured block-DP solver in saa_optimizer.h is the production path for
+// long traces; this solver cross-validates it on small instances and solves
+// arbitrary side LPs.
+#ifndef IPOOL_SOLVER_SIMPLEX_H_
+#define IPOOL_SOLVER_SIMPLEX_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipool {
+
+enum class ConstraintType { kLessEqual, kGreaterEqual, kEqual };
+
+struct LpConstraint {
+  /// Sparse row: (variable index, coefficient) pairs.
+  std::vector<std::pair<size_t, double>> terms;
+  ConstraintType type = ConstraintType::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  size_t num_vars = 0;
+  /// Minimization objective; must have size num_vars.
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+
+  Status Validate() const;
+};
+
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+  size_t iterations = 0;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    size_t max_iterations = 200000;
+    double tolerance = 1e-9;
+  };
+
+  SimplexSolver() : options_(Options()) {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Returns the optimal solution, InvalidArgument for malformed problems,
+  /// FailedPrecondition for infeasible ones, OutOfRange for unbounded ones,
+  /// and DeadlineExceeded if the iteration cap is hit.
+  Result<LpSolution> Solve(const LpProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_SOLVER_SIMPLEX_H_

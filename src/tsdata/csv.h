@@ -1,0 +1,36 @@
+// CSV persistence for demand series and pool-size schedules: the interchange
+// format of the ipool_cli tool and the easiest way to feed real telemetry
+// exports into the library.
+//
+// TimeSeries format:  header "time_seconds,value", then one row per bin.
+// Schedule format:    header "time_seconds,pool_size", integer sizes.
+// Rows must be uniformly spaced; the loader infers start/interval from the
+// first two rows and rejects gaps.
+#ifndef IPOOL_TSDATA_CSV_H_
+#define IPOOL_TSDATA_CSV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsdata/time_series.h"
+
+namespace ipool {
+
+Status SaveTimeSeriesCsv(const TimeSeries& series, const std::string& path);
+Result<TimeSeries> LoadTimeSeriesCsv(const std::string& path);
+
+struct StoredSchedule {
+  double start_time = 0.0;
+  double interval_seconds = kDefaultIntervalSeconds;
+  std::vector<int64_t> pool_size_per_bin;
+};
+
+Status SaveScheduleCsv(const StoredSchedule& schedule,
+                       const std::string& path);
+Result<StoredSchedule> LoadScheduleCsv(const std::string& path);
+
+}  // namespace ipool
+
+#endif  // IPOOL_TSDATA_CSV_H_

@@ -1,0 +1,77 @@
+#include "tsdata/metrics.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+namespace {
+
+Status CheckLengths(const std::vector<double>& truth,
+                    const std::vector<double>& prediction) {
+  if (truth.empty()) return Status::InvalidArgument("empty series");
+  if (truth.size() != prediction.size()) {
+    return Status::InvalidArgument(
+        StrFormat("length mismatch: truth=%zu prediction=%zu", truth.size(),
+                  prediction.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Mae(const std::vector<double>& truth,
+                   const std::vector<double>& prediction) {
+  IPOOL_RETURN_NOT_OK(CheckLengths(truth, prediction));
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    total += std::fabs(truth[i] - prediction[i]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+Result<double> Rmse(const std::vector<double>& truth,
+                    const std::vector<double>& prediction) {
+  IPOOL_RETURN_NOT_OK(CheckLengths(truth, prediction));
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - prediction[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+Result<double> AsymmetricLoss(const std::vector<double>& truth,
+                              const std::vector<double>& prediction,
+                              double alpha_prime) {
+  IPOOL_RETURN_NOT_OK(CheckLengths(truth, prediction));
+  if (alpha_prime < 0.0 || alpha_prime > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("alpha' must be in [0,1], got %g", alpha_prime));
+  }
+  double under = 0.0;  // delta+ : truth above prediction
+  double over = 0.0;   // delta- : prediction above truth
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double delta = truth[i] - prediction[i];
+    if (delta > 0.0) {
+      under += delta;
+    } else {
+      over -= delta;
+    }
+  }
+  const double n = static_cast<double>(truth.size());
+  return alpha_prime * (under / n) + (1.0 - alpha_prime) * (over / n);
+}
+
+Result<double> CoverageRate(const std::vector<double>& truth,
+                            const std::vector<double>& prediction) {
+  IPOOL_RETURN_NOT_OK(CheckLengths(truth, prediction));
+  size_t covered = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (prediction[i] >= truth[i]) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(truth.size());
+}
+
+}  // namespace ipool

@@ -1,0 +1,36 @@
+// Forecast-accuracy metrics used in the paper's evaluation: MAE and RMSE
+// (Table 1), plus the asymmetric over/undershoot loss of Eq 12 which the
+// deep and hybrid models train against.
+#ifndef IPOOL_TSDATA_METRICS_H_
+#define IPOOL_TSDATA_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipool {
+
+/// Mean absolute error. Requires equal non-zero lengths.
+Result<double> Mae(const std::vector<double>& truth,
+                   const std::vector<double>& prediction);
+
+/// Root mean squared error. Requires equal non-zero lengths.
+Result<double> Rmse(const std::vector<double>& truth,
+                    const std::vector<double>& prediction);
+
+/// Eq 12–15: L = alpha' * mean(delta+) + (1 - alpha') * mean(delta-), where
+/// delta = truth - prediction; delta+ is underprediction (prediction below
+/// demand, which causes customer wait) and delta- is overprediction (idle
+/// cost). alpha' in [0, 1]. alpha' = 0.5 is symmetric MAE / 2.
+Result<double> AsymmetricLoss(const std::vector<double>& truth,
+                              const std::vector<double>& prediction,
+                              double alpha_prime);
+
+/// Fraction of bins where prediction >= truth (pool would not drain on that
+/// bin under a pool sized from the prediction); a cheap proxy for hit rate.
+Result<double> CoverageRate(const std::vector<double>& truth,
+                            const std::vector<double>& prediction);
+
+}  // namespace ipool
+
+#endif  // IPOOL_TSDATA_METRICS_H_

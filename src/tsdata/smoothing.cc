@@ -1,0 +1,65 @@
+#include "tsdata/smoothing.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ipool {
+
+namespace {
+
+// Window [i - half, i + half] clamped to the series bounds.
+struct Window {
+  size_t lo;
+  size_t hi;  // inclusive
+};
+
+Window ClampedWindow(size_t i, size_t half, size_t n) {
+  const size_t lo = i >= half ? i - half : 0;
+  const size_t hi = std::min(i + half, n - 1);
+  return {lo, hi};
+}
+
+}  // namespace
+
+TimeSeries MaxFilter(const TimeSeries& series, size_t smoothing_factor) {
+  const size_t n = series.size();
+  if (smoothing_factor == 0 || n == 0) return series;
+  const size_t half = smoothing_factor / 2;
+
+  // Monotonic deque keeps this O(n) regardless of window width.
+  std::vector<double> out(n);
+  std::deque<size_t> deq;  // indices with decreasing values
+  size_t next = 0;         // first index not yet pushed
+  for (size_t i = 0; i < n; ++i) {
+    const Window w = ClampedWindow(i, half, n);
+    while (next <= w.hi) {
+      while (!deq.empty() && series.value(deq.back()) <= series.value(next)) {
+        deq.pop_back();
+      }
+      deq.push_back(next++);
+    }
+    while (!deq.empty() && deq.front() < w.lo) deq.pop_front();
+    out[i] = series.value(deq.front());
+  }
+  return TimeSeries(series.start(), series.interval(), std::move(out));
+}
+
+TimeSeries MeanFilter(const TimeSeries& series, size_t smoothing_factor) {
+  const size_t n = series.size();
+  if (smoothing_factor == 0 || n == 0) return series;
+  const size_t half = smoothing_factor / 2;
+
+  // Prefix sums for O(1) window averages.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + series.value(i);
+
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Window w = ClampedWindow(i, half, n);
+    const double sum = prefix[w.hi + 1] - prefix[w.lo];
+    out[i] = sum / static_cast<double>(w.hi - w.lo + 1);
+  }
+  return TimeSeries(series.start(), series.interval(), std::move(out));
+}
+
+}  // namespace ipool

@@ -1,0 +1,27 @@
+// Robustness smoothing from §7.5 of the paper: a max filter that widens
+// demand spikes ("fatter spikes", Eq 18) so the forecaster and the optimizer
+// keep the pool raised long enough to absorb irregular surges.
+#ifndef IPOOL_TSDATA_SMOOTHING_H_
+#define IPOOL_TSDATA_SMOOTHING_H_
+
+#include <cstddef>
+
+#include "tsdata/time_series.h"
+
+namespace ipool {
+
+/// Eq 18: sliding centered max over a window of `smoothing_factor` bins.
+/// For t >= SF/2 the window is [t - SF/2, t + SF/2]; near the left edge the
+/// window is clamped to start at 0 (exactly as the paper's two-case
+/// definition). The right edge is clamped symmetrically.
+/// smoothing_factor == 0 returns the input unchanged.
+TimeSeries MaxFilter(const TimeSeries& series, size_t smoothing_factor);
+
+/// Centered moving average with the same windowing convention; used as a
+/// comparison point in the smoothing ablation (it fails to preserve spike
+/// peaks, which is why the paper uses a max filter).
+TimeSeries MeanFilter(const TimeSeries& series, size_t smoothing_factor);
+
+}  // namespace ipool
+
+#endif  // IPOOL_TSDATA_SMOOTHING_H_

@@ -1,0 +1,101 @@
+#include "tsdata/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Result<TimeSeries> TimeSeries::Create(double start_seconds,
+                                      double interval_seconds,
+                                      std::vector<double> values) {
+  if (interval_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("interval must be positive, got %g", interval_seconds));
+  }
+  return TimeSeries(start_seconds, interval_seconds, std::move(values));
+}
+
+size_t TimeSeries::IndexOf(double t) const {
+  if (values_.empty()) return 0;
+  const double raw = std::floor((t - start_) / interval_);
+  if (raw < 0.0) return 0;
+  const size_t idx = static_cast<size_t>(raw);
+  return std::min(idx, values_.size() - 1);
+}
+
+TimeSeries TimeSeries::Slice(size_t begin, size_t end) const {
+  begin = std::min(begin, values_.size());
+  end = std::min(end, values_.size());
+  if (begin >= end) return TimeSeries(TimeAt(begin), interval_, {});
+  return TimeSeries(TimeAt(begin), interval_,
+                    std::vector<double>(values_.begin() + static_cast<ptrdiff_t>(begin),
+                                        values_.begin() + static_cast<ptrdiff_t>(end)));
+}
+
+std::pair<TimeSeries, TimeSeries> TimeSeries::Split(double head_fraction) const {
+  head_fraction = std::clamp(head_fraction, 0.0, 1.0);
+  const size_t head = static_cast<size_t>(
+      std::llround(head_fraction * static_cast<double>(values_.size())));
+  return {Slice(0, head), Slice(head, values_.size())};
+}
+
+double TimeSeries::Sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double TimeSeries::Mean() const {
+  return values_.empty() ? 0.0 : Sum() / static_cast<double>(values_.size());
+}
+
+double TimeSeries::Max() const {
+  return values_.empty() ? -std::numeric_limits<double>::infinity()
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Min() const {
+  return values_.empty() ? std::numeric_limits<double>::infinity()
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+TimeSeries TimeSeries::CumulativeSum() const {
+  std::vector<double> cum(values_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    total += values_[i];
+    cum[i] = total;
+  }
+  return TimeSeries(start_, interval_, std::move(cum));
+}
+
+Result<TimeSeries> Downsample(const TimeSeries& series, size_t factor) {
+  if (factor == 0) return Status::InvalidArgument("factor must be >= 1");
+  if (factor == 1) return series;
+  const size_t groups = series.size() / factor;
+  std::vector<double> values(groups, 0.0);
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t k = 0; k < factor; ++k) {
+      values[g] += series.value(g * factor + k);
+    }
+  }
+  return TimeSeries(series.start(),
+                    series.interval() * static_cast<double>(factor),
+                    std::move(values));
+}
+
+TimeSeries BinEvents(const std::vector<double>& event_times, double start,
+                     double interval_seconds, size_t num_bins) {
+  std::vector<double> counts(num_bins, 0.0);
+  const double end = start + interval_seconds * static_cast<double>(num_bins);
+  for (double t : event_times) {
+    if (t < start || t >= end) continue;
+    const size_t idx = static_cast<size_t>((t - start) / interval_seconds);
+    if (idx < num_bins) counts[idx] += 1.0;
+  }
+  return TimeSeries(start, interval_seconds, std::move(counts));
+}
+
+}  // namespace ipool

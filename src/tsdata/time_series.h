@@ -1,0 +1,90 @@
+// Fixed-interval time series: the common data representation consumed by the
+// forecasting models and the SAA optimizer. The paper consolidates raw
+// cluster-request events into 30-second bins (§7); BinEvents performs that
+// consolidation here.
+#ifndef IPOOL_TSDATA_TIME_SERIES_H_
+#define IPOOL_TSDATA_TIME_SERIES_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ipool {
+
+/// The paper's evaluation bin width (§7: "30-second intervals").
+inline constexpr double kDefaultIntervalSeconds = 30.0;
+
+/// A regularly sampled series. `value(i)` covers virtual time
+/// [start + i*interval, start + (i+1)*interval).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(double start_seconds, double interval_seconds,
+             std::vector<double> values)
+      : start_(start_seconds),
+        interval_(interval_seconds),
+        values_(std::move(values)) {}
+
+  static Result<TimeSeries> Create(double start_seconds,
+                                   double interval_seconds,
+                                   std::vector<double> values);
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double start() const { return start_; }
+  double interval() const { return interval_; }
+  double value(size_t i) const { return values_[i]; }
+  double& value(size_t i) { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Left edge of bin i.
+  double TimeAt(size_t i) const { return start_ + interval_ * static_cast<double>(i); }
+
+  /// Index of the bin containing time t (clamped to [0, size-1]).
+  size_t IndexOf(double t) const;
+
+  void Append(double v) { values_.push_back(v); }
+
+  /// Sub-series [begin, end) keeping the time base consistent.
+  TimeSeries Slice(size_t begin, size_t end) const;
+
+  /// Splits into (head, tail) where head holds `head_fraction` of the points
+  /// (the paper's 80/20 train-test split uses head_fraction = 0.8).
+  std::pair<TimeSeries, TimeSeries> Split(double head_fraction) const;
+
+  double Sum() const;
+  double Mean() const;
+  double Max() const;
+  double Min() const;
+
+  /// Running total; cum[i] = sum of values[0..i]. This converts a per-bin
+  /// request-count series into the paper's cumulative demand curve D(t).
+  TimeSeries CumulativeSum() const;
+
+  bool SameShape(const TimeSeries& other) const {
+    return size() == other.size() && interval_ == other.interval_;
+  }
+
+ private:
+  double start_ = 0.0;
+  double interval_ = kDefaultIntervalSeconds;
+  std::vector<double> values_;
+};
+
+/// Bins raw event timestamps (seconds, any order) into per-interval counts
+/// covering [start, start + num_bins * interval). Events outside the range
+/// are dropped.
+TimeSeries BinEvents(const std::vector<double>& event_times, double start,
+                     double interval_seconds, size_t num_bins);
+
+/// Re-bins a count series to a coarser interval by summing groups of
+/// `factor` consecutive bins (a trailing partial group is dropped). Used to
+/// adapt externally exported telemetry to the pipeline's 30 s bin width.
+Result<TimeSeries> Downsample(const TimeSeries& series, size_t factor);
+
+}  // namespace ipool
+
+#endif  // IPOOL_TSDATA_TIME_SERIES_H_

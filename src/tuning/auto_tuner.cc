@@ -1,0 +1,75 @@
+#include "tuning/auto_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+Status AutoTunerConfig::Validate() const {
+  if (target_wait_seconds < 0.0) {
+    return Status::InvalidArgument("target wait must be >= 0");
+  }
+  if (window < 2) return Status::InvalidArgument("window must be >= 2");
+  if (min_alpha < 0.0 || max_alpha > 1.0 || min_alpha >= max_alpha) {
+    return Status::InvalidArgument("need 0 <= min_alpha < max_alpha <= 1");
+  }
+  if (initial_alpha < min_alpha || initial_alpha > max_alpha) {
+    return Status::InvalidArgument("initial_alpha outside [min, max]");
+  }
+  if (damping <= 0.0 || damping > 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  if (fallback_step <= 0.0) {
+    return Status::InvalidArgument("fallback_step must be positive");
+  }
+  return Status::OK();
+}
+
+Result<AutoTuner> AutoTuner::Create(const AutoTunerConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  return AutoTuner(config);
+}
+
+double AutoTuner::Observe(double alpha_used, double wait_seconds) {
+  history_.push_back({alpha_used, std::max(0.0, wait_seconds)});
+  while (history_.size() > config_.window) history_.pop_front();
+
+  // Fit wait = a + b * alpha over the trailing window (simple least
+  // squares). A larger alpha' shrinks the pool, so b should be positive.
+  const size_t n = history_.size();
+  double sum_a = 0.0, sum_w = 0.0, sum_aa = 0.0, sum_aw = 0.0;
+  for (const Observation& o : history_) {
+    sum_a += o.alpha;
+    sum_w += o.wait;
+    sum_aa += o.alpha * o.alpha;
+    sum_aw += o.alpha * o.wait;
+  }
+  const double denom = static_cast<double>(n) * sum_aa - sum_a * sum_a;
+  const double latest_wait = history_.back().wait;
+
+  double next = alpha_;
+  bool fitted = false;
+  if (n >= 2 && std::fabs(denom) > 1e-12) {
+    const double b = (static_cast<double>(n) * sum_aw - sum_a * sum_w) / denom;
+    const double a = (sum_w - b * sum_a) / static_cast<double>(n);
+    if (b > 1e-9) {
+      const double alpha_star = (config_.target_wait_seconds - a) / b;
+      next = alpha_ + config_.damping * (alpha_star - alpha_);
+      fitted = true;
+    }
+  }
+  if (!fitted) {
+    // Degenerate fit: nudge in the direction that should correct the error.
+    if (latest_wait > config_.target_wait_seconds) {
+      next = alpha_ - config_.fallback_step;  // grow the pool
+    } else if (latest_wait < config_.target_wait_seconds) {
+      next = alpha_ + config_.fallback_step;  // shrink the pool
+    }
+  }
+  alpha_ = std::clamp(next, config_.min_alpha, config_.max_alpha);
+  return alpha_;
+}
+
+}  // namespace ipool

@@ -1,0 +1,64 @@
+// Self-adaptive hyper-parameter tuning (§6): closes the feedback loop
+// between the observed customer wait time and the single remaining SAA knob
+// alpha'. The relation alpha' = f(t_wait) is approximated as piece-wise
+// linear; the tuner fits a line through the last `window` (alpha', wait)
+// observations and inverts it toward the wait-time SLA, with damping and a
+// slope-degenerate fallback so it cannot oscillate or divide by zero.
+#ifndef IPOOL_TUNING_AUTO_TUNER_H_
+#define IPOOL_TUNING_AUTO_TUNER_H_
+
+#include <deque>
+
+#include "common/status.h"
+
+namespace ipool {
+
+struct AutoTunerConfig {
+  /// The wait-time SLA to steer toward (seconds, average per request).
+  double target_wait_seconds = 1.0;
+  double initial_alpha = 0.5;
+  /// Number of trailing observations used for the local linear fit (the
+  /// paper uses 10).
+  size_t window = 10;
+  double min_alpha = 0.01;
+  double max_alpha = 0.99;
+  /// Fraction of the fitted correction applied per step (1 = jump straight
+  /// to the fitted value; smaller damps oscillation).
+  double damping = 0.5;
+  /// Fallback multiplicative step when the fit is degenerate (fewer than two
+  /// distinct alphas observed, or a slope with the wrong sign).
+  double fallback_step = 0.05;
+
+  Status Validate() const;
+};
+
+class AutoTuner {
+ public:
+  static Result<AutoTuner> Create(const AutoTunerConfig& config);
+
+  /// Current recommended alpha'.
+  double alpha() const { return alpha_; }
+
+  /// Records the wait time observed while running with `alpha_used`, then
+  /// retunes. Returns the new alpha'.
+  double Observe(double alpha_used, double wait_seconds);
+
+  size_t observation_count() const { return history_.size(); }
+
+ private:
+  explicit AutoTuner(const AutoTunerConfig& config)
+      : config_(config), alpha_(config.initial_alpha) {}
+
+  struct Observation {
+    double alpha;
+    double wait;
+  };
+
+  AutoTunerConfig config_;
+  double alpha_;
+  std::deque<Observation> history_;
+};
+
+}  // namespace ipool
+
+#endif  // IPOOL_TUNING_AUTO_TUNER_H_

@@ -1,0 +1,241 @@
+#include "workload/demand_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerHour = 3600.0;
+}  // namespace
+
+Status WorkloadConfig::Validate() const {
+  if (interval_seconds <= 0.0) {
+    return Status::InvalidArgument("interval_seconds must be positive");
+  }
+  if (duration_days <= 0.0) {
+    return Status::InvalidArgument("duration_days must be positive");
+  }
+  if (base_rate_per_minute < 0.0 || hourly_spike_requests < 0.0 ||
+      irregular_spike_requests < 0.0 || irregular_spike_rate_per_day < 0.0) {
+    return Status::InvalidArgument("rates and magnitudes must be non-negative");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude > 1.0) {
+    return Status::InvalidArgument("diurnal_amplitude must be in [0, 1]");
+  }
+  if (weekend_factor < 0.0) {
+    return Status::InvalidArgument("weekend_factor must be non-negative");
+  }
+  if (hourly_spike_width_seconds <= 0.0 ||
+      irregular_spike_width_seconds <= 0.0) {
+    return Status::InvalidArgument("spike widths must be positive");
+  }
+  if (noise_cv < 0.0) {
+    return Status::InvalidArgument("noise_cv must be non-negative");
+  }
+  return Status::OK();
+}
+
+std::string RegionToString(Region region) {
+  switch (region) {
+    case Region::kWestUs2:
+      return "West US 2";
+    case Region::kEastUs2:
+      return "East US 2";
+  }
+  return "Unknown";
+}
+
+std::string NodeSizeToString(NodeSize size) {
+  switch (size) {
+    case NodeSize::kSmall:
+      return "Small";
+    case NodeSize::kMedium:
+      return "Medium";
+    case NodeSize::kLarge:
+      return "Large";
+  }
+  return "Unknown";
+}
+
+WorkloadConfig RegionNodeProfile(Region region, NodeSize size, uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  // Volume ordering mirrors Table 1: small-node pools carry the most
+  // traffic, large the least; West US 2 is busier and noisier than East.
+  switch (size) {
+    case NodeSize::kSmall:
+      config.base_rate_per_minute = 10.0;
+      config.hourly_spike_requests = 25.0;
+      break;
+    case NodeSize::kMedium:
+      config.base_rate_per_minute = 3.5;
+      config.hourly_spike_requests = 8.0;
+      break;
+    case NodeSize::kLarge:
+      config.base_rate_per_minute = 1.2;
+      config.hourly_spike_requests = 3.0;
+      break;
+  }
+  switch (region) {
+    case Region::kWestUs2:
+      config.noise_cv = 0.35;
+      config.diurnal_amplitude = 0.7;
+      config.peak_hour = 13.0;
+      break;
+    case Region::kEastUs2:
+      config.base_rate_per_minute *= 0.6;
+      config.hourly_spike_requests *= 0.6;
+      config.noise_cv = 0.15;
+      config.diurnal_amplitude = 0.55;
+      config.peak_hour = 15.0;
+      break;
+  }
+  return config;
+}
+
+WorkloadConfig SpikyRegionProfile(uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.base_rate_per_minute = 0.25;  // demand close to zero off-spike
+  config.diurnal_amplitude = 0.2;
+  config.weekend_factor = 0.8;
+  config.hourly_spike_requests = 0.0;
+  config.irregular_spike_rate_per_day = 8.0;  // ~ every 3 hours
+  config.irregular_spike_requests = 30.0;
+  config.irregular_spike_width_seconds = 120.0;
+  config.irregular_spikes_business_hours_only = true;
+  config.noise_cv = 0.25;
+  return config;
+}
+
+Result<DemandGenerator> DemandGenerator::Create(const WorkloadConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  return DemandGenerator(config);
+}
+
+DemandGenerator::DemandGenerator(const WorkloadConfig& config)
+    : config_(config) {
+  BuildIrregularSpikes();
+}
+
+void DemandGenerator::BuildIrregularSpikes() {
+  if (config_.irregular_spike_rate_per_day <= 0.0 ||
+      config_.irregular_spike_requests <= 0.0) {
+    return;
+  }
+  // Homogeneous Poisson arrival of spike events over the trace. Seed stream
+  // is separate (tag 0xA5) from the per-bin noise so changing noise settings
+  // does not move the spike schedule.
+  Rng base(config_.seed);
+  Rng rng = base.Fork(0xA5);
+  const double horizon = config_.duration_days * kSecondsPerDay;
+  const double rate = config_.irregular_spike_rate_per_day / kSecondsPerDay;
+  double t = rng.Exponential(rate);
+  while (t < horizon) {
+    const double hour = std::fmod(t, kSecondsPerDay) / kSecondsPerHour;
+    if (!config_.irregular_spikes_business_hours_only ||
+        (hour >= 6.0 && hour < 22.0)) {
+      spike_times_.push_back(t);
+    }
+    t += rng.Exponential(rate);
+  }
+}
+
+size_t DemandGenerator::num_bins() const {
+  return static_cast<size_t>(std::ceil(
+      config_.duration_days * kSecondsPerDay / config_.interval_seconds));
+}
+
+double DemandGenerator::RateAt(double t) const {
+  const double day = std::fmod(t / kSecondsPerDay, 7.0);
+  const double hour = std::fmod(t, kSecondsPerDay) / kSecondsPerHour;
+
+  // Diurnal cosine: 1 at peak_hour, (1 - 2*amplitude) clipped at >= 0 at the
+  // opposite point, mean ~ (1 - amplitude).
+  const double phase = 2.0 * M_PI * (hour - config_.peak_hour) / 24.0;
+  double rate = config_.base_rate_per_minute / 60.0 *
+                std::max(0.0, 1.0 - config_.diurnal_amplitude +
+                                  config_.diurnal_amplitude * std::cos(phase));
+
+  const bool weekend = day >= 5.0;
+  if (weekend) rate *= config_.weekend_factor;
+
+  // Top-of-hour burst: a rectangular bump of `hourly_spike_requests` spread
+  // over `hourly_spike_width_seconds` right after each round hour.
+  if (config_.hourly_spike_requests > 0.0) {
+    const double since_hour = std::fmod(t, kSecondsPerHour);
+    if (since_hour < config_.hourly_spike_width_seconds) {
+      double burst = config_.hourly_spike_requests /
+                     config_.hourly_spike_width_seconds;
+      if (weekend) burst *= config_.weekend_factor;
+      rate += burst;
+    }
+  }
+
+  // Sporadic spikes.
+  for (double spike_t : spike_times_) {
+    if (t >= spike_t && t < spike_t + config_.irregular_spike_width_seconds) {
+      rate += config_.irregular_spike_requests /
+              config_.irregular_spike_width_seconds;
+    }
+  }
+  return rate;
+}
+
+TimeSeries DemandGenerator::GenerateBinned() const {
+  Rng base(config_.seed);
+  Rng rng = base.Fork(0xB1);
+  const size_t bins = num_bins();
+  std::vector<double> counts(bins, 0.0);
+  // Log-normal multiplicative noise with unit mean and the configured CV.
+  const double cv2 = config_.noise_cv * config_.noise_cv;
+  const double sigma = std::sqrt(std::log1p(cv2));
+  const double mu = -0.5 * sigma * sigma;
+  for (size_t i = 0; i < bins; ++i) {
+    const double t_mid =
+        (static_cast<double>(i) + 0.5) * config_.interval_seconds;
+    double lambda = RateAt(t_mid) * config_.interval_seconds;
+    if (config_.noise_cv > 0.0) {
+      lambda *= std::exp(rng.Normal(mu, sigma));
+    }
+    counts[i] = static_cast<double>(rng.Poisson(lambda));
+  }
+  return TimeSeries(0.0, config_.interval_seconds, std::move(counts));
+}
+
+std::vector<double> DemandGenerator::GenerateEvents() const {
+  // Same bin-level counts as GenerateBinned (same sub-stream), with
+  // uniformly scattered arrival offsets inside each bin so the event view
+  // and the binned view of one seed agree exactly.
+  Rng base(config_.seed);
+  Rng count_rng = base.Fork(0xB1);
+  Rng offset_rng = base.Fork(0xC2);
+  const size_t bins = num_bins();
+  const double cv2 = config_.noise_cv * config_.noise_cv;
+  const double sigma = std::sqrt(std::log1p(cv2));
+  const double mu = -0.5 * sigma * sigma;
+
+  std::vector<double> events;
+  for (size_t i = 0; i < bins; ++i) {
+    const double t_mid =
+        (static_cast<double>(i) + 0.5) * config_.interval_seconds;
+    double lambda = RateAt(t_mid) * config_.interval_seconds;
+    if (config_.noise_cv > 0.0) {
+      lambda *= std::exp(count_rng.Normal(mu, sigma));
+    }
+    const int64_t count = count_rng.Poisson(lambda);
+    const double bin_start = static_cast<double>(i) * config_.interval_seconds;
+    for (int64_t k = 0; k < count; ++k) {
+      events.push_back(bin_start +
+                       offset_rng.NextDouble() * config_.interval_seconds);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+}  // namespace ipool

@@ -1,0 +1,34 @@
+# Drives the operator CLI through a full workflow and fails on any non-zero
+# exit. Invoked by ctest with -DCLI=<binary> -DWORKDIR=<dir>.
+set(demand ${WORKDIR}/cli_demand.csv)
+set(schedule ${WORKDIR}/cli_schedule.csv)
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "ipool_cli ${ARGN} failed (${code}): ${out} ${err}")
+  endif()
+endfunction()
+
+run_cli(generate --profile east-medium --days 1 --seed 5 --out ${demand})
+run_cli(recommend --demand ${demand} --model ssa --alpha 0.3 --bins 2880
+        --out ${schedule})
+# The emitted schedule covers the *next* day; evaluate it against the same
+# demand shape by regenerating day 2 of the same seed.
+run_cli(generate --profile east-medium --days 1 --seed 6 --out ${demand})
+run_cli(evaluate --demand ${demand} --schedule ${schedule})
+run_cli(simulate --demand ${demand} --schedule ${schedule} --latency 90)
+run_cli(sweep --demand ${demand})
+
+# Unknown commands and missing flags must fail loudly.
+execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE code
+                OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown command should have failed")
+endif()
+execute_process(COMMAND ${CLI} generate RESULT_VARIABLE code
+                OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "generate without --out should have failed")
+endif()

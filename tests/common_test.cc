@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace ipool {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad pool size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad pool size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad pool size");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubler(Result<int> in) {
+  IPOOL_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  Result<int> err = Doubler(Status::Internal("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(5);
+  for (double lambda : {0.5, 3.0, 20.0, 120.0}) {
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, 0.05 * lambda + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsDecorrelated) {
+  Rng parent(42);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StringsTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(42.5), "42.5s");
+  EXPECT_EQ(HumanDuration(125), "2m 05s");
+  EXPECT_EQ(HumanDuration(3723), "1h 02m 03s");
+}
+
+TEST(StringsTest, HumanClock) {
+  EXPECT_EQ(HumanClock(0), "0d 00:00:00");
+  EXPECT_EQ(HumanClock(90061), "1d 01:01:01");
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recommendation_engine.h"
+#include "solver/pool_model.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+PipelineConfig FastPipeline(PipelineKind kind = PipelineKind::k2Step,
+                            ModelKind model = ModelKind::kSsa) {
+  PipelineConfig config;
+  config.kind = kind;
+  config.model = model;
+  config.forecast.window = 48;
+  config.forecast.horizon = 24;
+  config.forecast.epochs = 3;
+  config.forecast.stride = 8;
+  config.saa.alpha_prime = 0.4;
+  config.saa.pool.tau_bins = 3;
+  config.saa.pool.stableness_bins = 10;
+  config.saa.pool.max_pool_size = 100;
+  config.recommendation_bins = 60;
+  return config;
+}
+
+TimeSeries SyntheticHistory(double days = 1.0, uint64_t seed = 5) {
+  WorkloadConfig wconfig;
+  wconfig.duration_days = days;
+  wconfig.base_rate_per_minute = 5.0;
+  wconfig.hourly_spike_requests = 10.0;
+  wconfig.seed = seed;
+  auto generator = DemandGenerator::Create(wconfig);
+  return generator->GenerateBinned();
+}
+
+TEST(PipelineConfigTest, Validation) {
+  EXPECT_TRUE(FastPipeline().Validate().ok());
+  PipelineConfig c = FastPipeline();
+  c.recommendation_bins = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FastPipeline();
+  c.saa.alpha_prime = 2.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = FastPipeline();
+  c.forecast.window = 1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(PipelineKindTest, Stringify) {
+  EXPECT_EQ(PipelineKindToString(PipelineKind::k2Step), "2-step");
+  EXPECT_EQ(PipelineKindToString(PipelineKind::kEndToEnd), "E2E");
+}
+
+TEST(RecommendationEngineTest, TwoStepProducesSchedule) {
+  auto engine = RecommendationEngine::Create(FastPipeline());
+  ASSERT_TRUE(engine.ok());
+  TimeSeries history = SyntheticHistory();
+  auto rec = engine->Run(history);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->pool_size_per_bin.size(), 60u);
+  EXPECT_EQ(rec->predicted_demand.size(), 60u);
+  EXPECT_EQ(rec->model_name, "SSA");
+  EXPECT_EQ(rec->pipeline, PipelineKind::k2Step);
+  for (int64_t n : rec->pool_size_per_bin) {
+    EXPECT_GE(n, 0);
+    EXPECT_LE(n, 100);
+  }
+}
+
+TEST(RecommendationEngineTest, EndToEndProducesSchedule) {
+  auto engine =
+      RecommendationEngine::Create(FastPipeline(PipelineKind::kEndToEnd));
+  ASSERT_TRUE(engine.ok());
+  TimeSeries history = SyntheticHistory();
+  auto rec = engine->Run(history);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->pool_size_per_bin.size(), 60u);
+  EXPECT_TRUE(rec->predicted_demand.empty());
+  EXPECT_EQ(rec->pipeline, PipelineKind::kEndToEnd);
+}
+
+TEST(RecommendationEngineTest, RejectsEmptyHistory) {
+  auto engine = RecommendationEngine::Create(FastPipeline());
+  EXPECT_FALSE(engine->Run(TimeSeries(0, 30, {})).ok());
+}
+
+TEST(RecommendationEngineTest, ScheduleRespectsPoolBounds) {
+  PipelineConfig config = FastPipeline();
+  config.saa.pool.min_pool_size = 2;
+  config.saa.pool.max_pool_size = 7;
+  auto engine = RecommendationEngine::Create(config);
+  auto rec = engine->Run(SyntheticHistory());
+  ASSERT_TRUE(rec.ok());
+  for (int64_t n : rec->pool_size_per_bin) {
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 7);
+  }
+}
+
+TEST(RecommendationEngineTest, ScheduleTracksDemandLevel) {
+  // A heavier workload must lead to a larger recommended pool on average.
+  auto engine = RecommendationEngine::Create(FastPipeline());
+  WorkloadConfig light;
+  light.duration_days = 1.0;
+  light.base_rate_per_minute = 1.0;
+  // Flat profile: a diurnal trough at the end of the trace would make a
+  // near-zero recommendation correct for both workloads.
+  light.diurnal_amplitude = 0.0;
+  light.weekend_factor = 1.0;
+  light.seed = 9;
+  WorkloadConfig heavy = light;
+  heavy.base_rate_per_minute = 15.0;
+
+  auto light_rec =
+      engine->Run(DemandGenerator::Create(light)->GenerateBinned());
+  auto heavy_rec =
+      engine->Run(DemandGenerator::Create(heavy)->GenerateBinned());
+  ASSERT_TRUE(light_rec.ok());
+  ASSERT_TRUE(heavy_rec.ok());
+  auto mean_pool = [](const Recommendation& r) {
+    double total = 0;
+    for (int64_t n : r.pool_size_per_bin) total += static_cast<double>(n);
+    return total / static_cast<double>(r.pool_size_per_bin.size());
+  };
+  EXPECT_GT(mean_pool(*heavy_rec), 2.0 * mean_pool(*light_rec));
+}
+
+TEST(RecommendationEngineTest, AlphaPrimeControlsPoolSize) {
+  // Lower alpha' (wait matters more) must produce a bigger pool.
+  TimeSeries history = SyntheticHistory();
+  auto mean_pool_at = [&](double alpha) {
+    PipelineConfig config = FastPipeline();
+    config.saa.alpha_prime = alpha;
+    auto engine = RecommendationEngine::Create(config);
+    auto rec = engine->Run(history);
+    EXPECT_TRUE(rec.ok());
+    double total = 0;
+    for (int64_t n : rec->pool_size_per_bin) total += static_cast<double>(n);
+    return total / static_cast<double>(rec->pool_size_per_bin.size());
+  };
+  EXPECT_GE(mean_pool_at(0.05), mean_pool_at(0.9));
+}
+
+TEST(RecommendationEngineTest, SmoothedRecommendationDominates) {
+  // §7.5 strategy 3: the max-filtered schedule is pointwise >= the raw one.
+  TimeSeries history = SyntheticHistory(1.0, 77);
+  PipelineConfig raw_config = FastPipeline();
+  PipelineConfig smooth_config = raw_config;
+  smooth_config.smooth_recommendation = true;
+
+  auto raw = RecommendationEngine::Create(raw_config)->Run(history);
+  auto smooth = RecommendationEngine::Create(smooth_config)->Run(history);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(smooth.ok());
+  ASSERT_EQ(raw->pool_size_per_bin.size(), smooth->pool_size_per_bin.size());
+  for (size_t i = 0; i < raw->pool_size_per_bin.size(); ++i) {
+    EXPECT_GE(smooth->pool_size_per_bin[i], raw->pool_size_per_bin[i]);
+  }
+}
+
+TEST(RecommendationEngineTest, InputSmoothingRaisesPool) {
+  // §7.5 strategy 1: max-filtering the demand before training produces a
+  // recommendation at least as large on average (fatter spikes).
+  WorkloadConfig wconfig = SpikyRegionProfile(13);
+  wconfig.duration_days = 1.0;
+  TimeSeries history = DemandGenerator::Create(wconfig)->GenerateBinned();
+
+  PipelineConfig raw_config = FastPipeline();
+  PipelineConfig smooth_config = raw_config;
+  smooth_config.smoothing_factor_bins = 10;
+
+  auto raw = RecommendationEngine::Create(raw_config)->Run(history);
+  auto smooth = RecommendationEngine::Create(smooth_config)->Run(history);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(smooth.ok());
+  auto mean_pool = [](const Recommendation& r) {
+    double total = 0;
+    for (int64_t n : r.pool_size_per_bin) total += static_cast<double>(n);
+    return total / static_cast<double>(r.pool_size_per_bin.size());
+  };
+  EXPECT_GE(mean_pool(*smooth), mean_pool(*raw) - 1e-9);
+}
+
+TEST(RecommendationEngineTest, WorksWithEveryModelKind) {
+  TimeSeries history = SyntheticHistory(0.5, 3);
+  for (ModelKind model :
+       {ModelKind::kBaseline, ModelKind::kSsa, ModelKind::kSsaPlus,
+        ModelKind::kMwdn, ModelKind::kTst, ModelKind::kInceptionTime}) {
+    PipelineConfig config = FastPipeline(PipelineKind::k2Step, model);
+    config.forecast.window = 32;
+    config.forecast.horizon = 16;
+    config.forecast.epochs = 2;
+    auto engine = RecommendationEngine::Create(config);
+    ASSERT_TRUE(engine.ok());
+    auto rec = engine->Run(history);
+    ASSERT_TRUE(rec.ok())
+        << ModelKindToString(model) << ": " << rec.status().ToString();
+    EXPECT_EQ(rec->pool_size_per_bin.size(), 60u);
+  }
+}
+
+}  // namespace
+}  // namespace ipool

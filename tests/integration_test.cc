@@ -1,0 +1,166 @@
+// Cross-module integration tests: the full chain
+//   workload -> pipeline (forecast + SAA) -> schedule -> event simulation
+// exercised end to end, asserting the system-level behaviors the paper's
+// evaluation relies on rather than per-module contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recommendation_engine.h"
+#include "sim/pool_simulator.h"
+#include "solver/pool_model.h"
+#include "tsdata/smoothing.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+struct EndToEndOutcome {
+  SimResult sim;
+  double avg_pool = 0.0;
+};
+
+// Runs: fit on day 1, recommend day 2's first 4 h, simulate against the
+// events that actually arrive.
+EndToEndOutcome RunEndToEnd(ModelKind model, PipelineKind kind,
+                            double saa_alpha, uint64_t seed,
+                            double forecast_alpha = 0.8) {
+  WorkloadConfig workload;
+  workload.duration_days = 1.0 + 4.0 / 24.0;
+  workload.base_rate_per_minute = 5.0;
+  workload.diurnal_amplitude = 0.0;  // keep the short horizon well-posed
+  workload.hourly_spike_requests = 8.0;
+  workload.seed = seed;
+  auto generator = DemandGenerator::Create(workload);
+  TimeSeries all = generator->GenerateBinned();
+  TimeSeries history = all.Slice(0, 2880);
+  const size_t eval_bins = all.size() - 2880;
+
+  PipelineConfig config;
+  config.kind = kind;
+  config.model = model;
+  config.forecast.window = 96;
+  config.forecast.horizon = 48;
+  config.forecast.epochs = 2;
+  config.forecast.stride = 32;
+  config.forecast.alpha_prime = forecast_alpha;
+  config.saa.alpha_prime = saa_alpha;
+  config.saa.pool.tau_bins = 3;
+  config.saa.pool.stableness_bins = 10;
+  config.saa.pool.max_pool_size = 200;
+  config.recommendation_bins = eval_bins;
+  auto engine = RecommendationEngine::Create(config);
+  EXPECT_TRUE(engine.ok());
+  auto rec = engine->Run(history);
+  EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+
+  // Events of the evaluation window, re-based to t = 0.
+  std::vector<double> events;
+  const double eval_start = history.interval() * 2880.0;
+  for (double t : generator->GenerateEvents()) {
+    if (t >= eval_start) events.push_back(t - eval_start);
+  }
+
+  SimConfig sim_config;
+  sim_config.creation_latency_mean_seconds = 90.0;
+  sim_config.seed = 3;
+  auto simulator = PoolSimulator::Create(sim_config);
+  const double horizon = static_cast<double>(eval_bins) * 30.0;
+  auto result = simulator->Run(events, rec->pool_size_per_bin, 30.0, horizon);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+  EndToEndOutcome outcome;
+  outcome.sim = *result;
+  double total = 0;
+  for (int64_t n : rec->pool_size_per_bin) total += static_cast<double>(n);
+  outcome.avg_pool = total / static_cast<double>(rec->pool_size_per_bin.size());
+  return outcome;
+}
+
+TEST(IntegrationTest, TwoStepSsaPipelineServesTraffic) {
+  EndToEndOutcome outcome =
+      RunEndToEnd(ModelKind::kSsa, PipelineKind::k2Step, 0.3, 11);
+  EXPECT_GT(outcome.sim.total_requests, 500);
+  EXPECT_GT(outcome.sim.hit_rate, 0.5);
+  EXPECT_GT(outcome.avg_pool, 1.0);
+}
+
+TEST(IntegrationTest, LowerAlphaBuysHigherHitRate) {
+  EndToEndOutcome stingy =
+      RunEndToEnd(ModelKind::kSsaPlus, PipelineKind::k2Step, 0.9, 13, 0.95);
+  EndToEndOutcome generous =
+      RunEndToEnd(ModelKind::kSsaPlus, PipelineKind::k2Step, 0.05, 13, 0.95);
+  EXPECT_GE(generous.sim.hit_rate, stingy.sim.hit_rate);
+  EXPECT_GE(generous.sim.idle_cluster_seconds,
+            stingy.sim.idle_cluster_seconds);
+}
+
+TEST(IntegrationTest, EndToEndPipelineAlsoServesTraffic) {
+  EndToEndOutcome outcome =
+      RunEndToEnd(ModelKind::kSsa, PipelineKind::kEndToEnd, 0.2, 17);
+  EXPECT_GT(outcome.sim.hit_rate, 0.4);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  EndToEndOutcome a =
+      RunEndToEnd(ModelKind::kSsaPlus, PipelineKind::k2Step, 0.3, 19);
+  EndToEndOutcome b =
+      RunEndToEnd(ModelKind::kSsaPlus, PipelineKind::k2Step, 0.3, 19);
+  EXPECT_EQ(a.sim.pool_hits, b.sim.pool_hits);
+  EXPECT_DOUBLE_EQ(a.sim.idle_cluster_seconds, b.sim.idle_cluster_seconds);
+  EXPECT_DOUBLE_EQ(a.avg_pool, b.avg_pool);
+}
+
+TEST(IntegrationTest, BaselineGammaScalesThePool) {
+  auto with_gamma = [](double gamma) {
+    WorkloadConfig workload;
+    workload.duration_days = 0.5;
+    workload.base_rate_per_minute = 5.0;
+    workload.diurnal_amplitude = 0.0;
+    workload.seed = 23;
+    auto generator = DemandGenerator::Create(workload);
+    TimeSeries history = generator->GenerateBinned();
+    PipelineConfig config;
+    config.model = ModelKind::kBaseline;
+    config.forecast.gamma = gamma;
+    config.saa.alpha_prime = 0.3;
+    config.recommendation_bins = 120;
+    auto engine = RecommendationEngine::Create(config);
+    auto rec = engine->Run(history);
+    EXPECT_TRUE(rec.ok());
+    double total = 0;
+    for (int64_t n : rec->pool_size_per_bin) total += static_cast<double>(n);
+    return total / 120.0;
+  };
+  EXPECT_GT(with_gamma(1.5), with_gamma(0.5));
+}
+
+// §7.5 smoothing composes with the whole pipeline: on a spiky region the
+// smoothed pipeline's schedule dominates the raw one pointwise in pool size.
+TEST(IntegrationTest, SmoothingOnlyEverRaisesTheSchedule) {
+  WorkloadConfig workload = SpikyRegionProfile(31);
+  workload.duration_days = 1.0;
+  auto generator = DemandGenerator::Create(workload);
+  TimeSeries history = generator->GenerateBinned();
+
+  auto run = [&](size_t sf) {
+    PipelineConfig config;
+    config.model = ModelKind::kSsa;
+    config.saa.alpha_prime = 0.2;
+    config.recommendation_bins = 120;
+    config.smoothing_factor_bins = sf;
+    auto engine = RecommendationEngine::Create(config);
+    auto rec = engine->Run(history);
+    EXPECT_TRUE(rec.ok());
+    return rec->pool_size_per_bin;
+  };
+  auto raw = run(0);
+  auto smoothed = run(240);
+  double raw_total = 0, smoothed_total = 0;
+  for (int64_t n : raw) raw_total += static_cast<double>(n);
+  for (int64_t n : smoothed) smoothed_total += static_cast<double>(n);
+  EXPECT_GE(smoothed_total, raw_total);
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+
+namespace ipool {
+namespace {
+
+TEST(MatrixTest, FromRowMajorValidatesSize) {
+  EXPECT_FALSE(Matrix::FromRowMajor(2, 2, {1, 2, 3}).ok());
+  auto m = Matrix::FromRowMajor(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ((*m)(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ((*m)(1, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityAndTranspose) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+
+  auto m = *Matrix::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  auto a = *Matrix::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  auto b = *Matrix::FromRowMajor(3, 2, {7, 8, 9, 10, 11, 12});
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ((*c)(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ((*c)(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MatMulRejectsMismatch) {
+  EXPECT_FALSE(MatMul(Matrix(2, 3), Matrix(2, 3)).ok());
+}
+
+TEST(MatrixTest, MatVec) {
+  auto a = *Matrix::FromRowMajor(2, 2, {1, 2, 3, 4});
+  auto y = MatVec(a, {5, 6});
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ((*y)[0], 17.0);
+  EXPECT_DOUBLE_EQ((*y)[1], 39.0);
+  EXPECT_FALSE(MatVec(a, {1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+TEST(HankelTest, Layout) {
+  auto h = HankelMatrix({1, 2, 3, 4, 5}, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->rows(), 3u);
+  EXPECT_EQ(h->cols(), 3u);
+  EXPECT_DOUBLE_EQ((*h)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ((*h)(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ((*h)(1, 1), 3.0);
+}
+
+TEST(HankelTest, RejectsBadWindow) {
+  EXPECT_FALSE(HankelMatrix({1, 2}, 0).ok());
+  EXPECT_FALSE(HankelMatrix({1, 2}, 3).ok());
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  auto m = *Matrix::FromRowMajor(3, 3, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  auto eig = SymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig->values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownSymmetric) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  auto m = *Matrix::FromRowMajor(2, 2, {2, 1, 1, 2});
+  auto eig = SymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = eig->vectors(0, 0);
+  const double v1 = eig->vectors(1, 0);
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetric) {
+  Rng rng(21);
+  const size_t n = 12;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(-2, 2);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  auto eig = SymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  // Check A v_i = lambda_i v_i for each pair.
+  for (size_t i = 0; i < n; ++i) {
+    auto vi = eig->vectors.Col(i);
+    auto av = *MatVec(m, vi);
+    for (size_t r = 0; r < n; ++r) {
+      EXPECT_NEAR(av[r], eig->values[i] * vi[r], 1e-8);
+    }
+  }
+}
+
+TEST(SvdTest, RankOneMatrix) {
+  // outer product u v^T with |u|=sqrt(14), |v|=sqrt(5).
+  auto a = *Matrix::FromRowMajor(3, 2, {1 * 1., 1 * 2., 2 * 1., 2 * 2., 3 * 1., 3 * 2.});
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->singular_values.size(), 1u);
+  EXPECT_NEAR(svd->singular_values[0], std::sqrt(14.0 * 5.0), 1e-8);
+}
+
+TEST(SvdTest, ReconstructsRandomMatrix) {
+  Rng rng(33);
+  for (auto [m, n] : {std::pair<size_t, size_t>{8, 5}, {5, 8}, {6, 6}}) {
+    Matrix a(m, n);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = rng.Uniform(-1, 1);
+    }
+    auto svd = ThinSvd(a);
+    ASSERT_TRUE(svd.ok());
+    // Reconstruct A = U diag(s) V^T and compare.
+    const size_t r = svd->singular_values.size();
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t k = 0; k < r; ++k) {
+          acc += svd->u(i, k) * svd->singular_values[k] * svd->v(j, k);
+        }
+        EXPECT_NEAR(acc, a(i, j), 1e-7) << m << "x" << n << " @" << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SvdTest, SingularValuesDescending) {
+  Rng rng(44);
+  Matrix a(10, 7);
+  for (auto& v : a.data()) v = rng.Uniform(-3, 3);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 1; i < svd->singular_values.size(); ++i) {
+    EXPECT_GE(svd->singular_values[i - 1], svd->singular_values[i] - 1e-12);
+  }
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  auto a = *Matrix::FromRowMajor(2, 2, {4, 1, 1, 3});
+  auto x = CholeskySolve(a, {1, 2});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  EXPECT_NEAR(4 * (*x)[0] + 1 * (*x)[1], 1.0, 1e-12);
+  EXPECT_NEAR(1 * (*x)[0] + 3 * (*x)[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  auto a = *Matrix::FromRowMajor(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(RidgeLeastSquaresTest, ExactOnFullRank) {
+  // Overdetermined system with exact solution x = (1, 2).
+  auto a = *Matrix::FromRowMajor(3, 2, {1, 0, 0, 1, 1, 1});
+  std::vector<double> b = {1, 2, 3};
+  auto x = RidgeLeastSquares(a, b, 1e-12);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-5);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-5);
+}
+
+TEST(RidgeLeastSquaresTest, HandlesRankDeficiency) {
+  // Two identical columns: plain normal equations would be singular.
+  auto a = *Matrix::FromRowMajor(3, 2, {1, 1, 2, 2, 3, 3});
+  auto x = RidgeLeastSquares(a, {2, 4, 6}, 1e-6);
+  ASSERT_TRUE(x.ok());
+  // Fitted values should reproduce b.
+  for (size_t i = 0; i < 3; ++i) {
+    const double fit = a(i, 0) * (*x)[0] + a(i, 1) * (*x)[1];
+    EXPECT_NEAR(fit, 2.0 * static_cast<double>(i + 1), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace ipool

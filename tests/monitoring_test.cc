@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "service/monitoring.h"
+
+namespace ipool {
+namespace {
+
+Monitor MakeMonitor(AlertConfig config = {}) {
+  CogsModel cogs;
+  auto monitor = Monitor::Create(config, cogs, /*static_reference_pool=*/10);
+  EXPECT_TRUE(monitor.ok());
+  return std::move(monitor).value();
+}
+
+TEST(AlertConfigTest, Validation) {
+  EXPECT_TRUE(AlertConfig{}.Validate().ok());
+  AlertConfig c;
+  c.consecutive_failure_threshold = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = AlertConfig{};
+  c.min_hit_rate = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = AlertConfig{};
+  c.window_seconds = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = AlertConfig{};
+  c.min_requests_for_hit_alert = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(MonitorTest, CreateRejectsNegativeReference) {
+  EXPECT_FALSE(Monitor::Create({}, CogsModel{}, -1).ok());
+}
+
+TEST(MonitorTest, SnapshotAggregatesWindow) {
+  Monitor monitor = MakeMonitor();
+  monitor.RecordRequest(100.0, true, 0.0);
+  monitor.RecordRequest(200.0, false, 45.0);
+  monitor.RecordRequest(300.0, true, 0.0);
+  DashboardSnapshot snap = monitor.Snapshot(400.0);
+  EXPECT_EQ(snap.window_requests, 3);
+  EXPECT_EQ(snap.window_hits, 2);
+  EXPECT_EQ(snap.window_misses, 1);
+  EXPECT_NEAR(snap.window_hit_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(snap.avg_wait_seconds, 15.0, 1e-12);
+}
+
+TEST(MonitorTest, WindowExpiresOldRequests) {
+  AlertConfig config;
+  config.window_seconds = 100.0;
+  Monitor monitor = MakeMonitor(config);
+  monitor.RecordRequest(0.0, false, 90.0);
+  monitor.RecordRequest(950.0, true, 0.0);
+  DashboardSnapshot snap = monitor.Snapshot(1000.0);
+  EXPECT_EQ(snap.window_requests, 1);  // only the recent one
+  EXPECT_DOUBLE_EQ(snap.window_hit_rate, 1.0);
+}
+
+TEST(MonitorTest, TracksPipelineCountersAndHydration) {
+  Monitor monitor = MakeMonitor();
+  monitor.RecordPipelineRun(100, PipelineStatus::kSucceeded);
+  monitor.RecordPipelineRun(200, PipelineStatus::kFailed);
+  monitor.RecordPipelineRun(300, PipelineStatus::kGuardrailRejected);
+  monitor.RecordRecommendation(300, 12.0);
+  monitor.RecordHydrationStatus(300, 2, 10, 12);
+  DashboardSnapshot snap = monitor.Snapshot(400.0);
+  EXPECT_EQ(snap.pipeline_successes, 1u);
+  EXPECT_EQ(snap.pipeline_failures, 1u);
+  EXPECT_EQ(snap.guardrail_rejections, 1u);
+  EXPECT_DOUBLE_EQ(snap.recommended_pool_size, 12.0);
+  EXPECT_EQ(snap.clusters_provisioning, 2);
+  EXPECT_EQ(snap.clusters_ready, 10);
+  EXPECT_EQ(snap.clusters_targeted, 12);
+}
+
+TEST(MonitorTest, ConsecutiveFailureAlertFiresOnceAndRearms) {
+  AlertConfig config;
+  config.consecutive_failure_threshold = 2;
+  Monitor monitor = MakeMonitor(config);
+  monitor.RecordPipelineRun(100, PipelineStatus::kFailed);
+  EXPECT_TRUE(monitor.CheckAlerts(101).empty());
+  monitor.RecordPipelineRun(200, PipelineStatus::kFailed);
+  auto fired = monitor.CheckAlerts(201);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "pipeline-failures");
+  // Still failing: no duplicate alert.
+  monitor.RecordPipelineRun(300, PipelineStatus::kFailed);
+  EXPECT_TRUE(monitor.CheckAlerts(301).empty());
+  // Recovery re-arms; a new streak fires again.
+  monitor.RecordPipelineRun(400, PipelineStatus::kSucceeded);
+  monitor.RecordPipelineRun(500, PipelineStatus::kFailed);
+  monitor.RecordPipelineRun(600, PipelineStatus::kFailed);
+  EXPECT_EQ(monitor.CheckAlerts(601).size(), 1u);
+  EXPECT_EQ(monitor.alerts().size(), 2u);
+}
+
+TEST(MonitorTest, GuardrailRejectionIsNotAFailure) {
+  AlertConfig config;
+  config.consecutive_failure_threshold = 2;
+  Monitor monitor = MakeMonitor(config);
+  monitor.RecordPipelineRun(100, PipelineStatus::kFailed);
+  monitor.RecordPipelineRun(200, PipelineStatus::kGuardrailRejected);
+  monitor.RecordPipelineRun(300, PipelineStatus::kFailed);
+  // The guardrail run neither fails nor clears: streak is now 2.
+  EXPECT_EQ(monitor.CheckAlerts(301).size(), 1u);
+}
+
+TEST(MonitorTest, HitRateAlertRespectsMinimumVolume) {
+  AlertConfig config;
+  config.min_hit_rate = 0.9;
+  config.min_requests_for_hit_alert = 5;
+  Monitor monitor = MakeMonitor(config);
+  // 3 misses out of 3: breach, but below the volume floor.
+  for (int i = 0; i < 3; ++i) monitor.RecordRequest(i, false, 90.0);
+  EXPECT_TRUE(monitor.CheckAlerts(10.0).empty());
+  // Two more requests cross the floor.
+  monitor.RecordRequest(4, false, 90.0);
+  monitor.RecordRequest(5, true, 0.0);
+  auto fired = monitor.CheckAlerts(10.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, "hit-rate");
+}
+
+TEST(MonitorTest, HitRateAlertRearmsAfterRecovery) {
+  AlertConfig config;
+  config.min_hit_rate = 0.9;
+  config.min_requests_for_hit_alert = 2;
+  config.window_seconds = 100.0;
+  Monitor monitor = MakeMonitor(config);
+  monitor.RecordRequest(0, false, 90.0);
+  monitor.RecordRequest(1, false, 90.0);
+  EXPECT_EQ(monitor.CheckAlerts(2).size(), 1u);
+  EXPECT_TRUE(monitor.CheckAlerts(3).empty());  // still breached: silent
+  // Window slides past the misses; healthy traffic re-arms the alert.
+  for (int i = 0; i < 5; ++i) monitor.RecordRequest(200 + i, true, 0.0);
+  EXPECT_TRUE(monitor.CheckAlerts(210).empty());
+  // A fresh breach fires again.
+  for (int i = 0; i < 5; ++i) monitor.RecordRequest(400 + i, false, 90.0);
+  EXPECT_EQ(monitor.CheckAlerts(410).size(), 1u);
+}
+
+TEST(MonitorTest, CogsSavedAgainstStaticReference) {
+  Monitor monitor = MakeMonitor();  // static reference pool = 10
+  monitor.RecordRequest(0.0, true, 0.0);
+  monitor.RecordClusterIdle(1800.0, 3600.0);  // we idled 1 cluster-hour
+  DashboardSnapshot snap = monitor.Snapshot(3600.0);
+  // Static would have idled 10 clusters x 1 h = 10 h; we idled 1 h.
+  CogsModel cogs;
+  EXPECT_NEAR(snap.cogs_saved_dollars, cogs.IdleDollars(9.0 * 3600.0), 1e-9);
+}
+
+TEST(MonitorTest, StatusStrings) {
+  EXPECT_EQ(PipelineStatusToString(PipelineStatus::kSucceeded), "succeeded");
+  EXPECT_EQ(PipelineStatusToString(PipelineStatus::kFailed), "failed");
+  EXPECT_EQ(PipelineStatusToString(PipelineStatus::kGuardrailRejected),
+            "guardrail-rejected");
+}
+
+}  // namespace
+}  // namespace ipool

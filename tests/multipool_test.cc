@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/multi_pool.h"
+
+namespace ipool {
+namespace {
+
+SimConfig Deterministic(double latency = 60.0) {
+  SimConfig config;
+  config.creation_latency_mean_seconds = latency;
+  config.creation_latency_cv = 0.0;
+  return config;
+}
+
+std::vector<PoolClass> ThreeClasses() {
+  return {
+      {"small", 8.0, Deterministic(60.0)},
+      {"medium", 24.0, Deterministic(90.0)},
+      {"large", 64.0, Deterministic(120.0)},
+  };
+}
+
+TEST(MultiPoolTest, CreateValidates) {
+  EXPECT_FALSE(MultiPoolSimulator::Create({}).ok());
+  auto classes = ThreeClasses();
+  classes[1].cores_per_cluster = 0.0;
+  EXPECT_FALSE(MultiPoolSimulator::Create(classes).ok());
+  classes = ThreeClasses();
+  classes[0].sim.creation_latency_mean_seconds = -1.0;
+  EXPECT_FALSE(MultiPoolSimulator::Create(classes).ok());
+  EXPECT_TRUE(MultiPoolSimulator::Create(ThreeClasses()).ok());
+}
+
+TEST(MultiPoolTest, SplitByClassRoutes) {
+  std::vector<SizedRequest> requests = {
+      {1.0, 0}, {2.0, 2}, {3.0, 0}, {4.0, 1}, {5.0, 9}};  // 9 = out of range
+  auto split = SplitByClass(requests, 3);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0], (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(split[1], (std::vector<double>{4.0}));
+  EXPECT_EQ(split[2], (std::vector<double>{2.0}));
+}
+
+TEST(MultiPoolTest, RunValidatesInputs) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses());
+  std::vector<std::vector<int64_t>> schedules(2, std::vector<int64_t>(10, 1));
+  EXPECT_FALSE(sim->Run({}, schedules, 30.0, 300.0).ok());  // schedule count
+  schedules.emplace_back(10, 1);
+  EXPECT_FALSE(
+      sim->Run({{1.0, 7}}, schedules, 30.0, 300.0).ok());  // bad class
+}
+
+TEST(MultiPoolTest, EachClassServedByItsPool) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses());
+  std::vector<SizedRequest> requests = {{10.0, 0}, {20.0, 1}, {30.0, 2}};
+  std::vector<std::vector<int64_t>> schedules(3, std::vector<int64_t>(10, 2));
+  auto result = sim->Run(requests, schedules, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_requests, 3);
+  EXPECT_EQ(result->pool_hits, 3);
+  EXPECT_DOUBLE_EQ(result->hit_rate, 1.0);
+  for (const SimResult& pool : result->per_pool) {
+    EXPECT_EQ(pool.total_requests, 1);
+  }
+}
+
+TEST(MultiPoolTest, EmptyClassPoolCausesMissesOnlyThere) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses());
+  std::vector<SizedRequest> requests = {{10.0, 0}, {20.0, 1}};
+  std::vector<std::vector<int64_t>> schedules = {
+      std::vector<int64_t>(10, 2),  // small pool stocked
+      std::vector<int64_t>(10, 0),  // medium pool empty
+      std::vector<int64_t>(10, 2),
+  };
+  auto result = sim->Run(requests, schedules, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 1);
+  EXPECT_EQ(result->per_pool[0].pool_hits, 1);
+  EXPECT_EQ(result->per_pool[1].pool_hits, 0);
+  EXPECT_EQ(result->per_pool[1].on_demand_created, 1);
+}
+
+TEST(MultiPoolTest, IdleCostWeightedByCores) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses());
+  // No requests: every pooled cluster idles the whole horizon.
+  std::vector<std::vector<int64_t>> schedules = {
+      std::vector<int64_t>(10, 1),  // 1 small:  8 cores
+      std::vector<int64_t>(10, 0),
+      std::vector<int64_t>(10, 1),  // 1 large: 64 cores
+  };
+  auto result = sim->Run({}, schedules, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  // 300 s idle each, weighted 8 + 64 cores.
+  EXPECT_DOUBLE_EQ(result->idle_core_seconds, 300.0 * 8 + 300.0 * 64);
+}
+
+TEST(MultiPoolTest, RightSizedPoolsBeatOneSizeFitsAll) {
+  // The §9 motivation: serving every size class from a single pool of the
+  // largest shape wastes cores. Compare fleet idle cost at equal hit rate.
+  Rng rng(5);
+  std::vector<SizedRequest> requests;
+  double t = 0.0;
+  while (t < 3600.0 * 4) {
+    t += rng.Exponential(1.0 / 30.0);  // a request every ~30 s
+    // 60% small, 30% medium, 10% large.
+    const double u = rng.NextDouble();
+    requests.push_back({t, u < 0.6 ? 0u : (u < 0.9 ? 1u : 2u)});
+  }
+  requests.pop_back();
+  const double horizon = 3600.0 * 4 + 600.0;
+  const size_t bins = static_cast<size_t>(horizon / 30.0) + 1;
+
+  auto multi = MultiPoolSimulator::Create(ThreeClasses());
+  std::vector<std::vector<int64_t>> sized = {
+      std::vector<int64_t>(bins, 5),  // sized ~ to class demand
+      std::vector<int64_t>(bins, 3),
+      std::vector<int64_t>(bins, 2),
+  };
+  auto multi_result = multi->Run(requests, sized, 30.0, horizon);
+  ASSERT_TRUE(multi_result.ok());
+
+  // One-size-fits-all: everything served from large clusters.
+  std::vector<PoolClass> single = {{"large-only", 64.0, Deterministic(120.0)}};
+  auto mono = MultiPoolSimulator::Create(single);
+  std::vector<SizedRequest> coerced = requests;
+  for (auto& r : coerced) r.size_class = 0;
+  std::vector<std::vector<int64_t>> mono_schedule = {
+      std::vector<int64_t>(bins, 10)};  // same total cluster count
+  auto mono_result = mono->Run(coerced, mono_schedule, 30.0, horizon);
+  ASSERT_TRUE(mono_result.ok());
+
+  // Comparable (or better) hit rate at a much lower core-weighted idle cost.
+  EXPECT_GE(multi_result->hit_rate, mono_result->hit_rate - 0.05);
+  EXPECT_LT(multi_result->idle_core_seconds,
+            0.8 * mono_result->idle_core_seconds);
+}
+
+// §2: production runs two pools per region — a cluster pool and a session
+// pool whose resources also carry a pre-started Spark session (30-40 s more
+// to create). Model both as classes of a multi-pool fleet.
+TEST(MultiPoolTest, SessionPoolMissesWaitLongerThanClusterPoolMisses) {
+  std::vector<PoolClass> pools = {
+      {"cluster-pool", 24.0, Deterministic(90.0)},
+      {"session-pool", 24.0, Deterministic(90.0)},
+  };
+  pools[1].sim.session_startup_seconds = 35.0;  // Spark session startup
+
+  auto sim = MultiPoolSimulator::Create(pools);
+  // Both pools empty: every request goes on-demand; session requests pay
+  // the extra session startup.
+  std::vector<SizedRequest> requests = {{10.0, 0}, {10.0, 1}};
+  std::vector<std::vector<int64_t>> schedules(2,
+                                              std::vector<int64_t>(20, 0));
+  auto result = sim->Run(requests, schedules, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->per_pool[0].avg_wait_seconds, 90.0, 1e-9);
+  EXPECT_NEAR(result->per_pool[1].avg_wait_seconds, 125.0, 1e-9);
+}
+
+TEST(MultiPoolTest, PooledSessionHitIsInstantDespiteStartupCost) {
+  // The whole point of session pooling: the startup cost is paid during
+  // re-hydration, not by the customer.
+  std::vector<PoolClass> pools = {
+      {"session-pool", 24.0, Deterministic(90.0)},
+  };
+  pools[0].sim.session_startup_seconds = 35.0;
+  auto sim = MultiPoolSimulator::Create(pools);
+  std::vector<SizedRequest> requests = {{10.0, 0}};
+  std::vector<std::vector<int64_t>> schedules = {std::vector<int64_t>(20, 2)};
+  auto result = sim->Run(requests, schedules, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 1);
+  EXPECT_DOUBLE_EQ(result->avg_wait_seconds, 0.0);
+}
+
+// ---- upgrade routing (integrated fleet on one clock) --------------------------
+
+TEST(MultiPoolUpgradeTest, DrainedClassServedByLargerPool) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses(), /*allow_upgrade=*/true);
+  ASSERT_TRUE(sim.ok());
+  // Small pool empty, medium stocked: a small request upgrades instantly.
+  std::vector<SizedRequest> requests = {{10.0, 0}};
+  std::vector<std::vector<int64_t>> schedules = {
+      std::vector<int64_t>(10, 0),
+      std::vector<int64_t>(10, 2),
+      std::vector<int64_t>(10, 0),
+  };
+  auto result = sim->Run(requests, schedules, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 1);
+  EXPECT_EQ(result->upgrades, 1);
+  EXPECT_DOUBLE_EQ(result->avg_wait_seconds, 0.0);
+  // The hit is attributed to the origin (small) class...
+  EXPECT_EQ(result->per_pool[0].pool_hits, 1);
+  // ...while the consumed cluster shows in the medium pool's books: its
+  // re-hydration fires even though it received no request of its own.
+  EXPECT_GE(result->per_pool[1].clusters_created, 1);
+}
+
+TEST(MultiPoolUpgradeTest, UpgradesGoUpwardOnly) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses(), /*allow_upgrade=*/true);
+  // Large pool empty, smaller pools stocked: a large request must NOT be
+  // downgraded; it goes on-demand in its own class.
+  std::vector<SizedRequest> requests = {{10.0, 2}};
+  std::vector<std::vector<int64_t>> schedules = {
+      std::vector<int64_t>(10, 3),
+      std::vector<int64_t>(10, 3),
+      std::vector<int64_t>(10, 0),
+  };
+  auto result = sim->Run(requests, schedules, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 0);
+  EXPECT_EQ(result->upgrades, 0);
+  EXPECT_EQ(result->per_pool[2].on_demand_created, 1);
+}
+
+TEST(MultiPoolUpgradeTest, AllDrainedFallsBackToOnDemandInOriginClass) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses(), /*allow_upgrade=*/true);
+  std::vector<SizedRequest> requests = {{10.0, 0}};
+  std::vector<std::vector<int64_t>> schedules(3, std::vector<int64_t>(10, 0));
+  auto result = sim->Run(requests, schedules, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 0);
+  EXPECT_EQ(result->per_pool[0].on_demand_created, 1);
+  // Own-class on-demand latency (small: 60 s).
+  EXPECT_NEAR(result->per_pool[0].avg_wait_seconds, 60.0, 1e-9);
+}
+
+TEST(MultiPoolUpgradeTest, UpgradeDisabledLeavesMissesInPlace) {
+  auto sim = MultiPoolSimulator::Create(ThreeClasses(), /*allow_upgrade=*/false);
+  std::vector<SizedRequest> requests = {{10.0, 0}};
+  std::vector<std::vector<int64_t>> schedules = {
+      std::vector<int64_t>(10, 0),
+      std::vector<int64_t>(10, 2),
+      std::vector<int64_t>(10, 0),
+  };
+  auto result = sim->Run(requests, schedules, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 0);
+  EXPECT_EQ(result->upgrades, 0);
+  EXPECT_EQ(result->per_pool[0].on_demand_created, 1);
+}
+
+TEST(MultiPoolUpgradeTest, UpgradeImprovesFleetHitRateUnderSkew) {
+  // Demand skews toward small requests beyond its pool's capacity; upgrades
+  // soak the overflow into the medium/large pools' spare clusters.
+  Rng rng(7);
+  std::vector<SizedRequest> requests;
+  double t = 0.0;
+  while (t < 3600.0) {
+    t += rng.Exponential(1.0 / 12.0);
+    requests.push_back({t, rng.NextDouble() < 0.85 ? 0u : 1u});
+  }
+  requests.pop_back();
+  const double horizon = 3600.0 + 600.0;
+  const size_t bins = static_cast<size_t>(horizon / 30.0) + 1;
+  std::vector<std::vector<int64_t>> schedules = {
+      std::vector<int64_t>(bins, 2),  // undersized for the small demand
+      std::vector<int64_t>(bins, 4),  // oversized for the medium demand
+      std::vector<int64_t>(bins, 2),
+  };
+  auto without = MultiPoolSimulator::Create(ThreeClasses(), false);
+  auto with = MultiPoolSimulator::Create(ThreeClasses(), true);
+  auto base = without->Run(requests, schedules, 30.0, horizon);
+  auto upgraded = with->Run(requests, schedules, 30.0, horizon);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_GT(upgraded->upgrades, 0);
+  EXPECT_GT(upgraded->hit_rate, base->hit_rate);
+}
+
+TEST(MultiPoolUpgradeTest, DeterministicOnSharedClock) {
+  Rng rng(9);
+  std::vector<SizedRequest> requests;
+  double t = 0.0;
+  while (t < 1800.0) {
+    t += rng.Exponential(1.0 / 20.0);
+    requests.push_back({t, static_cast<size_t>(rng.UniformInt(0, 2))});
+  }
+  requests.pop_back();
+  const size_t bins = 80;
+  std::vector<std::vector<int64_t>> schedules(3,
+                                              std::vector<int64_t>(bins, 2));
+  MultiPoolResult first;
+  for (int run = 0; run < 2; ++run) {
+    auto classes = ThreeClasses();
+    for (auto& c : classes) c.sim.creation_latency_cv = 0.3;
+    auto sim = MultiPoolSimulator::Create(classes, true);
+    auto result = sim->Run(requests, schedules, 30.0, 2400.0);
+    ASSERT_TRUE(result.ok());
+    if (run == 0) {
+      first = *result;
+    } else {
+      EXPECT_EQ(result->pool_hits, first.pool_hits);
+      EXPECT_EQ(result->upgrades, first.upgrades);
+      EXPECT_DOUBLE_EQ(result->idle_core_seconds, first.idle_core_seconds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,188 @@
+// Randomized property tests for the autodiff engine: gradients of randomly
+// composed graphs check against finite differences, and algebraic identities
+// of the losses hold on arbitrary inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace ipool::nn {
+namespace {
+
+Tensor RandomParam(const Shape& shape, Rng& rng, double lo = -1.0,
+                   double hi = 1.0) {
+  Tensor t = Tensor::Zeros(shape, /*requires_grad=*/true);
+  for (double& v : t.mutable_value()) v = rng.Uniform(lo, hi);
+  return t;
+}
+
+// Builds a random smooth computation graph from a parameter matrix and
+// vector, mixing the differentiable ops. Kink-free ops only (no relu/max)
+// so finite differences are valid everywhere.
+Tensor RandomSmoothGraph(const Tensor& a, const Tensor& v, Rng& rng) {
+  Tensor x = a;  // {m, n}
+  for (int depth = 0; depth < 3; ++depth) {
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        x = Tanh(x);
+        break;
+      case 1:
+        x = Sigmoid(x);
+        break;
+      case 2:
+        x = RowBroadcastAdd(x, v);
+        break;
+      case 3:
+        x = RowBroadcastMul(x, v);
+        break;
+      case 4:
+        x = NormalizeRows(x);
+        break;
+    }
+  }
+  Tensor sym = MatMul(x, Transpose(x));  // {m, m}
+  return MeanAll(Mul(sym, sym));
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzzTest, RandomGraphGradientsMatchFiniteDifferences) {
+  Rng rng(500 + static_cast<uint64_t>(GetParam()));
+  const size_t m = 2 + static_cast<size_t>(rng.UniformInt(0, 3));
+  const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 3));
+  Tensor a = RandomParam({m, n}, rng);
+  Tensor v = RandomParam({n}, rng, 0.1, 1.0);
+  Rng graph_rng(900 + static_cast<uint64_t>(GetParam()));
+  auto forward = [&]() {
+    Rng local = graph_rng;  // same graph every call
+    return RandomSmoothGraph(a, v, local);
+  };
+  auto report = CheckGradients(forward, {a, v});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, AutogradFuzzTest,
+                         ::testing::Range(0, 10));
+
+TEST(LossPropertyTest, AsymmetricLossesSumToAbsoluteError) {
+  // L(alpha) + L(1 - alpha) == mean |delta| for every alpha.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 10));
+    std::vector<double> p(n), t(n);
+    for (size_t i = 0; i < n; ++i) {
+      p[i] = rng.Uniform(-5, 5);
+      t[i] = rng.Uniform(-5, 5);
+    }
+    const double alpha = rng.Uniform(0.0, 1.0);
+    Tensor pred = Tensor::FromVector(p);
+    Tensor target = Tensor::FromVector(t);
+    const double a = AsymmetricLoss(pred, target, alpha).scalar();
+    const double b = AsymmetricLoss(pred, target, 1.0 - alpha).scalar();
+    double mae = 0.0;
+    for (size_t i = 0; i < n; ++i) mae += std::fabs(p[i] - t[i]);
+    mae /= static_cast<double>(n);
+    EXPECT_NEAR(a + b, mae, 1e-12);
+  }
+}
+
+TEST(LossPropertyTest, MinimizerIsQuantile) {
+  // Minimizing the Eq 12 loss over a constant prediction recovers the
+  // alpha'-quantile of the data — the mechanism behind controlled overshoot.
+  Rng rng(11);
+  std::vector<double> data(400);
+  for (double& v : data) v = rng.Uniform(0, 10);
+  Tensor target = Tensor::FromVector(data);
+  for (double alpha : {0.2, 0.5, 0.9}) {
+    Tensor c = Tensor::FromVector({5.0}, /*requires_grad=*/true);
+    Adam adam({c}, 0.05);
+    for (int step = 0; step < 800; ++step) {
+      adam.ZeroGrad();
+      // Broadcast the scalar parameter across the data points.
+      Tensor row = Reshape(c, {1, 1});
+      Tensor ones = Tensor::Full({1, data.size()}, 1.0);
+      Tensor constant = Reshape(MatMul(row, ones), {data.size()});
+      Tensor loss = AsymmetricLoss(constant, target, alpha);
+      ASSERT_TRUE(loss.Backward().ok());
+      adam.Step();
+    }
+    // With uniform data on [0, 10], the alpha-quantile is 10 * alpha.
+    EXPECT_NEAR(c.value()[0], 10.0 * alpha, 0.5) << "alpha " << alpha;
+  }
+}
+
+TEST(LayerPropertyTest, SoftmaxInvariantToRowShift) {
+  Rng rng(13);
+  Tensor a = RandomParam({3, 6}, rng, -3, 3);
+  Tensor shifted = AddScalar(a, 42.0);
+  Tensor sa = SoftmaxRows(a);
+  Tensor sb = SoftmaxRows(shifted);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_NEAR(sa.value()[i], sb.value()[i], 1e-12);
+  }
+}
+
+TEST(LayerPropertyTest, AttentionIsPermutationSensitiveButShapeStable) {
+  Rng rng(17);
+  MultiHeadAttention attn(8, 2, rng);
+  for (size_t len : {2u, 5u, 9u}) {
+    Tensor x = RandomParam({len, 8}, rng);
+    Tensor y = attn.Forward(x);
+    EXPECT_EQ(y.shape(), (Shape{len, 8}));
+  }
+}
+
+TEST(LayerPropertyTest, WaveletFiltersFormQuadratureMirrorAtInit) {
+  // Up to the epsilon perturbation, the high-pass filter is the alternating
+  // mirror of the low-pass filter, so their inner product is near zero.
+  Rng rng(19);
+  WaveletLevel level(rng);
+  auto params = level.Parameters();
+  const auto& low = params[0].value();   // lowpass weight
+  const auto& high = params[2].value();  // highpass weight
+  double dot = 0.0;
+  for (size_t i = 0; i < WaveletLevel::kFilterLength; ++i) {
+    dot += low[i] * high[i];
+  }
+  EXPECT_NEAR(dot, 0.0, 0.1);
+}
+
+TEST(OptimizerPropertyTest, AdamAndSgdAgreeOnConvexQuadraticLimit) {
+  // Both optimizers must reach the same unique minimum of a convex
+  // quadratic.
+  Rng rng(23);
+  std::vector<double> target(6);
+  for (double& v : target) v = rng.Uniform(-2, 2);
+  auto optimize = [&](bool use_adam) {
+    Tensor w = Tensor::Zeros({6}, /*requires_grad=*/true);
+    Sgd sgd({w}, 0.1);
+    Adam adam({w}, 0.1);
+    Optimizer& opt = use_adam ? static_cast<Optimizer&>(adam)
+                              : static_cast<Optimizer&>(sgd);
+    Tensor t = Tensor::FromVector(target);
+    for (int step = 0; step < 600; ++step) {
+      opt.ZeroGrad();
+      Tensor d = Sub(w, t);
+      Tensor loss = MeanAll(Mul(d, d));
+      EXPECT_TRUE(loss.Backward().ok());
+      opt.Step();
+    }
+    return w.value();
+  };
+  auto adam_w = optimize(true);
+  auto sgd_w = optimize(false);
+  for (size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(adam_w[i], target[i], 1e-2);
+    EXPECT_NEAR(sgd_w[i], target[i], 1e-2);
+  }
+}
+
+}  // namespace
+}  // namespace ipool::nn

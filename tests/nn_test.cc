@@ -1,0 +1,513 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace ipool::nn {
+namespace {
+
+Tensor RandomParam(const Shape& shape, Rng& rng, double lo = -1.0,
+                   double hi = 1.0) {
+  Tensor t = Tensor::Zeros(shape, /*requires_grad=*/true);
+  for (double& v : t.mutable_value()) v = rng.Uniform(lo, hi);
+  return t;
+}
+
+constexpr double kGradTol = 1e-5;
+
+TEST(TensorTest, LeafConstruction) {
+  Tensor v = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(v.shape(), (Shape{3}));
+  EXPECT_FALSE(v.requires_grad());
+
+  Tensor m = Tensor::FromMatrix(2, 2, {1, 2, 3, 4}, true);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_TRUE(m.requires_grad());
+}
+
+TEST(TensorTest, BackwardRequiresScalar) {
+  Tensor v = Tensor::FromVector({1, 2}, true);
+  EXPECT_FALSE(v.Backward().ok());
+  Tensor s = SumAll(v);
+  EXPECT_TRUE(s.Backward().ok());
+  EXPECT_DOUBLE_EQ(v.grad()[0], 1.0);
+  EXPECT_DOUBLE_EQ(v.grad()[1], 1.0);
+}
+
+TEST(TensorTest, DetachBreaksGraph) {
+  Tensor v = Tensor::FromVector({1, 2}, true);
+  Tensor d = MulScalar(v, 3.0).Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_DOUBLE_EQ(d.value()[1], 6.0);
+}
+
+TEST(TensorTest, DiamondGraphAccumulates) {
+  // y = sum(x * x + x * x): dy/dx = 4x.
+  Tensor x = Tensor::FromVector({2.0, -3.0}, true);
+  Tensor sq = Mul(x, x);
+  Tensor y = SumAll(Add(sq, sq));
+  ASSERT_TRUE(y.Backward().ok());
+  EXPECT_DOUBLE_EQ(x.grad()[0], 8.0);
+  EXPECT_DOUBLE_EQ(x.grad()[1], -12.0);
+}
+
+// ---- gradient checks op by op ----------------------------------------------
+
+TEST(GradCheckTest, ElementwiseOps) {
+  Rng rng(1);
+  Tensor a = RandomParam({5}, rng);
+  Tensor b = RandomParam({5}, rng);
+  struct Case {
+    const char* name;
+    std::function<Tensor()> fn;
+  };
+  const Case cases[] = {
+      {"add", [&] { return SumAll(Mul(Add(a, b), Add(a, b))); }},
+      {"sub", [&] { return SumAll(Mul(Sub(a, b), Sub(a, b))); }},
+      {"mul", [&] { return SumAll(Mul(a, b)); }},
+      {"addscalar", [&] { return SumAll(Mul(AddScalar(a, 1.5), b)); }},
+      {"mulscalar", [&] { return SumAll(Mul(MulScalar(a, -2.0), b)); }},
+      {"sigmoid", [&] { return SumAll(Mul(Sigmoid(a), b)); }},
+      {"tanh", [&] { return SumAll(Mul(Tanh(a), b)); }},
+      {"exp", [&] { return SumAll(Mul(Exp(a), b)); }},
+  };
+  for (const auto& c : cases) {
+    auto report = CheckGradients(c.fn, {a, b});
+    ASSERT_TRUE(report.ok()) << c.name;
+    EXPECT_LT(report->max_relative_error, kGradTol) << c.name;
+  }
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  Rng rng(2);
+  // Keep values away from 0 so finite differences are valid.
+  Tensor a = Tensor::FromVector({0.5, -0.7, 1.3, -2.0, 0.9}, true);
+  auto report = CheckGradients([&] { return SumAll(Relu(a)); }, {a});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, kGradTol);
+}
+
+TEST(GradCheckTest, SqrtPositive) {
+  Tensor a = Tensor::FromVector({0.5, 1.7, 3.0}, true);
+  auto report = CheckGradients([&] { return SumAll(Sqrt(a)); }, {a});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, kGradTol);
+}
+
+TEST(GradCheckTest, MatrixOps) {
+  Rng rng(3);
+  Tensor a = RandomParam({3, 4}, rng);
+  Tensor b = RandomParam({4, 2}, rng);
+  Tensor x = RandomParam({4}, rng);
+  Tensor v = RandomParam({4}, rng);
+
+  auto matmul = [&] { return SumAll(Mul(MatMul(a, b), MatMul(a, b))); };
+  auto matvec = [&] { return SumAll(Mul(MatVec(a, x), MatVec(a, x))); };
+  auto transpose = [&] { return SumAll(Mul(Transpose(a), Transpose(a))); };
+  auto rba = [&] { return SumAll(Mul(RowBroadcastAdd(a, v), a)); };
+  auto rbm = [&] { return SumAll(Mul(RowBroadcastMul(a, v), a)); };
+
+  for (auto& [name, fn] :
+       std::vector<std::pair<const char*, std::function<Tensor()>>>{
+           {"matmul", matmul},
+           {"matvec", matvec},
+           {"transpose", transpose},
+           {"rowbroadcastadd", rba},
+           {"rowbroadcastmul", rbm}}) {
+    auto report = CheckGradients(fn, {a, b, x, v});
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_LT(report->max_relative_error, kGradTol) << name;
+  }
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(4);
+  Tensor a = RandomParam({4, 3}, rng);
+  for (auto& [name, fn] :
+       std::vector<std::pair<const char*, std::function<Tensor()>>>{
+           {"sumall", [&] { return Mul(SumAll(a), SumAll(a)); }},
+           {"meanall", [&] { return Mul(MeanAll(a), MeanAll(a)); }},
+           {"meanrows", [&] { return SumAll(Mul(MeanRows(a), MeanRows(a))); }}}) {
+    auto report = CheckGradients(fn, {a});
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_LT(report->max_relative_error, kGradTol) << name;
+  }
+}
+
+TEST(GradCheckTest, ShapeOps) {
+  Rng rng(5);
+  Tensor a = RandomParam({2, 6}, rng);
+  Tensor b = RandomParam({3, 6}, rng);
+  Tensor u = RandomParam({4}, rng);
+  Tensor w = RandomParam({3}, rng);
+  for (auto& [name, fn] :
+       std::vector<std::pair<const char*, std::function<Tensor()>>>{
+           {"reshape",
+            [&] { return SumAll(Mul(Reshape(a, {3, 4}), Reshape(a, {3, 4}))); }},
+           {"concatrows",
+            [&] { return SumAll(Mul(ConcatRows(a, b), ConcatRows(a, b))); }},
+           {"concatvec",
+            [&] { return SumAll(Mul(ConcatVec(u, w), ConcatVec(u, w))); }},
+           {"slicevec", [&] { return SumAll(Mul(SliceVec(u, 1, 3), SliceVec(u, 1, 3))); }},
+           {"downsample",
+            [&] { return SumAll(Mul(DownsampleRows2(a), DownsampleRows2(a))); }}}) {
+    auto report = CheckGradients(fn, {a, b, u, w});
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_LT(report->max_relative_error, kGradTol) << name;
+  }
+}
+
+TEST(GradCheckTest, SoftmaxAndNormalize) {
+  Rng rng(6);
+  Tensor a = RandomParam({3, 5}, rng);
+  Tensor b = RandomParam({3, 5}, rng);
+  auto softmax = [&] { return SumAll(Mul(SoftmaxRows(a), b)); };
+  auto normalize = [&] { return SumAll(Mul(NormalizeRows(a), b)); };
+  for (auto& [name, fn] :
+       std::vector<std::pair<const char*, std::function<Tensor()>>>{
+           {"softmax", softmax}, {"normalize", normalize}}) {
+    auto report = CheckGradients(fn, {a, b});
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_LT(report->max_relative_error, 1e-4) << name;
+  }
+}
+
+TEST(GradCheckTest, Conv1dAndPooling) {
+  Rng rng(7);
+  Tensor input = RandomParam({2, 9}, rng);
+  Tensor weight = RandomParam({3, 2 * 3}, rng);  // c_out=3, c_in=2, k=3
+  auto conv = [&] {
+    Tensor y = Conv1dSame(input, weight, 3);
+    return SumAll(Mul(y, y));
+  };
+  auto report = CheckGradients(conv, {input, weight});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, kGradTol);
+
+  // Max pooling: gradients flow only to argmax entries. Values are random
+  // and distinct with probability 1, so finite differences are valid.
+  auto pool = [&] {
+    Tensor y = MaxPool1dSame(input, 3);
+    return SumAll(Mul(y, y));
+  };
+  auto pool_report = CheckGradients(pool, {input});
+  ASSERT_TRUE(pool_report.ok());
+  EXPECT_LT(pool_report->max_relative_error, kGradTol);
+}
+
+TEST(GradCheckTest, SoftmaxRowsSumToOne) {
+  Rng rng(8);
+  Tensor a = RandomParam({4, 6}, rng, -5, 5);
+  Tensor s = SoftmaxRows(a);
+  for (size_t i = 0; i < 4; ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < 6; ++j) total += s.value()[i * 6 + j];
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+// ---- layers -----------------------------------------------------------------
+
+TEST(LayersTest, DenseShapesAndGrad) {
+  Rng rng(10);
+  Dense dense(4, 3, rng);
+  Tensor x = RandomParam({4}, rng);
+  Tensor y = dense.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3}));
+
+  auto params = dense.Parameters();
+  params.push_back(x);
+  auto report = CheckGradients(
+      [&] {
+        Tensor out = dense.Forward(x);
+        return SumAll(Mul(out, out));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, kGradTol);
+}
+
+TEST(LayersTest, DenseForwardRowsMatchesVectorForward) {
+  Rng rng(11);
+  Dense dense(3, 2, rng);
+  Tensor rows = RandomParam({4, 3}, rng);
+  Tensor out = dense.ForwardRows(rows);
+  for (size_t r = 0; r < 4; ++r) {
+    Tensor x = Tensor::FromVector({rows.value()[r * 3], rows.value()[r * 3 + 1],
+                                   rows.value()[r * 3 + 2]});
+    Tensor y = dense.Forward(x);
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(out.value()[r * 2 + c], y.value()[c], 1e-12);
+    }
+  }
+}
+
+TEST(LayersTest, Conv1dLayerGrad) {
+  Rng rng(12);
+  Conv1d conv(2, 3, 5, rng);
+  Tensor x = RandomParam({2, 8}, rng);
+  auto params = conv.Parameters();
+  params.push_back(x);
+  auto report = CheckGradients(
+      [&] {
+        Tensor y = conv.Forward(x);
+        return SumAll(Mul(y, y));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, kGradTol);
+}
+
+TEST(LayersTest, LayerNormNormalizes) {
+  Rng rng(13);
+  LayerNorm norm(6);
+  Tensor x = RandomParam({3, 6}, rng, -4, 4);
+  Tensor y = norm.Forward(x);
+  // With unit gain and zero bias, each row should be ~N(0,1)-normalized.
+  for (size_t i = 0; i < 3; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (size_t j = 0; j < 6; ++j) mean += y.value()[i * 6 + j];
+    mean /= 6.0;
+    for (size_t j = 0; j < 6; ++j) {
+      const double d = y.value()[i * 6 + j] - mean;
+      var += d * d;
+    }
+    var /= 6.0;
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayersTest, LayerNormGrad) {
+  Rng rng(14);
+  LayerNorm norm(5);
+  Tensor x = RandomParam({2, 5}, rng);
+  auto params = norm.Parameters();
+  params.push_back(x);
+  auto report = CheckGradients(
+      [&] {
+        Tensor y = norm.Forward(x);
+        Tensor target = Tensor::Full({2, 5}, 0.3);
+        Tensor d = Sub(y, target);
+        return SumAll(Mul(d, d));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, 1e-4);
+}
+
+TEST(LayersTest, AttentionShapesAndGrad) {
+  Rng rng(15);
+  MultiHeadAttention attn(6, 2, rng);
+  Tensor x = RandomParam({4, 6}, rng);
+  Tensor y = attn.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{4, 6}));
+
+  auto params = attn.Parameters();
+  EXPECT_EQ(params.size(), 2u * 3u + 1u);
+  params.push_back(x);
+  auto report = CheckGradients(
+      [&] {
+        Tensor out = attn.Forward(x);
+        return SumAll(Mul(out, out));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, 1e-4);
+}
+
+TEST(LayersTest, TransformerBlockGrad) {
+  Rng rng(16);
+  TransformerBlock block(4, 2, 8, rng);
+  Tensor x = RandomParam({3, 4}, rng);
+  auto params = block.Parameters();
+  params.push_back(x);
+  auto report = CheckGradients(
+      [&] {
+        Tensor out = block.Forward(x);
+        return SumAll(Mul(out, out));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, 1e-3);
+}
+
+TEST(LayersTest, WaveletLevelHalvesLength) {
+  Rng rng(17);
+  WaveletLevel level(rng);
+  Tensor x = RandomParam({1, 16}, rng);
+  auto out = level.Forward(x);
+  EXPECT_EQ(out.approximation.shape(), (Shape{1, 8}));
+  EXPECT_EQ(out.detail.shape(), (Shape{1, 8}));
+}
+
+TEST(LayersTest, WaveletLevelGrad) {
+  Rng rng(18);
+  WaveletLevel level(rng);
+  Tensor x = RandomParam({1, 10}, rng);
+  auto params = level.Parameters();
+  params.push_back(x);
+  auto report = CheckGradients(
+      [&] {
+        auto out = level.Forward(x);
+        return SumAll(Mul(ConcatRows(out.approximation, out.detail),
+                          ConcatRows(out.approximation, out.detail)));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, 1e-4);
+}
+
+TEST(LayersTest, LstmShapesAndStateEvolution) {
+  Rng rng(21);
+  Lstm lstm(2, 4, rng);
+  Tensor seq = RandomParam({5, 2}, rng);
+  Tensor h = lstm.ForwardSequence(seq);
+  EXPECT_EQ(h.shape(), (Shape{4}));
+  // A different sequence gives a different final state.
+  Tensor seq2 = RandomParam({5, 2}, rng);
+  Tensor h2 = lstm.ForwardSequence(seq2);
+  bool any_diff = false;
+  for (size_t i = 0; i < 4; ++i) {
+    if (std::fabs(h.value()[i] - h2.value()[i]) > 1e-12) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LayersTest, LstmGrad) {
+  Rng rng(22);
+  Lstm lstm(1, 3, rng);
+  Tensor seq = RandomParam({6, 1}, rng);
+  auto params = lstm.Parameters();
+  params.push_back(seq);
+  auto report = CheckGradients(
+      [&] {
+        Tensor h = lstm.ForwardSequence(seq);
+        return SumAll(Mul(h, h));
+      },
+      params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, 1e-4);
+}
+
+TEST(LayersTest, LstmCanLearnRunningSum) {
+  // Tiny supervised task: predict the mean of the sequence — requires the
+  // cell to accumulate state across steps.
+  Rng rng(23);
+  Lstm lstm(1, 4, rng);
+  Dense readout(4, 1, rng);
+  std::vector<Tensor> params = lstm.Parameters();
+  for (Tensor& p : readout.Parameters()) params.push_back(p);
+  Adam adam(params, 0.03);
+  double final_loss = 1e9;
+  for (int step = 0; step < 300; ++step) {
+    adam.ZeroGrad();
+    double total = 0.0;
+    std::vector<double> vals(6);
+    for (double& v : vals) {
+      v = rng.Uniform(-1, 1);
+      total += v;
+    }
+    Tensor seq = Tensor::FromMatrix(6, 1, vals);
+    Tensor pred = readout.Forward(lstm.ForwardSequence(seq));
+    Tensor target = Tensor::FromVector({total / 6.0});
+    Tensor loss = MseLoss(pred, target);
+    final_loss = loss.scalar();
+    ASSERT_TRUE(loss.Backward().ok());
+    adam.Step();
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+TEST(LayersTest, PositionalEncodingProperties) {
+  Tensor pe = SinusoidalPositionalEncoding(10, 4);
+  EXPECT_EQ(pe.shape(), (Shape{10, 4}));
+  // First position: sin(0)=0, cos(0)=1 alternating.
+  EXPECT_NEAR(pe.value()[0], 0.0, 1e-12);
+  EXPECT_NEAR(pe.value()[1], 1.0, 1e-12);
+  // Values bounded by 1.
+  for (double v : pe.value()) EXPECT_LE(std::fabs(v), 1.0 + 1e-12);
+}
+
+// ---- losses -----------------------------------------------------------------
+
+TEST(LossTest, AsymmetricLossValues) {
+  Tensor pred = Tensor::FromVector({0.0, 4.0});
+  Tensor target = Tensor::FromVector({2.0, 2.0});
+  // under = mean(relu([2,-2])) = 1; over = mean(relu([-2,2])) = 1.
+  EXPECT_NEAR(AsymmetricLoss(pred, target, 1.0).scalar(), 1.0, 1e-12);
+  EXPECT_NEAR(AsymmetricLoss(pred, target, 0.0).scalar(), 1.0, 1e-12);
+  EXPECT_NEAR(AsymmetricLoss(pred, target, 0.7).scalar(), 1.0, 1e-12);
+}
+
+TEST(LossTest, AsymmetricLossGrad) {
+  Rng rng(19);
+  Tensor pred = Tensor::FromVector({0.5, 3.1, -0.4, 2.2}, true);
+  Tensor target = Tensor::FromVector({1.0, 2.0, 0.0, 2.0});
+  auto report = CheckGradients(
+      [&] { return AsymmetricLoss(pred, target, 0.8); }, {pred});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_error, kGradTol);
+}
+
+TEST(LossTest, MseLoss) {
+  Tensor pred = Tensor::FromVector({1.0, 2.0});
+  Tensor target = Tensor::FromVector({0.0, 4.0});
+  EXPECT_NEAR(MseLoss(pred, target).scalar(), (1.0 + 4.0) / 2.0, 1e-12);
+}
+
+// ---- optimizers -------------------------------------------------------------
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Tensor w = Tensor::FromVector({5.0, -3.0}, true);
+  Sgd sgd({w}, 0.1);
+  for (int step = 0; step < 200; ++step) {
+    sgd.ZeroGrad();
+    Tensor loss = SumAll(Mul(w, w));
+    ASSERT_TRUE(loss.Backward().ok());
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value()[0], 0.0, 1e-6);
+  EXPECT_NEAR(w.value()[1], 0.0, 1e-6);
+}
+
+TEST(OptimizerTest, AdamFitsLinearRegression) {
+  Rng rng(20);
+  // y = 2x + 1 with noise; fit w, b.
+  Tensor w = Tensor::FromVector({0.0}, true);
+  Tensor b = Tensor::FromVector({0.0}, true);
+  Adam adam({w, b}, 0.05);
+  for (int step = 0; step < 500; ++step) {
+    adam.ZeroGrad();
+    const double x = rng.Uniform(-1, 1);
+    const double y = 2.0 * x + 1.0;
+    Tensor pred = AddScalar(MulScalar(w, x), 0.0);
+    pred = Add(pred, b);
+    Tensor target = Tensor::FromVector({y});
+    Tensor loss = MseLoss(pred, target);
+    ASSERT_TRUE(loss.Backward().ok());
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value()[0], 2.0, 0.1);
+  EXPECT_NEAR(b.value()[0], 1.0, 0.1);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Tensor w = Tensor::FromVector({1.0}, true);
+  Sgd sgd({w}, 0.1);
+  Tensor loss = SumAll(Mul(w, w));
+  ASSERT_TRUE(loss.Backward().ok());
+  EXPECT_NE(w.grad()[0], 0.0);
+  sgd.ZeroGrad();
+  EXPECT_DOUBLE_EQ(w.grad()[0], 0.0);
+}
+
+}  // namespace
+}  // namespace ipool::nn

@@ -1,0 +1,502 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/recommendation_engine.h"
+#include "service/arbitrator.h"
+#include "service/adaptive_loop.h"
+#include "service/control_loop.h"
+#include "service/document_store.h"
+#include "service/recommendation_io.h"
+#include "service/telemetry_store.h"
+#include "service/workers.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+// ---- document store ---------------------------------------------------------
+
+TEST(DocumentStoreTest, PutGetDelete) {
+  DocumentStore store;
+  EXPECT_FALSE(store.Get("missing").ok());
+  store.Put("key", "value-1", 100.0);
+  auto doc = store.Get("key");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->value, "value-1");
+  EXPECT_DOUBLE_EQ(doc->updated_at, 100.0);
+  EXPECT_EQ(doc->version, 1);
+
+  store.Put("key", "value-2", 200.0);
+  doc = store.Get("key");
+  EXPECT_EQ(doc->value, "value-2");
+  EXPECT_EQ(doc->version, 2);
+
+  EXPECT_TRUE(store.Delete("key"));
+  EXPECT_FALSE(store.Delete("key"));
+  EXPECT_FALSE(store.Get("key").ok());
+}
+
+// ---- telemetry store --------------------------------------------------------
+
+TEST(TelemetryStoreTest, RecordAndQueryBinned) {
+  TelemetryStore store;
+  ASSERT_TRUE(store.RecordEvent("req", 5.0).ok());
+  ASSERT_TRUE(store.RecordEvent("req", 35.0).ok());
+  ASSERT_TRUE(store.RecordEvent("req", 36.0).ok());
+  ASSERT_TRUE(store.Record("req", 65.0, 2.0).ok());
+
+  auto binned = store.QueryBinned("req", 0.0, 30.0, 3);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_DOUBLE_EQ(binned->value(0), 1.0);
+  EXPECT_DOUBLE_EQ(binned->value(1), 2.0);
+  EXPECT_DOUBLE_EQ(binned->value(2), 2.0);
+}
+
+TEST(TelemetryStoreTest, RejectsOutOfOrder) {
+  TelemetryStore store;
+  ASSERT_TRUE(store.RecordEvent("req", 10.0).ok());
+  EXPECT_FALSE(store.RecordEvent("req", 5.0).ok());
+  // Other metrics are independent.
+  EXPECT_TRUE(store.RecordEvent("other", 1.0).ok());
+}
+
+TEST(TelemetryStoreTest, UnknownMetricIsZero) {
+  TelemetryStore store;
+  auto binned = store.QueryBinned("ghost", 0.0, 30.0, 4);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_DOUBLE_EQ(binned->Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(store.Sum("ghost", 0, 100), 0.0);
+  EXPECT_EQ(store.PointCount("ghost"), 0u);
+}
+
+TEST(TelemetryStoreTest, SumOverRange) {
+  TelemetryStore store;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) ASSERT_TRUE(store.RecordEvent("m", t).ok());
+  EXPECT_DOUBLE_EQ(store.Sum("m", 2.0, 4.0), 2.0);  // [2, 4): points 2, 3
+  EXPECT_DOUBLE_EQ(store.LastTime("m"), 4.0);
+}
+
+// ---- recommendation io ------------------------------------------------------
+
+StoredRecommendation SampleStored() {
+  StoredRecommendation stored;
+  stored.recommendation.pool_size_per_bin = {3, 4, 5};
+  stored.recommendation.predicted_demand = {1.5, 2.25, 3.0};
+  stored.recommendation.model_name = "SSA+";
+  stored.recommendation.pipeline = PipelineKind::kEndToEnd;
+  stored.start_time = 7200.0;
+  stored.interval_seconds = 30.0;
+  return stored;
+}
+
+TEST(RecommendationIoTest, RoundTrips) {
+  StoredRecommendation stored = SampleStored();
+  auto parsed = ParseRecommendation(SerializeRecommendation(stored));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->recommendation.pool_size_per_bin,
+            stored.recommendation.pool_size_per_bin);
+  EXPECT_EQ(parsed->recommendation.model_name, "SSA+");
+  EXPECT_EQ(parsed->recommendation.pipeline, PipelineKind::kEndToEnd);
+  EXPECT_DOUBLE_EQ(parsed->start_time, 7200.0);
+  EXPECT_DOUBLE_EQ(parsed->interval_seconds, 30.0);
+  ASSERT_EQ(parsed->recommendation.predicted_demand.size(), 3u);
+  EXPECT_NEAR(parsed->recommendation.predicted_demand[1], 2.25, 1e-9);
+}
+
+TEST(RecommendationIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseRecommendation("").ok());
+  EXPECT_FALSE(ParseRecommendation("v2\npool=1").ok());
+  EXPECT_FALSE(ParseRecommendation("v1\nnonsense").ok());
+  EXPECT_FALSE(ParseRecommendation("v1\nmodel=x\n").ok());  // no schedule
+}
+
+TEST(RecommendationIoTest, TargetAtSelectsBin) {
+  StoredRecommendation stored = SampleStored();
+  EXPECT_EQ(stored.TargetAt(7200.0), 3);
+  EXPECT_EQ(stored.TargetAt(7229.9), 3);
+  EXPECT_EQ(stored.TargetAt(7230.0), 4);
+  EXPECT_EQ(stored.TargetAt(7290.0), 5);   // past the window: last bin
+  EXPECT_EQ(stored.TargetAt(99999.0), 5);  // stale fallback value
+  EXPECT_EQ(stored.TargetAt(0.0), 3);      // before the window: first bin
+}
+
+TEST(RecommendationIoTest, RandomGarbageNeverCrashes) {
+  // The pooling worker parses documents written by another service; hostile
+  // or corrupt bytes must yield an error, never UB.
+  Rng rng(55);
+  const std::string alphabet = "v1\n=,.0123456789abcpoolmdei-+";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 120));
+    for (size_t i = 0; i < len; ++i) {
+      text += alphabet[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))];
+    }
+    auto parsed = ParseRecommendation(text);
+    if (parsed.ok()) {
+      // Anything accepted must at least be structurally sound.
+      EXPECT_FALSE(parsed->recommendation.pool_size_per_bin.empty());
+      EXPECT_GT(parsed->interval_seconds, 0.0);
+    }
+  }
+}
+
+TEST(RecommendationIoTest, TruncatedSerializationRejected) {
+  StoredRecommendation stored = SampleStored();
+  const std::string full = SerializeRecommendation(stored);
+  // Chopping the document anywhere before the pool line must fail.
+  const size_t pool_pos = full.find("pool=");
+  ASSERT_NE(pool_pos, std::string::npos);
+  for (size_t cut : {size_t{0}, size_t{2}, pool_pos / 2, pool_pos}) {
+    EXPECT_FALSE(ParseRecommendation(full.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+// ---- arbitrator -------------------------------------------------------------
+
+TEST(ArbitratorTest, AssignsWorkToHealthyWorker) {
+  auto arb = Arbitrator::Create({});
+  ASSERT_TRUE(arb.ok());
+  ASSERT_TRUE(arb->AddWorker("w1").ok());
+  ASSERT_TRUE(arb->AddWorkItem("pool-task").ok());
+  EXPECT_EQ(arb->RunHealthCheck(0.0), 1u);
+  EXPECT_EQ(arb->OwnerOf("pool-task"), "w1");
+}
+
+TEST(ArbitratorTest, RejectsDuplicates) {
+  auto arb = Arbitrator::Create({});
+  ASSERT_TRUE(arb->AddWorker("w1").ok());
+  EXPECT_FALSE(arb->AddWorker("w1").ok());
+  ASSERT_TRUE(arb->AddWorkItem("t").ok());
+  EXPECT_FALSE(arb->AddWorkItem("t").ok());
+  EXPECT_FALSE(arb->SetWorkerHealth("ghost", true).ok());
+}
+
+TEST(ArbitratorTest, ReplacesUnhealthyWorker) {
+  auto arb = Arbitrator::Create({});
+  ASSERT_TRUE(arb->AddWorker("w1").ok());
+  ASSERT_TRUE(arb->AddWorker("w2").ok());
+  ASSERT_TRUE(arb->AddWorkItem("task").ok());
+  arb->RunHealthCheck(0.0);
+  const std::string original = *arb->OwnerOf("task");
+  ASSERT_TRUE(arb->SetWorkerHealth(original, false).ok());
+  arb->RunHealthCheck(10.0);
+  ASSERT_TRUE(arb->OwnerOf("task").has_value());
+  EXPECT_NE(*arb->OwnerOf("task"), original);
+}
+
+TEST(ArbitratorTest, HealthyLeaseIsRenewedNotReassigned) {
+  ArbitratorConfig config;
+  config.lease_duration_seconds = 100.0;
+  auto arb = Arbitrator::Create(config);
+  ASSERT_TRUE(arb->AddWorker("w1").ok());
+  ASSERT_TRUE(arb->AddWorker("w2").ok());
+  ASSERT_TRUE(arb->AddWorkItem("task").ok());
+  arb->RunHealthCheck(0.0);
+  const std::string owner = *arb->OwnerOf("task");
+  // Run checks well past the lease: the healthy owner keeps renewing.
+  for (double t = 50; t < 1000; t += 50) arb->RunHealthCheck(t);
+  EXPECT_EQ(*arb->OwnerOf("task"), owner);
+  EXPECT_EQ(arb->reassignments(), 1u);  // only the initial assignment
+}
+
+TEST(ArbitratorTest, NoHealthyWorkersLeavesUnassigned) {
+  auto arb = Arbitrator::Create({});
+  ASSERT_TRUE(arb->AddWorker("w1").ok());
+  ASSERT_TRUE(arb->SetWorkerHealth("w1", false).ok());
+  ASSERT_TRUE(arb->AddWorkItem("task").ok());
+  EXPECT_EQ(arb->RunHealthCheck(0.0), 0u);
+  EXPECT_FALSE(arb->OwnerOf("task").has_value());
+  // Worker recovers: next check assigns.
+  ASSERT_TRUE(arb->SetWorkerHealth("w1", true).ok());
+  EXPECT_EQ(arb->RunHealthCheck(1.0), 1u);
+  EXPECT_EQ(arb->OwnerOf("task"), "w1");
+}
+
+TEST(ArbitratorTest, BalancesLoadAcrossWorkers) {
+  auto arb = Arbitrator::Create({});
+  ASSERT_TRUE(arb->AddWorker("w1").ok());
+  ASSERT_TRUE(arb->AddWorker("w2").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(arb->AddWorkItem("task-" + std::to_string(i)).ok());
+  }
+  arb->RunHealthCheck(0.0);
+  EXPECT_EQ(arb->LoadOf("w1"), 2u);
+  EXPECT_EQ(arb->LoadOf("w2"), 2u);
+}
+
+// ---- workers ----------------------------------------------------------------
+
+PipelineConfig WorkerPipeline() {
+  PipelineConfig config;
+  config.kind = PipelineKind::k2Step;
+  config.model = ModelKind::kSsa;
+  config.forecast.window = 48;
+  config.forecast.horizon = 24;
+  config.saa.alpha_prime = 0.4;
+  config.saa.pool.tau_bins = 3;
+  config.saa.pool.stableness_bins = 10;
+  config.recommendation_bins = 120;
+  return config;
+}
+
+IntelligentPoolingWorkerConfig WorkerConfig() {
+  IntelligentPoolingWorkerConfig config;
+  config.history_bins = 480;  // 4 hours
+  return config;
+}
+
+// Loads a telemetry store with a smooth demand pattern.
+void FillTelemetry(TelemetryStore* telemetry, double until_seconds,
+                   uint64_t seed = 3) {
+  WorkloadConfig wconfig;
+  wconfig.duration_days = until_seconds / 86400.0;
+  wconfig.base_rate_per_minute = 6.0;
+  // Flat profile so every queried window contains traffic (the diurnal
+  // trough would leave the small windows used here empty).
+  wconfig.diurnal_amplitude = 0.0;
+  wconfig.weekend_factor = 1.0;
+  wconfig.seed = seed;
+  auto generator = DemandGenerator::Create(wconfig);
+  for (double t : generator->GenerateEvents()) {
+    ASSERT_TRUE(telemetry->RecordEvent("cluster_requests", t).ok());
+  }
+}
+
+TEST(IntelligentPoolingWorkerTest, PersistsRecommendation) {
+  auto engine = RecommendationEngine::Create(WorkerPipeline());
+  ASSERT_TRUE(engine.ok());
+  TelemetryStore telemetry;
+  DocumentStore documents;
+  FillTelemetry(&telemetry, 6 * 3600.0);
+  auto worker = IntelligentPoolingWorker::Create(&*engine, &telemetry,
+                                                 &documents, WorkerConfig());
+  ASSERT_TRUE(worker.ok());
+  ASSERT_TRUE(worker->RunOnce(5 * 3600.0).ok());
+  EXPECT_EQ(worker->runs_succeeded(), 1u);
+
+  auto doc = documents.Get("pool-recommendation");
+  ASSERT_TRUE(doc.ok());
+  auto stored = ParseRecommendation(doc->value);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->recommendation.pool_size_per_bin.size(), 120u);
+  EXPECT_DOUBLE_EQ(stored->start_time, 5 * 3600.0);
+}
+
+TEST(IntelligentPoolingWorkerTest, InjectedFailureLeavesOldDocument) {
+  auto engine = RecommendationEngine::Create(WorkerPipeline());
+  TelemetryStore telemetry;
+  DocumentStore documents;
+  FillTelemetry(&telemetry, 6 * 3600.0);
+  auto worker = IntelligentPoolingWorker::Create(&*engine, &telemetry,
+                                                 &documents, WorkerConfig());
+  ASSERT_TRUE(worker->RunOnce(4 * 3600.0).ok());
+  const auto first = documents.Get("pool-recommendation");
+
+  worker->InjectFailures(1);
+  EXPECT_FALSE(worker->RunOnce(5 * 3600.0).ok());
+  EXPECT_EQ(worker->runs_failed(), 1u);
+  const auto second = documents.Get("pool-recommendation");
+  EXPECT_EQ(second->version, first->version);  // unchanged
+}
+
+TEST(IntelligentPoolingWorkerTest, GuardrailRejectsBadForecaster) {
+  // A baseline with an absurd gamma produces forecasts far above actuals;
+  // the second run's guardrail must reject.
+  PipelineConfig bad = WorkerPipeline();
+  bad.model = ModelKind::kBaseline;
+  bad.forecast.gamma = 50.0;
+  auto engine = RecommendationEngine::Create(bad);
+  TelemetryStore telemetry;
+  DocumentStore documents;
+  FillTelemetry(&telemetry, 8 * 3600.0);
+  IntelligentPoolingWorkerConfig wconfig = WorkerConfig();
+  wconfig.guardrail_mae_ratio = 1.0;
+  auto worker = IntelligentPoolingWorker::Create(&*engine, &telemetry,
+                                                 &documents, wconfig);
+  ASSERT_TRUE(worker->RunOnce(5 * 3600.0).ok());
+  auto second = worker->RunOnce(6 * 3600.0);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(worker->guardrail_rejections(), 1u);
+}
+
+TEST(PoolingWorkerTest, FallsBackWithoutRecommendation) {
+  DocumentStore documents;
+  PoolingWorkerConfig config;
+  config.default_pool_size = 7;
+  auto worker = PoolingWorker::Create(&documents, config);
+  ASSERT_TRUE(worker.ok());
+  EXPECT_EQ(worker->TargetAt(100.0), 7);
+  EXPECT_EQ(worker->fallback_count(), 1u);
+}
+
+TEST(PoolingWorkerTest, UsesFreshRecommendation) {
+  DocumentStore documents;
+  StoredRecommendation stored = SampleStored();
+  documents.Put("pool-recommendation", SerializeRecommendation(stored),
+                stored.start_time);
+  PoolingWorkerConfig config;
+  auto worker = PoolingWorker::Create(&documents, config);
+  EXPECT_EQ(worker->TargetAt(7230.0), 4);
+  EXPECT_EQ(worker->fallback_count(), 0u);
+}
+
+TEST(PoolingWorkerTest, StaleRecommendationFallsBackToDefault) {
+  DocumentStore documents;
+  StoredRecommendation stored = SampleStored();
+  documents.Put("pool-recommendation", SerializeRecommendation(stored),
+                stored.start_time);
+  PoolingWorkerConfig config;
+  config.recommendation_ttl_seconds = 3600.0;
+  config.default_pool_size = 9;
+  auto worker = PoolingWorker::Create(&documents, config);
+  // Slightly outdated (within TTL): last-bin value.
+  EXPECT_EQ(worker->TargetAt(stored.start_time + 3000.0), 5);
+  // Beyond TTL: default.
+  EXPECT_EQ(worker->TargetAt(stored.start_time + 4000.0), 9);
+  EXPECT_EQ(worker->fallback_count(), 1u);
+}
+
+TEST(PoolingWorkerTest, CorruptDocumentFallsBack) {
+  DocumentStore documents;
+  documents.Put("pool-recommendation", "garbage", 0.0);
+  PoolingWorkerConfig config;
+  config.default_pool_size = 3;
+  auto worker = PoolingWorker::Create(&documents, config);
+  EXPECT_EQ(worker->TargetAt(10.0), 3);
+  EXPECT_EQ(worker->fallback_count(), 1u);
+}
+
+// ---- control loop -----------------------------------------------------------
+
+// Control-loop pipeline: SSA+ with a strong overshoot bias, the deployed
+// configuration. Plain SSA predicts the smooth mean with no margin and
+// cannot reach high hit rates (the paper's §5.2 limitation).
+PipelineConfig LoopPipeline() {
+  PipelineConfig config = WorkerPipeline();
+  config.model = ModelKind::kSsaPlus;
+  config.forecast.alpha_prime = 0.95;
+  config.saa.alpha_prime = 0.2;
+  return config;
+}
+
+ControlLoopConfig LoopConfig() {
+  ControlLoopConfig config;
+  config.run_interval_seconds = 1800.0;
+  config.worker.history_bins = 480;
+  config.pooling.default_pool_size = 5;
+  config.sim.creation_latency_mean_seconds = 90.0;
+  return config;
+}
+
+TEST(ControlLoopTest, RunsEndToEnd) {
+  auto engine = RecommendationEngine::Create(LoopPipeline());
+  ASSERT_TRUE(engine.ok());
+  WorkloadConfig wconfig;
+  wconfig.duration_days = 0.5;
+  wconfig.base_rate_per_minute = 6.0;
+  wconfig.diurnal_amplitude = 0.0;
+  wconfig.seed = 19;
+  auto generator = DemandGenerator::Create(wconfig);
+  TimeSeries demand = generator->GenerateBinned();
+  auto events = generator->GenerateEvents();
+
+  auto result = ControlLoop::Run(*engine, LoopConfig(), demand, events);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->applied_schedule.size(), demand.size());
+  EXPECT_GT(result->pipeline_runs, 10u);
+  EXPECT_EQ(result->sim.total_requests,
+            static_cast<int64_t>(events.size()));
+  // With a functioning loop the pool hit rate should be high.
+  EXPECT_GT(result->sim.hit_rate, 0.8);
+}
+
+TEST(ControlLoopTest, SurvivesInjectedFailures) {
+  auto engine = RecommendationEngine::Create(LoopPipeline());
+  WorkloadConfig wconfig;
+  wconfig.duration_days = 0.5;
+  wconfig.base_rate_per_minute = 6.0;
+  wconfig.diurnal_amplitude = 0.0;
+  wconfig.seed = 23;
+  auto generator = DemandGenerator::Create(wconfig);
+  TimeSeries demand = generator->GenerateBinned();
+  auto events = generator->GenerateEvents();
+
+  // Crash every other pipeline run: the previous recommendation (and
+  // eventually the default) must carry the pool.
+  auto result = ControlLoop::Run(*engine, LoopConfig(), demand, events,
+                                 [](size_t run) { return run % 2 == 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->pipeline_failures, 0u);
+  // Service stays up: requests still served at a reasonable hit rate.
+  EXPECT_GT(result->sim.hit_rate, 0.6);
+}
+
+TEST(ControlLoopTest, AllFailuresFallBackToDefault) {
+  auto engine = RecommendationEngine::Create(WorkerPipeline());
+  WorkloadConfig wconfig;
+  wconfig.duration_days = 0.25;
+  wconfig.base_rate_per_minute = 4.0;
+  wconfig.seed = 29;
+  auto generator = DemandGenerator::Create(wconfig);
+  TimeSeries demand = generator->GenerateBinned();
+  auto events = generator->GenerateEvents();
+
+  auto result = ControlLoop::Run(*engine, LoopConfig(), demand, events,
+                                 [](size_t) { return true; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pipeline_failures, result->pipeline_runs);
+  // Every applied bin is the default pool size.
+  for (int64_t n : result->applied_schedule) EXPECT_EQ(n, 5);
+  EXPECT_EQ(result->fallback_bins, demand.size());
+}
+
+// ---- adaptive loop (§6 through the full control plane) -----------------------
+
+TEST(AdaptiveLoopTest, SteersWaitTowardSla) {
+  AdaptiveLoopConfig config;
+  config.pipeline = LoopPipeline();
+  config.loop = LoopConfig();
+  config.tuner.target_wait_seconds = 2.0;
+  config.tuner.initial_alpha = 0.9;  // start far too stingy
+
+  std::vector<DemandPeriod> periods;
+  for (uint64_t day = 0; day < 6; ++day) {
+    WorkloadConfig wconfig;
+    wconfig.duration_days = 0.25;
+    wconfig.base_rate_per_minute = 6.0;
+    wconfig.diurnal_amplitude = 0.0;
+    wconfig.seed = 500 + day;
+    auto generator = DemandGenerator::Create(wconfig);
+    periods.push_back({generator->GenerateBinned(), generator->GenerateEvents()});
+  }
+
+  auto result = AdaptiveLoop::Run(config, periods);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->periods.size(), 6u);
+  // alpha' must have moved downward from the stingy start...
+  EXPECT_LT(result->final_alpha, 0.9);
+  // ...and the final period's wait must be closer to the SLA than the first.
+  const double first_gap =
+      std::fabs(result->periods.front().avg_wait_seconds - 2.0);
+  const double last_gap =
+      std::fabs(result->periods.back().avg_wait_seconds - 2.0);
+  EXPECT_LT(last_gap, first_gap);
+}
+
+TEST(AdaptiveLoopTest, ValidatesInputs) {
+  AdaptiveLoopConfig config;
+  config.pipeline = LoopPipeline();
+  config.loop = LoopConfig();
+  EXPECT_FALSE(AdaptiveLoop::Run(config, {}).ok());
+  config.tuner.window = 0;
+  std::vector<DemandPeriod> one(1);
+  EXPECT_FALSE(AdaptiveLoop::Run(config, one).ok());
+}
+
+}  // namespace
+}  // namespace ipool

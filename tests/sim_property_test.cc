@@ -1,0 +1,216 @@
+// Randomized property tests for the pool simulators: accounting identities
+// and monotonicity laws that must hold on any workload, pool schedule and
+// failure configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/multi_pool.h"
+#include "sim/pool_simulator.h"
+#include "solver/pool_model.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+struct RandomScenario {
+  std::vector<double> requests;
+  std::vector<int64_t> schedule;
+  double interval = 30.0;
+  double horizon = 0.0;
+};
+
+RandomScenario MakeScenario(uint64_t seed, bool jittery_schedule = true) {
+  Rng rng(seed);
+  RandomScenario scenario;
+  const size_t bins = 60 + static_cast<size_t>(rng.UniformInt(0, 120));
+  scenario.horizon = static_cast<double>(bins) * scenario.interval;
+  const double rate = rng.Uniform(0.01, 0.2);  // requests per second
+  double t = rng.Exponential(rate);
+  while (t < scenario.horizon) {
+    scenario.requests.push_back(t);
+    t += rng.Exponential(rate);
+  }
+  scenario.schedule.resize(bins);
+  int64_t level = rng.UniformInt(0, 8);
+  for (size_t i = 0; i < bins; ++i) {
+    if (jittery_schedule && i % 10 == 0) {
+      level = std::max<int64_t>(0, level + rng.UniformInt(-3, 3));
+    }
+    scenario.schedule[i] = level;
+  }
+  return scenario;
+}
+
+SimConfig RandomSimConfig(Rng& rng) {
+  SimConfig config;
+  config.creation_latency_mean_seconds = rng.Uniform(30.0, 150.0);
+  config.creation_latency_cv = rng.Uniform(0.0, 0.4);
+  config.seed = rng.NextUint64();
+  if (rng.Bernoulli(0.3)) {
+    config.max_cluster_lifetime_seconds = rng.Uniform(600.0, 3600.0);
+  }
+  if (rng.Bernoulli(0.3)) {
+    config.failure_rate_per_hour = rng.Uniform(0.0, 2.0);
+  }
+  return config;
+}
+
+class SimInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimInvariantTest, AccountingIdentitiesHold) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  RandomScenario scenario = MakeScenario(rng.NextUint64());
+  SimConfig config = RandomSimConfig(rng);
+  auto simulator = PoolSimulator::Create(config);
+  ASSERT_TRUE(simulator.ok());
+  auto result = simulator->Run(scenario.requests, scenario.schedule,
+                               scenario.interval, scenario.horizon);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every request is either a hit or created an on-demand cluster.
+  EXPECT_EQ(result->total_requests,
+            static_cast<int64_t>(scenario.requests.size()));
+  EXPECT_EQ(result->total_requests,
+            result->pool_hits + result->on_demand_created);
+  EXPECT_GE(result->pool_hits, 0);
+  EXPECT_LE(result->hit_rate, 1.0);
+  EXPECT_GE(result->hit_rate, 0.0);
+
+  // Waits and idle time are non-negative and consistent with averages.
+  EXPECT_GE(result->total_wait_seconds, 0.0);
+  EXPECT_GE(result->idle_cluster_seconds, 0.0);
+  if (result->total_requests > 0) {
+    EXPECT_NEAR(result->avg_wait_seconds,
+                result->total_wait_seconds /
+                    static_cast<double>(result->total_requests),
+                1e-9);
+    EXPECT_LE(result->p99_wait_seconds, result->max_wait_seconds + 1e-9);
+  }
+
+  // Idle time cannot exceed what the peak pool could have idled.
+  int64_t peak = 0;
+  for (int64_t n : scenario.schedule) peak = std::max(peak, n);
+  EXPECT_LE(result->idle_cluster_seconds,
+            static_cast<double>(peak) * scenario.horizon + 1e-6);
+}
+
+TEST_P(SimInvariantTest, BiggerConstantPoolNeverHurtsHitRate) {
+  Rng rng(2000 + static_cast<uint64_t>(GetParam()));
+  RandomScenario scenario = MakeScenario(rng.NextUint64());
+  SimConfig config;
+  config.creation_latency_mean_seconds = rng.Uniform(30.0, 150.0);
+  config.creation_latency_cv = 0.0;  // deterministic for clean dominance
+  config.seed = 5;
+  auto simulator = PoolSimulator::Create(config);
+
+  double previous_hit = -1.0;
+  double previous_idle = -1.0;
+  for (int64_t n : {0, 2, 5, 10, 20}) {
+    std::vector<int64_t> schedule(scenario.schedule.size(), n);
+    auto result = simulator->Run(scenario.requests, schedule,
+                                 scenario.interval, scenario.horizon);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->hit_rate, previous_hit - 1e-12) << "pool " << n;
+    EXPECT_GE(result->idle_cluster_seconds, previous_idle - 1e-9);
+    previous_hit = result->hit_rate;
+    previous_idle = result->idle_cluster_seconds;
+  }
+}
+
+TEST_P(SimInvariantTest, MultiPoolAggregatesMatchPerPoolSums) {
+  Rng rng(3000 + static_cast<uint64_t>(GetParam()));
+  std::vector<PoolClass> classes;
+  for (int c = 0; c < 3; ++c) {
+    PoolClass pc;
+    pc.name = "class-" + std::to_string(c);
+    pc.cores_per_cluster = rng.Uniform(4.0, 64.0);
+    pc.sim.creation_latency_mean_seconds = rng.Uniform(30.0, 120.0);
+    pc.sim.seed = rng.NextUint64();
+    classes.push_back(pc);
+  }
+  auto simulator = MultiPoolSimulator::Create(classes);
+  ASSERT_TRUE(simulator.ok());
+
+  RandomScenario base = MakeScenario(rng.NextUint64());
+  std::vector<SizedRequest> requests;
+  for (double t : base.requests) {
+    requests.push_back({t, static_cast<size_t>(rng.UniformInt(0, 2))});
+  }
+  std::vector<std::vector<int64_t>> schedules(
+      3, std::vector<int64_t>(base.schedule.size(), 3));
+  auto result =
+      simulator->Run(requests, schedules, base.interval, base.horizon);
+  ASSERT_TRUE(result.ok());
+
+  int64_t total = 0, hits = 0;
+  double idle_cores = 0.0;
+  for (size_t c = 0; c < 3; ++c) {
+    total += result->per_pool[c].total_requests;
+    hits += result->per_pool[c].pool_hits;
+    idle_cores += result->per_pool[c].idle_cluster_seconds *
+                  classes[c].cores_per_cluster;
+  }
+  EXPECT_EQ(result->total_requests, total);
+  EXPECT_EQ(result->total_requests, static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(result->pool_hits, hits);
+  EXPECT_NEAR(result->idle_core_seconds, idle_cores, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, SimInvariantTest,
+                         ::testing::Range(0, 12));
+
+// The analytical evaluator and the event simulator must stay close across
+// random workloads when the model's assumptions hold (deterministic latency
+// aligned to bins, stable schedules).
+class ModelVsSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelVsSimTest, AnalyticalModelTracksSimulator) {
+  const uint64_t seed = 4000 + static_cast<uint64_t>(GetParam());
+  WorkloadConfig wconfig;
+  wconfig.duration_days = 0.15;
+  wconfig.base_rate_per_minute = 2.0 + static_cast<double>(GetParam());
+  wconfig.diurnal_amplitude = 0.3;
+  wconfig.seed = seed;
+  auto generator = DemandGenerator::Create(wconfig);
+  TimeSeries demand = generator->GenerateBinned();
+  auto events = generator->GenerateEvents();
+
+  PoolModelConfig pool;
+  pool.tau_bins = 2;
+  pool.stableness_bins = 10;
+  Rng rng(seed);
+  std::vector<int64_t> schedule(demand.size());
+  int64_t level = 2 + rng.UniformInt(0, 8);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (i % 40 == 0) level = std::max<int64_t>(0, level + rng.UniformInt(-2, 2));
+    schedule[i] = level;
+  }
+
+  auto model = EvaluateSchedule(demand, schedule, pool);
+  ASSERT_TRUE(model.ok());
+
+  SimConfig sconfig;
+  sconfig.creation_latency_mean_seconds = 60.0;  // = tau_bins * interval
+  sconfig.creation_latency_cv = 0.0;
+  auto simulator = PoolSimulator::Create(sconfig);
+  const double horizon = wconfig.duration_days * 86400.0;
+  auto sim = simulator->Run(events, schedule, 30.0, horizon);
+  ASSERT_TRUE(sim.ok());
+
+  EXPECT_EQ(sim->total_requests, model->total_requests);
+  // Tolerance: 15% relative plus one bin of rounding per served request (the
+  // analytical model quantizes every idle interval to 30 s bins).
+  const double rounding =
+      0.5 * 30.0 * static_cast<double>(model->total_requests);
+  EXPECT_NEAR(sim->idle_cluster_seconds, model->idle_cluster_seconds,
+              0.15 * model->idle_cluster_seconds + 600.0 + rounding);
+  EXPECT_NEAR(sim->hit_rate, model->hit_rate, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, ModelVsSimTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/event_engine.h"
+#include "sim/pool_simulator.h"
+#include "solver/pool_model.h"
+#include "tsdata/time_series.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+// ---- event engine -----------------------------------------------------------
+
+TEST(EventEngineTest, RunsInTimeOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  ASSERT_TRUE(engine.Schedule(3.0, [&] { order.push_back(3); }).ok());
+  ASSERT_TRUE(engine.Schedule(1.0, [&] { order.push_back(1); }).ok());
+  ASSERT_TRUE(engine.Schedule(2.0, [&] { order.push_back(2); }).ok());
+  engine.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(EventEngineTest, TiesBreakByInsertionOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  ASSERT_TRUE(engine.Schedule(1.0, [&] { order.push_back(0); }).ok());
+  ASSERT_TRUE(engine.Schedule(1.0, [&] { order.push_back(1); }).ok());
+  ASSERT_TRUE(engine.Schedule(1.0, [&] { order.push_back(2); }).ok());
+  engine.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventEngineTest, CallbacksCanScheduleMore) {
+  EventEngine engine;
+  int fired = 0;
+  ASSERT_TRUE(engine
+                  .Schedule(1.0,
+                            [&] {
+                              ++fired;
+                              ASSERT_TRUE(
+                                  engine.Schedule(2.0, [&] { ++fired; }).ok());
+                            })
+                  .ok());
+  engine.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventEngineTest, RejectsPastScheduling) {
+  EventEngine engine;
+  ASSERT_TRUE(engine.Schedule(5.0, [] {}).ok());
+  engine.RunAll();
+  EXPECT_FALSE(engine.Schedule(1.0, [] {}).ok());
+  EXPECT_FALSE(engine.ScheduleAfter(-1.0, [] {}).ok());
+}
+
+TEST(EventEngineTest, RunUntilStopsAtBoundary) {
+  EventEngine engine;
+  int fired = 0;
+  ASSERT_TRUE(engine.Schedule(1.0, [&] { ++fired; }).ok());
+  ASSERT_TRUE(engine.Schedule(5.0, [&] { ++fired; }).ok());
+  engine.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventEngineTest, ScheduleAfterUsesCurrentTime) {
+  EventEngine engine;
+  double fired_at = -1.0;
+  ASSERT_TRUE(engine
+                  .Schedule(10.0,
+                            [&] {
+                              ASSERT_TRUE(engine
+                                              .ScheduleAfter(5.0,
+                                                             [&] {
+                                                               fired_at =
+                                                                   engine.now();
+                                                             })
+                                              .ok());
+                            })
+                  .ok());
+  engine.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+// ---- pool simulator ---------------------------------------------------------
+
+SimConfig DeterministicSim(double latency = 90.0) {
+  SimConfig config;
+  config.creation_latency_mean_seconds = latency;
+  config.creation_latency_cv = 0.0;
+  config.seed = 3;
+  return config;
+}
+
+TEST(SimConfigTest, Validation) {
+  EXPECT_TRUE(DeterministicSim().Validate().ok());
+  SimConfig c = DeterministicSim();
+  c.creation_latency_mean_seconds = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = DeterministicSim();
+  c.failure_rate_per_hour = -1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = DeterministicSim();
+  c.max_cluster_lifetime_seconds = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(PoolSimulatorTest, ValidatesInputs) {
+  auto sim = PoolSimulator::Create(DeterministicSim());
+  ASSERT_TRUE(sim.ok());
+  EXPECT_FALSE(sim->Run({}, {}, 30.0, 100.0).ok());           // empty schedule
+  EXPECT_FALSE(sim->Run({5.0, 1.0}, {1}, 30.0, 100.0).ok());  // unsorted
+  EXPECT_FALSE(sim->Run({500.0}, {1}, 30.0, 100.0).ok());     // beyond horizon
+  EXPECT_FALSE(sim->Run({1.0}, {-1}, 30.0, 100.0).ok());      // negative target
+}
+
+TEST(PoolSimulatorTest, AllHitsWithAmplePool) {
+  auto sim = PoolSimulator::Create(DeterministicSim());
+  std::vector<double> requests = {10, 50, 100, 200, 300};
+  std::vector<int64_t> schedule(20, 10);
+  auto result = sim->Run(requests, schedule, 30.0, 600.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->total_requests, 5);
+  EXPECT_EQ(result->pool_hits, 5);
+  EXPECT_DOUBLE_EQ(result->hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(result->total_wait_seconds, 0.0);
+  EXPECT_EQ(result->on_demand_created, 0);
+}
+
+TEST(PoolSimulatorTest, ZeroPoolAllRequestsWaitFullLatency) {
+  auto sim = PoolSimulator::Create(DeterministicSim(90.0));
+  std::vector<double> requests = {10, 200, 400};
+  std::vector<int64_t> schedule(20, 0);
+  auto result = sim->Run(requests, schedule, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 0);
+  EXPECT_EQ(result->on_demand_created, 3);
+  EXPECT_NEAR(result->avg_wait_seconds, 90.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result->idle_cluster_seconds, 0.0);
+}
+
+TEST(PoolSimulatorTest, IdleTimeForUnusedPool) {
+  auto sim = PoolSimulator::Create(DeterministicSim());
+  std::vector<int64_t> schedule(10, 3);
+  auto result = sim->Run({}, schedule, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  // 3 clusters idle for the whole 300 s horizon.
+  EXPECT_DOUBLE_EQ(result->idle_cluster_seconds, 3 * 300.0);
+}
+
+TEST(PoolSimulatorTest, RehydrationRefillsAfterConsumption) {
+  auto sim = PoolSimulator::Create(DeterministicSim(60.0));
+  // One request at t=10 consumes the single pooled cluster; re-hydration
+  // completes at t=70; second request at t=100 hits again.
+  std::vector<double> requests = {10.0, 100.0};
+  std::vector<int64_t> schedule(10, 1);
+  auto result = sim->Run(requests, schedule, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 2);
+  // Initial cluster idle 10 s; replacement ready at 70, consumed at 100
+  // (30 s idle); its replacement ready at 160, idle until 300 (140 s).
+  EXPECT_NEAR(result->idle_cluster_seconds, 10.0 + 30.0 + 140.0, 1e-9);
+}
+
+TEST(PoolSimulatorTest, BurstDrainsPoolFifoWaits) {
+  auto sim = PoolSimulator::Create(DeterministicSim(60.0));
+  // Pool of 1; burst of 3 requests at t ~ 0.
+  std::vector<double> requests = {1.0, 1.5, 2.0};
+  std::vector<int64_t> schedule(10, 1);
+  auto result = sim->Run(requests, schedule, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 1);
+  EXPECT_EQ(result->on_demand_created, 2);
+  // Request 2 (t=1.5) served by the re-hydration triggered at t=1 (ready
+  // 61): waits 59.5 s. Request 3 (t=2) served by the first on-demand
+  // creation (issued t=1.5, ready 61.5): waits 59.5 s.
+  EXPECT_NEAR(result->total_wait_seconds, 59.5 + 59.5, 1e-9);
+}
+
+TEST(PoolSimulatorTest, DownsizeCancelsInFlightThenDeletesReady) {
+  auto sim = PoolSimulator::Create(DeterministicSim(90.0));
+  // Start at 4, drop to 1 at t=30.
+  std::vector<int64_t> schedule = {4, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  auto result = sim->Run({}, schedule, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters_deleted, 3);
+  // 4 clusters idle 30 s + 1 cluster idle the rest.
+  EXPECT_DOUBLE_EQ(result->idle_cluster_seconds, 4 * 30.0 + 1 * 270.0);
+}
+
+TEST(PoolSimulatorTest, UpsizeHydratesWithLatency) {
+  auto sim = PoolSimulator::Create(DeterministicSim(60.0));
+  // Start at 0, raise to 2 at t=30; request at t=120 should hit.
+  std::vector<int64_t> schedule = {0, 2, 2, 2, 2, 2, 2, 2, 2, 2};
+  std::vector<double> requests = {120.0};
+  auto result = sim->Run(requests, schedule, 30.0, 300.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pool_hits, 1);
+  EXPECT_EQ(result->clusters_created, 3);  // 2 upsizes + 1 re-hydration
+}
+
+TEST(PoolSimulatorTest, ExpiryRecyclesClusters) {
+  SimConfig config = DeterministicSim(50.0);
+  config.max_cluster_lifetime_seconds = 100.0;
+  auto sim = PoolSimulator::Create(config);
+  std::vector<int64_t> schedule(20, 2);
+  auto result = sim->Run({}, schedule, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->clusters_expired, 0);
+  // Pool refills after every expiry; idle time is bounded by
+  // pool * horizon but greater than zero.
+  EXPECT_GT(result->idle_cluster_seconds, 0.0);
+  EXPECT_LE(result->idle_cluster_seconds, 2 * 600.0 + 1e-9);
+}
+
+TEST(PoolSimulatorTest, FailuresTriggerRehydration) {
+  SimConfig config = DeterministicSim(50.0);
+  config.failure_rate_per_hour = 30.0;  // very flaky clusters
+  config.seed = 11;
+  auto sim = PoolSimulator::Create(config);
+  std::vector<int64_t> schedule(20, 3);
+  auto result = sim->Run({}, schedule, 30.0, 600.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->clusters_failed, 0);
+  EXPECT_GT(result->clusters_created, 0);
+}
+
+TEST(PoolSimulatorTest, DeterministicAcrossRuns) {
+  SimConfig config = DeterministicSim(70.0);
+  config.creation_latency_cv = 0.3;
+  config.failure_rate_per_hour = 2.0;
+  auto generator = DemandGenerator::Create([] {
+    WorkloadConfig c;
+    c.duration_days = 0.2;
+    c.base_rate_per_minute = 6.0;
+    c.seed = 21;
+    return c;
+  }());
+  std::vector<double> requests = generator->GenerateEvents();
+  std::vector<int64_t> schedule(generator->num_bins(), 5);
+  const double horizon = 0.2 * 86400.0;
+
+  SimResult first;
+  for (int run = 0; run < 2; ++run) {
+    auto sim = PoolSimulator::Create(config);
+    auto result = sim->Run(requests, schedule, 30.0, horizon);
+    ASSERT_TRUE(result.ok());
+    if (run == 0) {
+      first = *result;
+    } else {
+      EXPECT_EQ(result->pool_hits, first.pool_hits);
+      EXPECT_DOUBLE_EQ(result->idle_cluster_seconds, first.idle_cluster_seconds);
+      EXPECT_DOUBLE_EQ(result->total_wait_seconds, first.total_wait_seconds);
+    }
+  }
+}
+
+// The discrete-event simulator and the analytical cumulative-curve model
+// must agree closely when creation latency is deterministic and aligned to
+// bins (the model's assumptions).
+TEST(PoolSimulatorTest, AgreesWithAnalyticalModel) {
+  WorkloadConfig wconfig;
+  wconfig.duration_days = 0.25;
+  wconfig.base_rate_per_minute = 4.0;
+  wconfig.hourly_spike_requests = 10.0;
+  wconfig.seed = 33;
+  auto generator = DemandGenerator::Create(wconfig);
+  TimeSeries demand = generator->GenerateBinned();
+  std::vector<double> events = generator->GenerateEvents();
+
+  PoolModelConfig pool;
+  pool.tau_bins = 3;  // 90 s at 30 s bins
+  pool.stableness_bins = 10;
+  // A fixed, reasonably-sized pool.
+  std::vector<int64_t> schedule(demand.size(), 8);
+
+  auto model = EvaluateSchedule(demand, schedule, pool);
+  ASSERT_TRUE(model.ok());
+
+  auto sim = PoolSimulator::Create(DeterministicSim(90.0));
+  const double horizon = wconfig.duration_days * 86400.0;
+  auto simulated = sim->Run(events, schedule, 30.0, horizon);
+  ASSERT_TRUE(simulated.ok());
+
+  EXPECT_EQ(simulated->total_requests, model->total_requests);
+  // Idle time: within 10% (binning vs continuous time).
+  EXPECT_NEAR(simulated->idle_cluster_seconds, model->idle_cluster_seconds,
+              0.10 * model->idle_cluster_seconds + 500.0);
+  // Hit rate within a few points.
+  EXPECT_NEAR(simulated->hit_rate, model->hit_rate, 0.05);
+}
+
+}  // namespace
+}  // namespace ipool

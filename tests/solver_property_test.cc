@@ -1,0 +1,234 @@
+// Randomized property tests for the LP solver and the SAA optimizer:
+// feasibility of returned solutions, optimality against closed-form and
+// brute-force references, and structural laws of the pooling objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "solver/pool_model.h"
+#include "solver/saa_optimizer.h"
+#include "solver/simplex.h"
+
+namespace ipool {
+namespace {
+
+// Evaluates a constraint row at x.
+double RowValue(const LpConstraint& row, const std::vector<double>& x) {
+  double acc = 0.0;
+  for (const auto& [var, coeff] : row.terms) acc += coeff * x[var];
+  return acc;
+}
+
+bool IsFeasible(const LpProblem& lp, const std::vector<double>& x,
+                double tol = 1e-6) {
+  for (double v : x) {
+    if (v < -tol) return false;
+  }
+  for (const auto& row : lp.constraints) {
+    const double value = RowValue(row, x);
+    switch (row.type) {
+      case ConstraintType::kLessEqual:
+        if (value > row.rhs + tol) return false;
+        break;
+      case ConstraintType::kGreaterEqual:
+        if (value < row.rhs - tol) return false;
+        break;
+      case ConstraintType::kEqual:
+        if (std::fabs(value - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+// Box-constrained LPs have a closed-form optimum: x_i = u_i where c_i < 0,
+// else 0.
+class BoxLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxLpTest, MatchesClosedForm) {
+  Rng rng(600 + static_cast<uint64_t>(GetParam()));
+  const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+  LpProblem lp;
+  lp.num_vars = n;
+  lp.objective.resize(n);
+  std::vector<double> upper(n);
+  double expected = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    lp.objective[i] = rng.Uniform(-3, 3);
+    upper[i] = rng.Uniform(0.5, 5.0);
+    lp.constraints.push_back(
+        {{{i, 1.0}}, ConstraintType::kLessEqual, upper[i]});
+    if (lp.objective[i] < 0.0) expected += lp.objective[i] * upper[i];
+  }
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_NEAR(solution->objective, expected, 1e-7);
+  EXPECT_TRUE(IsFeasible(lp, solution->x));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, BoxLpTest, ::testing::Range(0, 15));
+
+// Random dense LPs built to be feasible (constraints anchored at a known
+// interior point): the solver's answer must be feasible and at least as good
+// as the anchor point.
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, FeasibleAndNoWorseThanAnchor) {
+  Rng rng(700 + static_cast<uint64_t>(GetParam()));
+  const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 4));
+  const size_t m = 2 + static_cast<size_t>(rng.UniformInt(0, 5));
+
+  std::vector<double> anchor(n);
+  for (double& v : anchor) v = rng.Uniform(0.0, 4.0);
+
+  LpProblem lp;
+  lp.num_vars = n;
+  lp.objective.resize(n);
+  for (double& c : lp.objective) c = rng.Uniform(-2, 2);
+
+  for (size_t i = 0; i < m; ++i) {
+    LpConstraint row;
+    for (size_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.7)) {
+        row.terms.push_back({j, rng.Uniform(-2, 2)});
+      }
+    }
+    if (row.terms.empty()) row.terms.push_back({0, 1.0});
+    const double at_anchor = RowValue(row, anchor);
+    // Slack above the anchor keeps the anchor strictly feasible.
+    row.type = ConstraintType::kLessEqual;
+    row.rhs = at_anchor + rng.Uniform(0.1, 2.0);
+    lp.constraints.push_back(row);
+  }
+  // Bound the feasible region so the LP cannot be unbounded.
+  for (size_t j = 0; j < n; ++j) {
+    lp.constraints.push_back({{{j, 1.0}}, ConstraintType::kLessEqual, 10.0});
+  }
+
+  auto solution = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(IsFeasible(lp, solution->x));
+  double anchor_objective = 0.0;
+  for (size_t j = 0; j < n; ++j) anchor_objective += lp.objective[j] * anchor[j];
+  EXPECT_LE(solution->objective, anchor_objective + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, RandomLpTest, ::testing::Range(0, 20));
+
+// Brute force over all integer block assignments confirms the DP optimum on
+// tiny instances (including the ramp constraint).
+class SaaBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaaBruteForceTest, DpMatchesExhaustiveSearch) {
+  Rng rng(800 + static_cast<uint64_t>(GetParam()));
+  SaaConfig config;
+  config.pool.tau_bins = 1 + static_cast<size_t>(rng.UniformInt(0, 1));
+  config.pool.stableness_bins = 2;
+  config.pool.min_pool_size = 0;
+  config.pool.max_pool_size = 4;
+  config.pool.max_new_requests_per_bin = rng.UniformInt(1, 4);
+  config.alpha_prime = rng.Uniform(0.1, 0.9);
+  auto optimizer = SaaOptimizer::Create(config);
+
+  const size_t bins = 8;
+  std::vector<double> vals(bins);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(2.0));
+  TimeSeries demand(0.0, 30.0, vals);
+
+  auto dp = optimizer->Optimize(demand);
+  ASSERT_TRUE(dp.ok());
+
+  // Enumerate all 5^4 block assignments.
+  const size_t num_blocks = config.pool.NumBlocks(bins);
+  ASSERT_EQ(num_blocks, 4u);
+  double best = 1e300;
+  const int64_t sizes = config.pool.max_pool_size + 1;
+  for (int64_t code = 0; code < sizes * sizes * sizes * sizes; ++code) {
+    int64_t c = code;
+    std::vector<int64_t> per_block(num_blocks);
+    bool ramp_ok = true;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      per_block[b] = c % sizes;
+      c /= sizes;
+      if (b > 0 && per_block[b] - per_block[b - 1] >
+                       config.pool.max_new_requests_per_bin) {
+        ramp_ok = false;
+      }
+    }
+    if (!ramp_ok) continue;
+    auto schedule =
+        ExpandBlockSchedule(per_block, bins, config.pool.stableness_bins);
+    auto metrics = EvaluateSchedule(demand, schedule, config.pool);
+    ASSERT_TRUE(metrics.ok());
+    const double objective =
+        config.alpha_prime * metrics->idle_cluster_seconds / 30.0 +
+        (1.0 - config.alpha_prime) * metrics->wait_request_seconds / 30.0;
+    best = std::min(best, objective);
+  }
+  EXPECT_NEAR(dp->objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SaaBruteForceTest,
+                         ::testing::Range(0, 10));
+
+// Scaling law: scaling demand by an integer factor scales the optimal
+// objective roughly linearly (the pooling problem has no fixed costs).
+TEST(SaaScalingTest, ObjectiveGrowsWithDemand) {
+  SaaConfig config;
+  config.pool.stableness_bins = 5;
+  config.alpha_prime = 0.4;
+  auto optimizer = SaaOptimizer::Create(config);
+  Rng rng(5);
+  std::vector<double> vals(60);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(2.0));
+
+  double previous = -1.0;
+  for (double scale : {1.0, 2.0, 4.0}) {
+    std::vector<double> scaled(vals);
+    for (double& v : scaled) v *= scale;
+    auto schedule = optimizer->Optimize(TimeSeries(0.0, 30.0, scaled));
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_GT(schedule->objective, previous);
+    previous = schedule->objective;
+  }
+}
+
+// The Pareto frontier produced by sweeping alpha' is internally consistent:
+// the alpha'-weighted objective achieved at alpha_i is no worse than what
+// any other sweep point's schedule would give under alpha_i's weights.
+TEST(ParetoConsistencyTest, EachAlphaOptimalUnderItsOwnWeights) {
+  Rng rng(9);
+  std::vector<double> vals(120);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(3.0));
+  TimeSeries demand(0.0, 30.0, vals);
+  PoolModelConfig pool;
+  pool.stableness_bins = 5;
+
+  const std::vector<double> alphas = {0.2, 0.5, 0.8};
+  std::vector<PoolMetrics> metrics;
+  for (double alpha : alphas) {
+    SaaConfig config;
+    config.pool = pool;
+    config.alpha_prime = alpha;
+    auto optimizer = SaaOptimizer::Create(config);
+    auto schedule = optimizer->Optimize(demand);
+    ASSERT_TRUE(schedule.ok());
+    auto m = EvaluateSchedule(demand, schedule->pool_size_per_bin, pool);
+    ASSERT_TRUE(m.ok());
+    metrics.push_back(*m);
+  }
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    const double own = alphas[i] * metrics[i].idle_cluster_seconds +
+                       (1.0 - alphas[i]) * metrics[i].wait_request_seconds;
+    for (size_t j = 0; j < alphas.size(); ++j) {
+      const double other = alphas[i] * metrics[j].idle_cluster_seconds +
+                           (1.0 - alphas[i]) * metrics[j].wait_request_seconds;
+      EXPECT_LE(own, other + 1e-6) << "alpha " << alphas[i] << " beaten by "
+                                   << alphas[j] << "'s schedule";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,552 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "solver/pool_model.h"
+#include "solver/saa_optimizer.h"
+#include "solver/simplex.h"
+#include "tsdata/time_series.h"
+
+namespace ipool {
+namespace {
+
+// ---- simplex ----------------------------------------------------------------
+
+TEST(SimplexTest, RejectsMalformedProblems) {
+  LpProblem lp;
+  EXPECT_FALSE(SimplexSolver().Solve(lp).ok());  // no vars
+
+  lp.num_vars = 2;
+  lp.objective = {1.0};  // wrong size
+  EXPECT_FALSE(SimplexSolver().Solve(lp).ok());
+
+  lp.objective = {1.0, 1.0};
+  lp.constraints.push_back({{{5, 1.0}}, ConstraintType::kLessEqual, 1.0});
+  EXPECT_FALSE(SimplexSolver().Solve(lp).ok());  // var out of range
+}
+
+TEST(SimplexTest, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, obj=36.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};  // minimize negative
+  lp.constraints = {
+      {{{0, 1.0}}, ConstraintType::kLessEqual, 4.0},
+      {{{1, 2.0}}, ConstraintType::kLessEqual, 12.0},
+      {{{0, 3.0}, {1, 2.0}}, ConstraintType::kLessEqual, 18.0},
+  };
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -36.0, 1e-8);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, HandlesGreaterEqualAndEquality) {
+  // min 2x + 3y s.t. x + y = 10, x >= 4  => x=10,y=0? No: y>=0, x+y=10,
+  // x>=4. min 2x+3y: prefer x over y (cheaper), so x=10, y=0, obj=20.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.constraints = {
+      {{{0, 1.0}, {1, 1.0}}, ConstraintType::kEqual, 10.0},
+      {{{0, 1.0}}, ConstraintType::kGreaterEqual, 4.0},
+  };
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 20.0, 1e-8);
+  EXPECT_NEAR(sol->x[0], 10.0, 1e-8);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.constraints = {
+      {{{0, 1.0}}, ConstraintType::kLessEqual, 1.0},
+      {{{0, 1.0}}, ConstraintType::kGreaterEqual, 2.0},
+  };
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};  // maximize x with no upper bound
+  lp.constraints = {{{{0, 1.0}}, ConstraintType::kGreaterEqual, 0.0}};
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // x - y <= -2 with min x + y => y >= x + 2, best x=0,y=2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.constraints = {{{{0, 1.0}, {1, -1.0}}, ConstraintType::kLessEqual, -2.0}};
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 2.0, 1e-8);
+  EXPECT_NEAR(sol->x[1], 2.0, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Degenerate vertex: multiple constraints intersect at the optimum.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};
+  lp.constraints = {
+      {{{0, 1.0}, {1, 1.0}}, ConstraintType::kLessEqual, 1.0},
+      {{{0, 1.0}}, ConstraintType::kLessEqual, 1.0},
+      {{{1, 1.0}}, ConstraintType::kLessEqual, 1.0},
+      {{{0, 2.0}, {1, 2.0}}, ConstraintType::kLessEqual, 2.0},
+  };
+  auto sol = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -1.0, 1e-8);
+}
+
+// ---- pool model -------------------------------------------------------------
+
+PoolModelConfig BasicPool() {
+  PoolModelConfig config;
+  config.tau_bins = 2;
+  config.min_pool_size = 0;
+  config.max_pool_size = 50;
+  config.stableness_bins = 1;
+  return config;
+}
+
+TEST(PoolModelConfigTest, Validation) {
+  PoolModelConfig c = BasicPool();
+  EXPECT_TRUE(c.Validate().ok());
+  c.stableness_bins = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BasicPool();
+  c.min_pool_size = 10;
+  c.max_pool_size = 5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BasicPool();
+  c.min_pool_size = -1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(PoolModelConfigTest, Blocks) {
+  PoolModelConfig c = BasicPool();
+  c.stableness_bins = 10;
+  EXPECT_EQ(c.NumBlocks(100), 10u);
+  EXPECT_EQ(c.NumBlocks(101), 11u);
+  EXPECT_EQ(c.BlockOf(9), 0u);
+  EXPECT_EQ(c.BlockOf(10), 1u);
+}
+
+TEST(ExpandBlockScheduleTest, Expands) {
+  auto out = ExpandBlockSchedule({3, 7}, 5, 2);
+  std::vector<int64_t> expected = {3, 3, 7, 7, 7};  // last block extends
+  EXPECT_EQ(out, expected);
+}
+
+TEST(EvaluateScheduleTest, ZeroDemandAllIdle) {
+  TimeSeries demand(0.0, 30.0, std::vector<double>(10, 0.0));
+  std::vector<int64_t> schedule(10, 4);
+  auto m = EvaluateSchedule(demand, schedule, BasicPool());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->total_requests, 0);
+  EXPECT_DOUBLE_EQ(m->hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m->wait_request_seconds, 0.0);
+  // 4 idle clusters x 10 bins x 30 s.
+  EXPECT_DOUBLE_EQ(m->idle_cluster_seconds, 4.0 * 10 * 30.0);
+  EXPECT_DOUBLE_EQ(m->avg_pool_size, 4.0);
+}
+
+TEST(EvaluateScheduleTest, EmptyPoolAllWait) {
+  TimeSeries demand(0.0, 30.0, {1, 0, 0, 0, 0, 0});
+  std::vector<int64_t> schedule(6, 0);
+  PoolModelConfig config = BasicPool();
+  auto m = EvaluateSchedule(demand, schedule, config);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->total_requests, 1);
+  EXPECT_EQ(m->pool_hits, 0);
+  EXPECT_DOUBLE_EQ(m->hit_rate, 0.0);
+  // With a permanently empty pool, A'(t) stays 0 and never reaches the
+  // request: it goes on-demand, waiting tau bins.
+  EXPECT_DOUBLE_EQ(m->avg_wait_seconds, config.tau_bins * 30.0);
+}
+
+TEST(EvaluateScheduleTest, AdequatePoolAllHits) {
+  TimeSeries demand(0.0, 30.0, {1, 1, 1, 1, 1, 1});
+  std::vector<int64_t> schedule(6, 3);  // pool >= tau * rate
+  auto m = EvaluateSchedule(demand, schedule, BasicPool());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->total_requests, 6);
+  EXPECT_EQ(m->pool_hits, 6);
+  EXPECT_DOUBLE_EQ(m->hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m->wait_request_seconds, 0.0);
+}
+
+TEST(EvaluateScheduleTest, Figure3StyleHandComputation) {
+  // Pool of 2, tau = 1 bin, one request per bin for 4 bins.
+  // D   = 1 2 3 4 (cumulative)
+  // A'  = 2 3 4 5 (N(0)=2 at t=0; then D(t-1) + 2)
+  // idle area = sum(A' - D) = 1 + 1 + 1 + 1 = 4 cluster-bins.
+  TimeSeries demand(0.0, 30.0, {1, 1, 1, 1});
+  PoolModelConfig config = BasicPool();
+  config.tau_bins = 1;
+  std::vector<int64_t> schedule(4, 2);
+  auto m = EvaluateSchedule(demand, schedule, config);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->idle_cluster_seconds, 4.0 * 30.0);
+  EXPECT_DOUBLE_EQ(m->wait_request_seconds, 0.0);
+  EXPECT_EQ(m->pool_hits, 4);
+}
+
+TEST(EvaluateScheduleTest, BurstDrainsPoolCausesWaits) {
+  // Pool of 1, tau = 2: burst of 3 requests at t=0.
+  // D  = 3 3 3 3 3 3; A' = 1 1 4 6 ...
+  TimeSeries demand(0.0, 30.0, {3, 0, 0, 0, 0, 0});
+  std::vector<int64_t> schedule(6, 1);
+  auto m = EvaluateSchedule(demand, schedule, BasicPool());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->total_requests, 3);
+  EXPECT_EQ(m->pool_hits, 1);             // first request hits the pool
+  EXPECT_NEAR(m->hit_rate, 1.0 / 3.0, 1e-12);
+  // Requests 2 and 3 wait until t=2 (A'(2)=4 >= 3): each waits 2 bins.
+  EXPECT_DOUBLE_EQ(m->wait_request_seconds, (2 + 2) * 30.0);
+}
+
+TEST(EvaluateScheduleTest, RejectsMismatchedSizes) {
+  TimeSeries demand(0.0, 30.0, {1, 2});
+  EXPECT_FALSE(EvaluateSchedule(demand, {1}, BasicPool()).ok());
+  TimeSeries empty(0.0, 30.0, {});
+  EXPECT_FALSE(EvaluateSchedule(empty, {}, BasicPool()).ok());
+}
+
+TEST(CogsModelTest, DollarConversion) {
+  CogsModel cogs;
+  cogs.cores_per_cluster = 10.0;
+  cogs.dollars_per_core_hour = 0.1;
+  // 3600 cluster-seconds = 1 cluster-hour = 10 core-hours = $1.
+  EXPECT_DOUBLE_EQ(cogs.IdleDollars(3600.0), 1.0);
+}
+
+// ---- SAA optimizer ----------------------------------------------------------
+
+TEST(SaaConfigTest, Validation) {
+  SaaConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.alpha_prime = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c.alpha_prime = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(SaaOptimizerTest, SteadyDemandGivesLittlesLawPool) {
+  // Constant rate r per bin with lag tau: demand in flight = r * tau. The
+  // balanced pool is exactly r * tau; with alpha' = 0.5 the optimizer should
+  // find it (any deviation costs on one side).
+  SaaConfig config;
+  config.pool.tau_bins = 3;
+  config.pool.stableness_bins = 1;
+  config.pool.max_pool_size = 50;
+  config.alpha_prime = 0.5;
+  auto optimizer = SaaOptimizer::Create(config);
+  ASSERT_TRUE(optimizer.ok());
+  TimeSeries demand(0.0, 30.0, std::vector<double>(60, 2.0));
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  // Away from the warm-up, pool should sit at 2 * 3 = 6.
+  for (size_t t = 10; t + 5 < 60; ++t) {
+    EXPECT_EQ(schedule->pool_size_per_bin[t], 6) << "t=" << t;
+  }
+}
+
+TEST(SaaOptimizerTest, AlphaOneMinimizesPool) {
+  SaaConfig config;
+  config.pool.stableness_bins = 1;
+  config.alpha_prime = 1.0;  // only idle time matters
+  auto optimizer = SaaOptimizer::Create(config);
+  TimeSeries demand(0.0, 30.0, std::vector<double>(30, 3.0));
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  for (int64_t n : schedule->pool_size_per_bin) {
+    EXPECT_EQ(n, config.pool.min_pool_size);
+  }
+}
+
+TEST(SaaOptimizerTest, AlphaZeroMaximizesCoverage) {
+  SaaConfig config;
+  config.pool.stableness_bins = 1;
+  config.pool.max_pool_size = 30;
+  config.alpha_prime = 0.0;  // only wait time matters
+  auto optimizer = SaaOptimizer::Create(config);
+  TimeSeries demand(0.0, 30.0, std::vector<double>(30, 2.0));
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  auto metrics = EvaluateSchedule(demand, schedule->pool_size_per_bin,
+                                  config.pool);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_DOUBLE_EQ(metrics->wait_request_seconds, 0.0);
+}
+
+TEST(SaaOptimizerTest, RespectsBounds) {
+  SaaConfig config;
+  config.pool.min_pool_size = 2;
+  config.pool.max_pool_size = 4;
+  config.pool.stableness_bins = 2;
+  config.alpha_prime = 0.3;
+  auto optimizer = SaaOptimizer::Create(config);
+  Rng rng(5);
+  std::vector<double> vals(40);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(6.0));
+  TimeSeries demand(0.0, 30.0, vals);
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  for (int64_t n : schedule->pool_size_per_bin) {
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 4);
+  }
+}
+
+TEST(SaaOptimizerTest, RespectsRampConstraint) {
+  SaaConfig config;
+  config.pool.stableness_bins = 1;
+  config.pool.max_new_requests_per_bin = 2;
+  config.alpha_prime = 0.2;
+  auto optimizer = SaaOptimizer::Create(config);
+  // Demand jumps from 0 to a burst: pool can only ramp 2 per bin.
+  std::vector<double> vals(30, 0.0);
+  for (size_t i = 15; i < 18; ++i) vals[i] = 10.0;
+  TimeSeries demand(0.0, 30.0, vals);
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  const auto& s = schedule->pool_size_per_bin;
+  for (size_t t = 1; t < s.size(); ++t) {
+    EXPECT_LE(s[t] - s[t - 1], 2) << "t=" << t;
+  }
+}
+
+TEST(SaaOptimizerTest, StablenessHoldsPoolConstant) {
+  SaaConfig config;
+  config.pool.stableness_bins = 5;
+  config.alpha_prime = 0.4;
+  auto optimizer = SaaOptimizer::Create(config);
+  Rng rng(9);
+  std::vector<double> vals(37);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(3.0));
+  TimeSeries demand(0.0, 30.0, vals);
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  const auto& s = schedule->pool_size_per_bin;
+  for (size_t t = 0; t < s.size(); ++t) {
+    EXPECT_EQ(s[t], s[(t / 5) * 5]) << "t=" << t;
+  }
+}
+
+// Objective reported by the DP must equal the alpha-weighted idle/wait areas
+// of its own schedule (internal consistency between optimizer and model).
+TEST(SaaOptimizerTest, ObjectiveMatchesEvaluatedAreas) {
+  SaaConfig config;
+  config.pool.tau_bins = 2;
+  config.pool.stableness_bins = 3;
+  config.alpha_prime = 0.35;
+  auto optimizer = SaaOptimizer::Create(config);
+  Rng rng(31);
+  std::vector<double> vals(50);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(4.0));
+  TimeSeries demand(0.0, 30.0, vals);
+  auto schedule = optimizer->Optimize(demand);
+  ASSERT_TRUE(schedule.ok());
+  auto metrics =
+      EvaluateSchedule(demand, schedule->pool_size_per_bin, config.pool);
+  ASSERT_TRUE(metrics.ok());
+  const double idle_bins = metrics->idle_cluster_seconds / 30.0;
+  const double wait_bins = metrics->wait_request_seconds / 30.0;
+  EXPECT_NEAR(schedule->objective,
+              config.alpha_prime * idle_bins +
+                  (1.0 - config.alpha_prime) * wait_bins,
+              1e-6);
+}
+
+// Property test: the DP must match the LP formulation solved by simplex on
+// random small instances (the LP relaxation is tight here).
+class SaaDpVsLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaaDpVsLpTest, DpMatchesLpObjective) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  SaaConfig config;
+  config.pool.tau_bins = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+  config.pool.stableness_bins = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+  config.pool.min_pool_size = rng.UniformInt(0, 2);
+  config.pool.max_pool_size = config.pool.min_pool_size + rng.UniformInt(3, 12);
+  config.pool.max_new_requests_per_bin = rng.UniformInt(1, 6);
+  config.alpha_prime = rng.Uniform(0.05, 0.95);
+
+  const size_t bins = 8 + static_cast<size_t>(rng.UniformInt(0, 10));
+  std::vector<double> vals(bins);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(2.5));
+  TimeSeries demand(0.0, 30.0, vals);
+
+  auto optimizer = SaaOptimizer::Create(config);
+  ASSERT_TRUE(optimizer.ok());
+  auto dp = optimizer->Optimize(demand);
+  ASSERT_TRUE(dp.ok());
+  auto lp = optimizer->OptimizeLp(demand);
+  ASSERT_TRUE(lp.ok()) << lp.status().ToString();
+
+  // LP relaxation <= DP (integers) and they should coincide for integral
+  // demand data.
+  EXPECT_NEAR(dp->objective, lp->objective, 1e-6)
+      << "tau=" << config.pool.tau_bins
+      << " stab=" << config.pool.stableness_bins
+      << " alpha=" << config.alpha_prime;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SaaDpVsLpTest,
+                         ::testing::Range(0, 25));
+
+// Property: DP objective is never worse than any constant schedule.
+class SaaDpDominatesConstantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaaDpDominatesConstantTest, BeatsAllConstantPools) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  SaaConfig config;
+  config.pool.tau_bins = 2;
+  config.pool.stableness_bins = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+  config.pool.max_pool_size = 15;
+  config.alpha_prime = rng.Uniform(0.1, 0.9);
+  auto optimizer = SaaOptimizer::Create(config);
+
+  const size_t bins = 30;
+  std::vector<double> vals(bins);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(3.0));
+  TimeSeries demand(0.0, 30.0, vals);
+
+  auto dp = optimizer->Optimize(demand);
+  ASSERT_TRUE(dp.ok());
+
+  for (int64_t n = 0; n <= 15; ++n) {
+    std::vector<int64_t> constant(bins, n);
+    auto metrics = EvaluateSchedule(demand, constant, config.pool);
+    ASSERT_TRUE(metrics.ok());
+    const double obj =
+        config.alpha_prime * metrics->idle_cluster_seconds / 30.0 +
+        (1.0 - config.alpha_prime) * metrics->wait_request_seconds / 30.0;
+    EXPECT_LE(dp->objective, obj + 1e-9) << "constant pool " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SaaDpDominatesConstantTest,
+                         ::testing::Range(0, 10));
+
+// ---- periodic template ------------------------------------------------------
+
+TEST(SaaOptimizerTest, PeriodicValidatesArguments) {
+  SaaConfig config;
+  config.pool.stableness_bins = 5;
+  auto optimizer = SaaOptimizer::Create(config);
+  TimeSeries demand(0.0, 30.0, std::vector<double>(40, 1.0));
+  EXPECT_FALSE(optimizer->OptimizePeriodic(demand, 0).ok());
+  EXPECT_FALSE(optimizer->OptimizePeriodic(demand, 7).ok());   // not multiple
+  EXPECT_FALSE(optimizer->OptimizePeriodic(demand, 80).ok());  // > demand
+  EXPECT_TRUE(optimizer->OptimizePeriodic(demand, 20).ok());
+}
+
+TEST(SaaOptimizerTest, PeriodicScheduleRepeats) {
+  SaaConfig config;
+  config.pool.tau_bins = 2;
+  config.pool.stableness_bins = 4;
+  config.alpha_prime = 0.4;
+  auto optimizer = SaaOptimizer::Create(config);
+  Rng rng(41);
+  std::vector<double> vals(96);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<double>(rng.Poisson(2.0 + 3.0 * ((i / 8) % 2)));
+  }
+  TimeSeries demand(0.0, 30.0, vals);
+  const size_t period = 16;
+  auto schedule = optimizer->OptimizePeriodic(demand, period);
+  ASSERT_TRUE(schedule.ok());
+  const auto& s = schedule->pool_size_per_bin;
+  for (size_t t = period; t < s.size(); ++t) {
+    EXPECT_EQ(s[t], s[t % period]) << "t=" << t;
+  }
+}
+
+TEST(SaaOptimizerTest, PeriodicNeverBeatsUnconstrained) {
+  // The periodic template is a restriction of the full problem, so its
+  // objective can only be worse or equal.
+  SaaConfig config;
+  config.pool.tau_bins = 2;
+  config.pool.stableness_bins = 2;
+  config.alpha_prime = 0.5;
+  auto optimizer = SaaOptimizer::Create(config);
+  Rng rng(43);
+  std::vector<double> vals(64);
+  for (double& v : vals) v = static_cast<double>(rng.Poisson(3.0));
+  TimeSeries demand(0.0, 30.0, vals);
+  auto full = optimizer->Optimize(demand);
+  auto periodic = optimizer->OptimizePeriodic(demand, 16);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(periodic.ok());
+  EXPECT_GE(periodic->objective, full->objective - 1e-9);
+}
+
+TEST(SaaOptimizerTest, PeriodicTracksRepeatingPattern) {
+  // A perfectly periodic demand: the template should equal the full
+  // solution's steady-state values.
+  SaaConfig config;
+  config.pool.tau_bins = 1;
+  config.pool.stableness_bins = 4;
+  config.alpha_prime = 0.5;
+  auto optimizer = SaaOptimizer::Create(config);
+  std::vector<double> vals(80);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = (i / 4) % 2 == 0 ? 1.0 : 6.0;  // alternating 2-minute levels
+  }
+  TimeSeries demand(0.0, 30.0, vals);
+  auto periodic = optimizer->OptimizePeriodic(demand, 8);
+  ASSERT_TRUE(periodic.ok());
+  // Pool should alternate with the demand levels.
+  const auto& s = periodic->pool_size_per_bin;
+  EXPECT_NE(s[2], s[6]);
+}
+
+// ---- Pareto sweep -----------------------------------------------------------
+
+TEST(SweepParetoTest, TradeoffIsMonotone) {
+  Rng rng(77);
+  std::vector<double> vals(120);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const double base = 2.0 + 1.5 * std::sin(2 * M_PI * i / 40.0);
+    vals[i] = static_cast<double>(rng.Poisson(std::max(0.2, base)));
+  }
+  TimeSeries demand(0.0, 30.0, vals);
+  PoolModelConfig pool;
+  pool.tau_bins = 3;
+  pool.stableness_bins = 5;
+  pool.max_pool_size = 60;
+
+  auto points = SweepPareto(demand, demand, pool, {0.05, 0.3, 0.6, 0.95});
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 4u);
+  // Increasing alpha' penalizes idle more: idle time falls, wait grows.
+  for (size_t i = 1; i < points->size(); ++i) {
+    EXPECT_LE((*points)[i].metrics.idle_cluster_seconds,
+              (*points)[i - 1].metrics.idle_cluster_seconds + 1e-9);
+    EXPECT_GE((*points)[i].metrics.wait_request_seconds,
+              (*points)[i - 1].metrics.wait_request_seconds - 1e-9);
+  }
+}
+
+TEST(SweepParetoTest, RejectsShapeMismatch) {
+  TimeSeries a(0.0, 30.0, {1, 2, 3});
+  TimeSeries b(0.0, 30.0, {1, 2});
+  EXPECT_FALSE(SweepPareto(a, b, PoolModelConfig{}, {0.5}).ok());
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "tsdata/metrics.h"
+#include "tsdata/smoothing.h"
+#include "tsdata/time_series.h"
+
+namespace ipool {
+namespace {
+
+TEST(TimeSeriesTest, CreateRejectsNonPositiveInterval) {
+  EXPECT_FALSE(TimeSeries::Create(0, 0.0, {1.0}).ok());
+  EXPECT_FALSE(TimeSeries::Create(0, -5.0, {1.0}).ok());
+  EXPECT_TRUE(TimeSeries::Create(0, 30.0, {1.0}).ok());
+}
+
+TEST(TimeSeriesTest, TimeAtAndIndexOfRoundTrip) {
+  TimeSeries ts(100.0, 30.0, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ts.TimeAt(0), 100.0);
+  EXPECT_DOUBLE_EQ(ts.TimeAt(3), 190.0);
+  EXPECT_EQ(ts.IndexOf(100.0), 0u);
+  EXPECT_EQ(ts.IndexOf(129.9), 0u);
+  EXPECT_EQ(ts.IndexOf(130.0), 1u);
+  EXPECT_EQ(ts.IndexOf(50.0), 0u);    // clamped low
+  EXPECT_EQ(ts.IndexOf(1e9), 3u);     // clamped high
+}
+
+TEST(TimeSeriesTest, SliceKeepsTimeBase) {
+  TimeSeries ts(0.0, 30.0, {0, 1, 2, 3, 4, 5});
+  TimeSeries s = ts.Slice(2, 5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.start(), 60.0);
+  EXPECT_DOUBLE_EQ(s.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 4.0);
+}
+
+TEST(TimeSeriesTest, SliceClampsOutOfRange) {
+  TimeSeries ts(0.0, 30.0, {0, 1, 2});
+  EXPECT_EQ(ts.Slice(1, 99).size(), 2u);
+  EXPECT_TRUE(ts.Slice(5, 9).empty());
+  EXPECT_TRUE(ts.Slice(2, 1).empty());
+}
+
+TEST(TimeSeriesTest, SplitFractions) {
+  TimeSeries ts(0.0, 30.0, std::vector<double>(10, 1.0));
+  auto [head, tail] = ts.Split(0.8);
+  EXPECT_EQ(head.size(), 8u);
+  EXPECT_EQ(tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(tail.start(), 240.0);
+}
+
+TEST(TimeSeriesTest, SplitEdgeFractionsClamped) {
+  TimeSeries ts(0.0, 30.0, {1, 2, 3});
+  EXPECT_EQ(ts.Split(-0.5).first.size(), 0u);
+  EXPECT_EQ(ts.Split(1.5).first.size(), 3u);
+}
+
+TEST(TimeSeriesTest, Stats) {
+  TimeSeries ts(0.0, 1.0, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(ts.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 1.5);
+  EXPECT_DOUBLE_EQ(ts.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(ts.Min(), -2.0);
+}
+
+TEST(TimeSeriesTest, CumulativeSum) {
+  TimeSeries ts(0.0, 1.0, {1, 2, 0, 3});
+  TimeSeries cum = ts.CumulativeSum();
+  EXPECT_DOUBLE_EQ(cum.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(cum.value(1), 3.0);
+  EXPECT_DOUBLE_EQ(cum.value(2), 3.0);
+  EXPECT_DOUBLE_EQ(cum.value(3), 6.0);
+}
+
+TEST(BinEventsTest, CountsPerBin) {
+  // Events at 5, 10, 35, 61, 61.5 with 30s bins from 0: bins = [2, 1, 2].
+  TimeSeries ts = BinEvents({61.0, 5.0, 35.0, 10.0, 61.5}, 0.0, 30.0, 3);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value(2), 2.0);
+}
+
+TEST(BinEventsTest, DropsOutOfRange) {
+  TimeSeries ts = BinEvents({-1.0, 0.0, 89.9, 90.0, 100.0}, 0.0, 30.0, 3);
+  EXPECT_DOUBLE_EQ(ts.Sum(), 2.0);  // only 0.0 and 89.9 land inside
+}
+
+TEST(DownsampleTest, SumsGroups) {
+  TimeSeries ts(60.0, 30.0, {1, 2, 3, 4, 5, 6, 7});
+  auto out = Downsample(ts, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->interval(), 60.0);
+  EXPECT_DOUBLE_EQ(out->start(), 60.0);
+  ASSERT_EQ(out->size(), 3u);  // trailing 7 dropped
+  EXPECT_DOUBLE_EQ(out->value(0), 3.0);
+  EXPECT_DOUBLE_EQ(out->value(1), 7.0);
+  EXPECT_DOUBLE_EQ(out->value(2), 11.0);
+}
+
+TEST(DownsampleTest, FactorOneIsIdentityAndZeroRejected) {
+  TimeSeries ts(0.0, 30.0, {1, 2});
+  auto same = Downsample(ts, 1);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->values(), ts.values());
+  EXPECT_FALSE(Downsample(ts, 0).ok());
+}
+
+TEST(DownsampleTest, PreservesTotalWhenAligned) {
+  TimeSeries ts(0.0, 30.0, {1, 2, 3, 4, 5, 6});
+  auto out = Downsample(ts, 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->Sum(), ts.Sum());
+}
+
+// --- MaxFilter (Eq 18) -------------------------------------------------------
+
+TEST(MaxFilterTest, ZeroFactorIsIdentity) {
+  TimeSeries ts(0.0, 30.0, {1, 5, 2});
+  TimeSeries out = MaxFilter(ts, 0);
+  EXPECT_EQ(out.values(), ts.values());
+}
+
+TEST(MaxFilterTest, WidensSpike) {
+  TimeSeries ts(0.0, 30.0, {0, 0, 0, 9, 0, 0, 0});
+  TimeSeries out = MaxFilter(ts, 4);  // half-window 2
+  std::vector<double> expected = {0, 9, 9, 9, 9, 9, 0};
+  EXPECT_EQ(out.values(), expected);
+}
+
+TEST(MaxFilterTest, LeftEdgeUsesClampedWindow) {
+  TimeSeries ts(0.0, 30.0, {7, 0, 0, 0, 0});
+  TimeSeries out = MaxFilter(ts, 4);
+  // Bins 0..2 see the spike at 0; bins 3,4 do not.
+  std::vector<double> expected = {7, 7, 7, 0, 0};
+  EXPECT_EQ(out.values(), expected);
+}
+
+TEST(MaxFilterTest, NeverBelowInput) {
+  Rng rng(3);
+  std::vector<double> vals(200);
+  for (double& v : vals) v = rng.Uniform(0, 50);
+  TimeSeries ts(0.0, 30.0, vals);
+  for (size_t sf : {1u, 2u, 5u, 20u, 301u}) {
+    TimeSeries out = MaxFilter(ts, sf);
+    for (size_t i = 0; i < ts.size(); ++i) {
+      EXPECT_GE(out.value(i), ts.value(i)) << "sf=" << sf << " i=" << i;
+    }
+  }
+}
+
+TEST(MaxFilterTest, MatchesNaiveImplementation) {
+  Rng rng(17);
+  std::vector<double> vals(137);
+  for (double& v : vals) v = rng.Uniform(-10, 10);
+  TimeSeries ts(0.0, 1.0, vals);
+  for (size_t sf : {2u, 3u, 7u, 10u, 50u}) {
+    TimeSeries fast = MaxFilter(ts, sf);
+    const size_t half = sf / 2;
+    for (size_t i = 0; i < vals.size(); ++i) {
+      const size_t lo = i >= half ? i - half : 0;
+      const size_t hi = std::min(i + half, vals.size() - 1);
+      double expect = vals[lo];
+      for (size_t j = lo; j <= hi; ++j) expect = std::max(expect, vals[j]);
+      ASSERT_DOUBLE_EQ(fast.value(i), expect) << "sf=" << sf << " i=" << i;
+    }
+  }
+}
+
+TEST(MeanFilterTest, SmoothsButLosesPeak) {
+  TimeSeries ts(0.0, 30.0, {0, 0, 0, 9, 0, 0, 0});
+  TimeSeries out = MeanFilter(ts, 4);
+  EXPECT_LT(out.Max(), 9.0);       // mean filter clips the spike...
+  EXPECT_GT(out.value(3), 0.0);    // ...but spreads it
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(MetricsTest, MaeBasic) {
+  auto r = Mae({1, 2, 3}, {2, 2, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(MetricsTest, RmseBasic) {
+  auto r = Rmse({0, 0}, {3, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, std::sqrt(12.5));
+}
+
+TEST(MetricsTest, RejectsMismatchedOrEmpty) {
+  EXPECT_FALSE(Mae({1}, {1, 2}).ok());
+  EXPECT_FALSE(Mae({}, {}).ok());
+  EXPECT_FALSE(Rmse({1}, {}).ok());
+}
+
+TEST(MetricsTest, AsymmetricLossHalvesIntoMae) {
+  // At alpha' = 0.5, loss = MAE / 2.
+  const std::vector<double> truth = {1, 2, 3, 4};
+  const std::vector<double> pred = {0, 4, 3, 6};
+  const double mae = *Mae(truth, pred);
+  const double loss = *AsymmetricLoss(truth, pred, 0.5);
+  EXPECT_DOUBLE_EQ(loss, mae / 2.0);
+}
+
+TEST(MetricsTest, AsymmetricLossExtremes) {
+  const std::vector<double> truth = {2, 2};
+  const std::vector<double> pred = {0, 4};  // one under by 2, one over by 2
+  // alpha'=1: only underprediction counts.
+  EXPECT_DOUBLE_EQ(*AsymmetricLoss(truth, pred, 1.0), 1.0);
+  // alpha'=0: only overprediction counts.
+  EXPECT_DOUBLE_EQ(*AsymmetricLoss(truth, pred, 0.0), 1.0);
+}
+
+TEST(MetricsTest, AsymmetricLossRejectsBadAlpha) {
+  EXPECT_FALSE(AsymmetricLoss({1}, {1}, -0.1).ok());
+  EXPECT_FALSE(AsymmetricLoss({1}, {1}, 1.1).ok());
+}
+
+TEST(MetricsTest, CoverageRate) {
+  auto r = CoverageRate({1, 2, 3, 4}, {1, 1, 4, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.75);
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuning/auto_tuner.h"
+
+namespace ipool {
+namespace {
+
+AutoTunerConfig BasicConfig() {
+  AutoTunerConfig config;
+  config.target_wait_seconds = 2.0;
+  config.initial_alpha = 0.5;
+  return config;
+}
+
+TEST(AutoTunerConfigTest, Validation) {
+  EXPECT_TRUE(BasicConfig().Validate().ok());
+  AutoTunerConfig c = BasicConfig();
+  c.window = 1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BasicConfig();
+  c.min_alpha = 0.8;
+  c.max_alpha = 0.2;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BasicConfig();
+  c.initial_alpha = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BasicConfig();
+  c.damping = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BasicConfig();
+  c.target_wait_seconds = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(AutoTunerTest, WaitAboveTargetLowersAlpha) {
+  auto tuner = AutoTuner::Create(BasicConfig());
+  ASSERT_TRUE(tuner.ok());
+  // Single observation, degenerate fit: fallback step downward (grow pool).
+  const double next = tuner->Observe(0.5, /*wait=*/10.0);
+  EXPECT_LT(next, 0.5);
+}
+
+TEST(AutoTunerTest, WaitBelowTargetRaisesAlpha) {
+  auto tuner = AutoTuner::Create(BasicConfig());
+  const double next = tuner->Observe(0.5, /*wait=*/0.1);
+  EXPECT_GT(next, 0.5);
+}
+
+TEST(AutoTunerTest, StaysWithinBounds) {
+  AutoTunerConfig config = BasicConfig();
+  config.min_alpha = 0.2;
+  config.max_alpha = 0.8;
+  config.initial_alpha = 0.5;
+  auto tuner = AutoTuner::Create(config);
+  for (int i = 0; i < 50; ++i) tuner->Observe(tuner->alpha(), 100.0);
+  EXPECT_GE(tuner->alpha(), 0.2);
+  for (int i = 0; i < 50; ++i) tuner->Observe(tuner->alpha(), 0.0);
+  EXPECT_LE(tuner->alpha(), 0.8);
+}
+
+TEST(AutoTunerTest, WindowBoundsHistory) {
+  AutoTunerConfig config = BasicConfig();
+  config.window = 5;
+  auto tuner = AutoTuner::Create(config);
+  for (int i = 0; i < 20; ++i) tuner->Observe(0.5, 1.0);
+  EXPECT_EQ(tuner->observation_count(), 5u);
+}
+
+// Closed-loop convergence against a synthetic monotone system:
+// wait(alpha) = 20 * alpha (larger alpha -> smaller pool -> longer wait).
+TEST(AutoTunerTest, ConvergesOnLinearSystem) {
+  AutoTunerConfig config = BasicConfig();
+  config.target_wait_seconds = 5.0;
+  auto tuner = AutoTuner::Create(config);
+  double alpha = tuner->alpha();
+  for (int i = 0; i < 40; ++i) {
+    const double wait = 20.0 * alpha;
+    alpha = tuner->Observe(alpha, wait);
+  }
+  // Fixed point: 20 * alpha = 5 => alpha = 0.25.
+  EXPECT_NEAR(alpha, 0.25, 0.03);
+  EXPECT_NEAR(20.0 * alpha, config.target_wait_seconds, 0.6);
+}
+
+// Convergence on a curved (but monotone) response — the piece-wise linear
+// approximation must still home in.
+TEST(AutoTunerTest, ConvergesOnConvexSystem) {
+  AutoTunerConfig config = BasicConfig();
+  config.target_wait_seconds = 4.0;
+  auto tuner = AutoTuner::Create(config);
+  double alpha = tuner->alpha();
+  for (int i = 0; i < 60; ++i) {
+    const double wait = 16.0 * alpha * alpha;  // convex in alpha
+    alpha = tuner->Observe(alpha, wait);
+  }
+  EXPECT_NEAR(16.0 * alpha * alpha, config.target_wait_seconds, 1.0);
+}
+
+TEST(AutoTunerTest, NoisyObservationsStayStable) {
+  AutoTunerConfig config = BasicConfig();
+  config.target_wait_seconds = 5.0;
+  auto tuner = AutoTuner::Create(config);
+  double alpha = tuner->alpha();
+  // Deterministic "noise" via a fixed pattern.
+  const double noise[] = {0.8, -0.5, 0.3, -0.9, 0.6, -0.2};
+  for (int i = 0; i < 80; ++i) {
+    const double wait = std::max(0.0, 20.0 * alpha + noise[i % 6]);
+    alpha = tuner->Observe(alpha, wait);
+  }
+  EXPECT_NEAR(alpha, 0.25, 0.08);
+}
+
+}  // namespace
+}  // namespace ipool

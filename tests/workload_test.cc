@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsdata/time_series.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+WorkloadConfig SmallConfig(uint64_t seed = 7) {
+  WorkloadConfig config;
+  config.duration_days = 2.0;
+  config.base_rate_per_minute = 5.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WorkloadConfigTest, ValidateRejectsBadValues) {
+  WorkloadConfig c = SmallConfig();
+  c.interval_seconds = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.duration_days = -1;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.diurnal_amplitude = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.base_rate_per_minute = -2;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.noise_cv = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+}
+
+TEST(DemandGeneratorTest, DeterministicForSameSeed) {
+  auto g1 = DemandGenerator::Create(SmallConfig(42));
+  auto g2 = DemandGenerator::Create(SmallConfig(42));
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->GenerateBinned().values(), g2->GenerateBinned().values());
+  EXPECT_EQ(g1->GenerateEvents(), g2->GenerateEvents());
+}
+
+TEST(DemandGeneratorTest, DifferentSeedsDiffer) {
+  auto g1 = DemandGenerator::Create(SmallConfig(1));
+  auto g2 = DemandGenerator::Create(SmallConfig(2));
+  EXPECT_NE(g1->GenerateBinned().values(), g2->GenerateBinned().values());
+}
+
+TEST(DemandGeneratorTest, BinCountMatchesDuration) {
+  auto g = DemandGenerator::Create(SmallConfig());
+  // 2 days at 30s bins = 5760 bins.
+  EXPECT_EQ(g->num_bins(), 5760u);
+  EXPECT_EQ(g->GenerateBinned().size(), 5760u);
+}
+
+TEST(DemandGeneratorTest, EventsMatchBinnedCounts) {
+  auto g = DemandGenerator::Create(SmallConfig(99));
+  TimeSeries binned = g->GenerateBinned();
+  std::vector<double> events = g->GenerateEvents();
+  TimeSeries rebinned = BinEvents(events, 0.0, binned.interval(), binned.size());
+  EXPECT_EQ(rebinned.values(), binned.values());
+}
+
+TEST(DemandGeneratorTest, EventsSorted) {
+  auto g = DemandGenerator::Create(SmallConfig(5));
+  std::vector<double> events = g->GenerateEvents();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1], events[i]);
+  }
+}
+
+TEST(DemandGeneratorTest, MeanRateApproximatelyConfigured) {
+  WorkloadConfig config = SmallConfig(11);
+  config.diurnal_amplitude = 0.0;
+  config.weekend_factor = 1.0;
+  config.noise_cv = 0.0;
+  auto g = DemandGenerator::Create(config);
+  TimeSeries ts = g->GenerateBinned();
+  // With a flat profile, mean requests per minute ~= base rate.
+  const double per_minute = ts.Sum() / (config.duration_days * 24 * 60);
+  EXPECT_NEAR(per_minute, config.base_rate_per_minute,
+              0.05 * config.base_rate_per_minute);
+}
+
+TEST(DemandGeneratorTest, DiurnalShapePeaksAtPeakHour) {
+  WorkloadConfig config = SmallConfig();
+  config.diurnal_amplitude = 0.8;
+  config.peak_hour = 14.0;
+  config.hourly_spike_requests = 0.0;
+  auto g = DemandGenerator::Create(config);
+  const double peak = g->RateAt(14.0 * 3600);
+  const double trough = g->RateAt(2.0 * 3600);
+  EXPECT_GT(peak, 2.0 * trough);
+}
+
+TEST(DemandGeneratorTest, WeekendReducesRate) {
+  auto g = DemandGenerator::Create(SmallConfig());
+  // Day 2 (weekday) vs day 5 (weekend) at the same hour.
+  const double weekday = g->RateAt(2 * 86400.0 + 12 * 3600.0);
+  const double weekend = g->RateAt(5 * 86400.0 + 12 * 3600.0);
+  EXPECT_NEAR(weekend / weekday, SmallConfig().weekend_factor, 1e-9);
+}
+
+TEST(DemandGeneratorTest, HourlySpikeRaisesRateAtTopOfHour) {
+  WorkloadConfig config = SmallConfig();
+  config.hourly_spike_requests = 30.0;
+  config.hourly_spike_width_seconds = 120.0;
+  auto g = DemandGenerator::Create(config);
+  const double at_hour = g->RateAt(10 * 3600.0 + 30.0);
+  const double mid_hour = g->RateAt(10 * 3600.0 + 1800.0);
+  EXPECT_GT(at_hour, mid_hour + 0.2);  // 30 req / 120 s = 0.25 req/s bump
+}
+
+TEST(DemandGeneratorTest, SpikyProfileProducesIrregularSpikes) {
+  WorkloadConfig config = SpikyRegionProfile(3);
+  config.duration_days = 3.0;
+  auto g = DemandGenerator::Create(config);
+  TimeSeries ts = g->GenerateBinned();
+  // Expect clear spikes: max well above the mean.
+  EXPECT_GT(ts.Max(), 8.0 * std::max(ts.Mean(), 0.1));
+  // And roughly spike_rate * days spikes-ish worth of extra volume exists.
+  EXPECT_GT(ts.Sum(), 0.0);
+}
+
+TEST(DemandGeneratorTest, RegionProfilesOrderedByVolume) {
+  const uint64_t seed = 13;
+  auto volume = [&](Region r, NodeSize s) {
+    WorkloadConfig config = RegionNodeProfile(r, s, seed);
+    config.duration_days = 2.0;
+    auto g = DemandGenerator::Create(config);
+    return g->GenerateBinned().Sum();
+  };
+  // Small > Medium > Large within a region.
+  EXPECT_GT(volume(Region::kWestUs2, NodeSize::kSmall),
+            volume(Region::kWestUs2, NodeSize::kMedium));
+  EXPECT_GT(volume(Region::kWestUs2, NodeSize::kMedium),
+            volume(Region::kWestUs2, NodeSize::kLarge));
+  // West > East at equal node size.
+  EXPECT_GT(volume(Region::kWestUs2, NodeSize::kSmall),
+            volume(Region::kEastUs2, NodeSize::kSmall));
+}
+
+TEST(DemandGeneratorTest, NamesStringify) {
+  EXPECT_EQ(RegionToString(Region::kWestUs2), "West US 2");
+  EXPECT_EQ(NodeSizeToString(NodeSize::kLarge), "Large");
+}
+
+}  // namespace
+}  // namespace ipool

@@ -1,0 +1,289 @@
+// ipool_cli: operator command line for the Intelligent Pooling library.
+//
+//   ipool_cli generate  --profile west-small|east-medium|...|spiky
+//                       [--days 2] [--seed 7] --out demand.csv
+//   ipool_cli recommend --demand demand.csv [--model ssa+] [--alpha 0.3]
+//                       [--loss-alpha 0.9] [--bins 120] [--smooth-sf 0]
+//                       --out schedule.csv
+//   ipool_cli evaluate  --demand demand.csv --schedule schedule.csv
+//                       [--tau-bins 3]
+//   ipool_cli simulate  --demand demand.csv --schedule schedule.csv
+//                       [--latency 90] [--latency-cv 0.2] [--seed 1]
+//   ipool_cli sweep     --demand demand.csv [--tau-bins 3]
+//
+// `recommend` fits on the whole input and emits the next `--bins` bins;
+// `evaluate` scores a schedule with the analytical queueing model (§4.1);
+// `simulate` replays the demand through the event-driven pool simulator;
+// `sweep` prints the alpha' Pareto frontier of SAA-on-history.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/recommendation_engine.h"
+#include "sim/pool_simulator.h"
+#include "solver/saa_optimizer.h"
+#include "tsdata/csv.h"
+#include "workload/demand_generator.h"
+
+namespace {
+
+using namespace ipool;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "ipool_cli: %s\n", message.c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T DieOnError(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    Die(std::string(what) + ": " + result.status().ToString());
+  }
+  return std::move(result).value();
+}
+
+// "--key value" pairs into a map; bare tokens are rejected.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int begin) {
+  std::map<std::string, std::string> flags;
+  for (int i = begin; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) Die("unexpected argument: " + key);
+    if (i + 1 >= argc) Die("flag needs a value: " + key);
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double NumFlag(const std::map<std::string, std::string>& flags,
+               const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string RequiredFlag(const std::map<std::string, std::string>& flags,
+                         const std::string& key) {
+  auto it = flags.find(key);
+  if (it == flags.end()) Die("missing required flag --" + key);
+  return it->second;
+}
+
+WorkloadConfig ProfileByName(const std::string& name, uint64_t seed) {
+  if (name == "spiky") return SpikyRegionProfile(seed);
+  const auto dash = name.find('-');
+  if (dash != std::string::npos) {
+    const std::string region_name = name.substr(0, dash);
+    const std::string size_name = name.substr(dash + 1);
+    Region region;
+    if (region_name == "west") {
+      region = Region::kWestUs2;
+    } else if (region_name == "east") {
+      region = Region::kEastUs2;
+    } else {
+      Die("unknown region in profile: " + name);
+    }
+    NodeSize size;
+    if (size_name == "small") {
+      size = NodeSize::kSmall;
+    } else if (size_name == "medium") {
+      size = NodeSize::kMedium;
+    } else if (size_name == "large") {
+      size = NodeSize::kLarge;
+    } else {
+      Die("unknown node size in profile: " + name);
+    }
+    return RegionNodeProfile(region, size, seed);
+  }
+  Die("unknown profile '" + name +
+      "' (use west-small, east-medium, ..., or spiky)");
+}
+
+ModelKind ModelByName(const std::string& name) {
+  if (name == "baseline") return ModelKind::kBaseline;
+  if (name == "ssa") return ModelKind::kSsa;
+  if (name == "ssa+") return ModelKind::kSsaPlus;
+  if (name == "mwdn") return ModelKind::kMwdn;
+  if (name == "tst") return ModelKind::kTst;
+  if (name == "incpt") return ModelKind::kInceptionTime;
+  Die("unknown model '" + name +
+      "' (use baseline, ssa, ssa+, mwdn, tst, incpt)");
+}
+
+void PrintMetrics(const PoolMetrics& metrics) {
+  CogsModel cogs;
+  std::printf("requests            %ld\n", metrics.total_requests);
+  std::printf("pool hit rate       %.2f%%\n", 100.0 * metrics.hit_rate);
+  std::printf("avg wait            %.2f s (capped at on-demand latency)\n",
+              metrics.avg_wait_seconds_capped);
+  std::printf("avg pool size       %.2f (max %.0f)\n", metrics.avg_pool_size,
+              metrics.max_pool_size);
+  std::printf("idle cluster time   %s\n",
+              HumanDuration(metrics.idle_cluster_seconds).c_str());
+  std::printf("idle COGS           $%.2f\n",
+              cogs.IdleDollars(metrics.idle_cluster_seconds));
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  WorkloadConfig config = ProfileByName(
+      FlagOr(flags, "profile", "east-medium"),
+      static_cast<uint64_t>(NumFlag(flags, "seed", 7)));
+  config.duration_days = NumFlag(flags, "days", 2.0);
+  auto generator = DieOnError(DemandGenerator::Create(config), "generate");
+  TimeSeries series = generator.GenerateBinned();
+  const std::string out = RequiredFlag(flags, "out");
+  if (Status s = SaveTimeSeriesCsv(series, out); !s.ok()) Die(s.ToString());
+  std::printf("wrote %zu bins (%.0f requests) to %s\n", series.size(),
+              series.Sum(), out.c_str());
+  return 0;
+}
+
+int CmdRecommend(const std::map<std::string, std::string>& flags) {
+  TimeSeries demand = DieOnError(
+      LoadTimeSeriesCsv(RequiredFlag(flags, "demand")), "load demand");
+  PipelineConfig config;
+  config.model = ModelByName(FlagOr(flags, "model", "ssa+"));
+  config.forecast.window = static_cast<size_t>(NumFlag(flags, "window", 96));
+  config.forecast.horizon = static_cast<size_t>(NumFlag(flags, "horizon", 48));
+  config.forecast.alpha_prime = NumFlag(flags, "loss-alpha", 0.9);
+  config.saa.alpha_prime = NumFlag(flags, "alpha", 0.3);
+  config.saa.pool.tau_bins = static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
+  config.saa.pool.max_pool_size =
+      static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
+  config.recommendation_bins = static_cast<size_t>(NumFlag(flags, "bins", 120));
+  config.smoothing_factor_bins =
+      static_cast<size_t>(NumFlag(flags, "smooth-sf", 0));
+  auto engine = DieOnError(RecommendationEngine::Create(config), "config");
+  auto rec = DieOnError(engine.Run(demand), "pipeline");
+
+  StoredSchedule stored;
+  stored.start_time =
+      demand.TimeAt(demand.size() - 1) + demand.interval();
+  stored.interval_seconds = demand.interval();
+  stored.pool_size_per_bin = rec.pool_size_per_bin;
+  const std::string out = RequiredFlag(flags, "out");
+  if (Status s = SaveScheduleCsv(stored, out); !s.ok()) Die(s.ToString());
+  double mean = 0;
+  for (int64_t n : rec.pool_size_per_bin) mean += static_cast<double>(n);
+  std::printf("model %s: wrote %zu-bin schedule (avg pool %.1f) to %s\n",
+              rec.model_name.c_str(), rec.pool_size_per_bin.size(),
+              mean / static_cast<double>(rec.pool_size_per_bin.size()),
+              out.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  TimeSeries demand = DieOnError(
+      LoadTimeSeriesCsv(RequiredFlag(flags, "demand")), "load demand");
+  StoredSchedule schedule = DieOnError(
+      LoadScheduleCsv(RequiredFlag(flags, "schedule")), "load schedule");
+  if (schedule.pool_size_per_bin.size() != demand.size()) {
+    Die(StrFormat("schedule has %zu bins but demand has %zu",
+                  schedule.pool_size_per_bin.size(), demand.size()));
+  }
+  PoolModelConfig pool;
+  pool.tau_bins = static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
+  pool.max_pool_size = 1'000'000;  // the schedule is taken as-is
+  auto metrics = DieOnError(
+      EvaluateSchedule(demand, schedule.pool_size_per_bin, pool), "evaluate");
+  PrintMetrics(metrics);
+  return 0;
+}
+
+int CmdSimulate(const std::map<std::string, std::string>& flags) {
+  TimeSeries demand = DieOnError(
+      LoadTimeSeriesCsv(RequiredFlag(flags, "demand")), "load demand");
+  StoredSchedule schedule = DieOnError(
+      LoadScheduleCsv(RequiredFlag(flags, "schedule")), "load schedule");
+  if (schedule.pool_size_per_bin.size() != demand.size()) {
+    Die("schedule/demand bin counts differ");
+  }
+  // Scatter the binned counts into arrival events (deterministic seed).
+  Rng rng(static_cast<uint64_t>(NumFlag(flags, "seed", 1)));
+  std::vector<double> events;
+  for (size_t i = 0; i < demand.size(); ++i) {
+    const int64_t count = static_cast<int64_t>(std::llround(demand.value(i)));
+    for (int64_t k = 0; k < count; ++k) {
+      events.push_back(demand.TimeAt(i) + rng.NextDouble() * demand.interval());
+    }
+  }
+  std::sort(events.begin(), events.end());
+  // Re-base to zero for the simulator.
+  const double base = demand.start();
+  for (double& t : events) t -= base;
+
+  SimConfig config;
+  config.creation_latency_mean_seconds = NumFlag(flags, "latency", 90.0);
+  config.creation_latency_cv = NumFlag(flags, "latency-cv", 0.2);
+  config.seed = static_cast<uint64_t>(NumFlag(flags, "seed", 1));
+  auto simulator = DieOnError(PoolSimulator::Create(config), "sim config");
+  const double horizon =
+      demand.interval() * static_cast<double>(demand.size());
+  auto result = DieOnError(
+      simulator.Run(events, schedule.pool_size_per_bin, demand.interval(),
+                    horizon),
+      "simulate");
+  CogsModel cogs;
+  std::printf("requests            %ld\n", result.total_requests);
+  std::printf("pool hit rate       %.2f%%\n", 100.0 * result.hit_rate);
+  std::printf("avg / p99 wait      %.2f / %.1f s\n", result.avg_wait_seconds,
+              result.p99_wait_seconds);
+  std::printf("clusters created    %ld (+%ld on-demand, %ld cancelled)\n",
+              result.clusters_created, result.on_demand_created,
+              result.hydrations_cancelled);
+  std::printf("idle cluster time   %s ($%.2f)\n",
+              HumanDuration(result.idle_cluster_seconds).c_str(),
+              cogs.IdleDollars(result.idle_cluster_seconds));
+  return 0;
+}
+
+int CmdSweep(const std::map<std::string, std::string>& flags) {
+  TimeSeries demand = DieOnError(
+      LoadTimeSeriesCsv(RequiredFlag(flags, "demand")), "load demand");
+  PoolModelConfig pool;
+  pool.tau_bins = static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
+  pool.max_pool_size = static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
+  const std::vector<double> alphas = {0.95, 0.8, 0.6, 0.4, 0.2,
+                                      0.1,  0.05, 0.02, 0.005};
+  auto points = DieOnError(SweepPareto(demand, demand, pool, alphas), "sweep");
+  CogsModel cogs;
+  std::printf("%8s %14s %12s %10s %14s\n", "alpha'", "avg wait(s)",
+              "hit rate", "avg pool", "idle $");
+  for (const ParetoPoint& p : points) {
+    std::printf("%8.3f %14.2f %11.1f%% %10.1f %14.2f\n", p.alpha_prime,
+                p.metrics.avg_wait_seconds_capped, 100.0 * p.metrics.hit_rate,
+                p.metrics.avg_pool_size,
+                cogs.IdleDollars(p.metrics.idle_cluster_seconds));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: ipool_cli <generate|recommend|evaluate|simulate|"
+                 "sweep> [--flag value ...]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "sweep") return CmdSweep(flags);
+  Die("unknown command: " + command);
+}
