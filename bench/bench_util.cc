@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "forecast/forecaster.h"
+#include "obs/export.h"
 
 namespace ipool::bench {
+
+void PrintPhaseBreakdown(const obs::MetricsRegistry& registry) {
+  std::printf("--- per-phase breakdown "
+              "-------------------------------------------\n");
+  std::fputs(obs::HumanSummary(registry).c_str(), stdout);
+}
 
 std::vector<CurvePoint> ParetoFront(std::vector<CurvePoint> points) {
   std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {

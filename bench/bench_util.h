@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "obs/metrics.h"
 #include "solver/pool_model.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/metrics.h"
@@ -129,6 +130,11 @@ std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
                                           PipelineKind pipeline,
                                           const TimeSeries& train,
                                           const TimeSeries& eval);
+
+/// Prints one line per obs histogram (count, p50/p95/p99, max in ms) plus
+/// counters — the per-phase breakdown of a bench run whose configs were
+/// wired with an ObsContext pointing at `registry`.
+void PrintPhaseBreakdown(const obs::MetricsRegistry& registry);
 
 /// The Fig-5 / Table-2 evaluation workload: a business-hours region with
 /// strong top-of-hour scheduler surges, split into a training prefix and the

@@ -21,7 +21,9 @@ int main() {
 
   // Paper training protocol (scaled): fixed 15 epochs (no early stop),
   // dense window sampling — Fig 6 measures the cost of a full training run.
+  obs::MetricsRegistry registry;
   ForecastParams params;
+  params.obs.metrics = &registry;
   params.window = 96;
   params.horizon = 48;
   params.epochs = QuickMode() ? 3 : 15;
@@ -65,5 +67,7 @@ int main() {
               "the deep models scale linearly or worse.\n",
               static_cast<size_t>(days[last] * 2880), slowest_deep /
                   std::max(1e-9, times[last][1]));
+  std::printf("\n");
+  PrintPhaseBreakdown(registry);
   return 0;
 }

@@ -7,6 +7,9 @@
 #include "core/recommendation_engine.h"
 #include "forecast/forecaster.h"
 #include "forecast/ssa.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/smoothing.h"
 #include "workload/demand_generator.h"
@@ -101,6 +104,37 @@ void BM_EndToEndPipeline(benchmark::State& state) {
   state.SetLabel("train + infer + optimize, 1-day history (paper: seconds)");
 }
 BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+// Cost of an instrumentation point when no ObsContext is wired: every hot
+// path pays exactly this (a null check per span/timer/counter site).
+void BM_ObsDisabled(benchmark::State& state) {
+  ObsContext ctx;  // default: disabled
+  for (auto _ : state) {
+    obs::ScopedSpan span(ctx.tracer, "noop");
+    obs::ScopedTimer timer(nullptr);
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetLabel("null span + null timer (hot-path overhead when off)");
+}
+BENCHMARK(BM_ObsDisabled)->Unit(benchmark::kNanosecond);
+
+// Same instrumentation point with a live registry + tracer: span begin/end,
+// histogram observe, counter increment (handles pre-fetched, as hot paths
+// should).
+void BM_ObsEnabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::Histogram* latency = registry.GetHistogram("bench_phase_seconds");
+  obs::Counter* runs = registry.GetCounter("bench_runs_total");
+  for (auto _ : state) {
+    obs::ScopedSpan span(&tracer, "phase");
+    obs::ScopedTimer timer(latency);
+    runs->Add(1);
+    benchmark::DoNotOptimize(registry);
+  }
+  state.SetLabel("span + histogram timer + counter (pre-fetched handles)");
+}
+BENCHMARK(BM_ObsEnabled)->Unit(benchmark::kNanosecond);
 
 void BM_MaxFilter(benchmark::State& state) {
   TimeSeries demand = MakeDemand(static_cast<size_t>(state.range(0)));

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tsdata/smoothing.h"
 
 namespace ipool {
@@ -30,13 +32,23 @@ Status PipelineConfig::Validate() const {
 Result<RecommendationEngine> RecommendationEngine::Create(
     const PipelineConfig& config) {
   IPOOL_RETURN_NOT_OK(config.Validate());
-  return RecommendationEngine(config);
+  PipelineConfig wired = config;
+  wired.forecast.obs = wired.forecast.obs.OrElse(wired.obs);
+  wired.saa.obs = wired.saa.obs.OrElse(wired.obs);
+  return RecommendationEngine(wired);
 }
 
 namespace {
 
 // §7.5 strategy 3: hold the pool up around spikes by max-filtering the
 // recommended sizes over a tau-wide window.
+obs::Histogram* ModelHistogram(const ObsContext& obs, const char* name,
+                               const std::string& model) {
+  return obs.metrics != nullptr
+             ? obs.metrics->GetHistogram(name, {{"model", model}})
+             : nullptr;
+}
+
 std::vector<int64_t> SmoothSchedule(const std::vector<int64_t>& schedule,
                                     size_t smoothing_bins, double interval) {
   if (smoothing_bins == 0) return schedule;
@@ -73,9 +85,21 @@ Result<Recommendation> RecommendationEngine::RunTwoStep(
 
   IPOOL_ASSIGN_OR_RETURN(std::unique_ptr<Forecaster> forecaster,
                          CreateForecaster(config_.model, config_.forecast));
-  IPOOL_RETURN_NOT_OK(forecaster->Fit(training));
-  IPOOL_ASSIGN_OR_RETURN(std::vector<double> predicted,
-                         forecaster->Forecast(config_.recommendation_bins));
+  std::vector<double> predicted;
+  {
+    obs::ScopedSpan forecast_span(config_.obs.tracer, "forecast");
+    {
+      obs::ScopedSpan fit_span(config_.obs.tracer, "fit");
+      obs::ScopedTimer fit_timer(ModelHistogram(
+          config_.obs, "ipool_forecast_fit_seconds", forecaster->name()));
+      IPOOL_RETURN_NOT_OK(forecaster->Fit(training));
+    }
+    obs::ScopedSpan predict_span(config_.obs.tracer, "predict");
+    obs::ScopedTimer predict_timer(ModelHistogram(
+        config_.obs, "ipool_forecast_predict_seconds", forecaster->name()));
+    IPOOL_ASSIGN_OR_RETURN(predicted,
+                           forecaster->Forecast(config_.recommendation_bins));
+  }
 
   const double forecast_start =
       history.start() + history.interval() * static_cast<double>(history.size());
@@ -118,9 +142,21 @@ Result<Recommendation> RecommendationEngine::RunEndToEnd(
                           std::move(pool_series));
   IPOOL_ASSIGN_OR_RETURN(std::unique_ptr<Forecaster> forecaster,
                          CreateForecaster(config_.model, config_.forecast));
-  IPOOL_RETURN_NOT_OK(forecaster->Fit(pool_history));
-  IPOOL_ASSIGN_OR_RETURN(std::vector<double> predicted_pool,
-                         forecaster->Forecast(config_.recommendation_bins));
+  std::vector<double> predicted_pool;
+  {
+    obs::ScopedSpan forecast_span(config_.obs.tracer, "forecast");
+    {
+      obs::ScopedSpan fit_span(config_.obs.tracer, "fit");
+      obs::ScopedTimer fit_timer(ModelHistogram(
+          config_.obs, "ipool_forecast_fit_seconds", forecaster->name()));
+      IPOOL_RETURN_NOT_OK(forecaster->Fit(pool_history));
+    }
+    obs::ScopedSpan predict_span(config_.obs.tracer, "predict");
+    obs::ScopedTimer predict_timer(ModelHistogram(
+        config_.obs, "ipool_forecast_predict_seconds", forecaster->name()));
+    IPOOL_ASSIGN_OR_RETURN(predicted_pool,
+                           forecaster->Forecast(config_.recommendation_bins));
+  }
 
   std::vector<int64_t> schedule(predicted_pool.size());
   for (size_t i = 0; i < predicted_pool.size(); ++i) {

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "forecast/forecaster.h"
+#include "obs/obs_context.h"
 #include "solver/pool_model.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/time_series.h"
@@ -48,6 +49,11 @@ struct PipelineConfig {
   /// §7.5 strategy 3: max-filter the recommended pool sizes with SF = tau so
   /// spiky demand keeps the pool raised long enough.
   bool smooth_recommendation = false;
+  /// Observability sink (optional). Create() propagates it into the nested
+  /// forecast/SAA configs unless those were wired explicitly, so one
+  /// assignment instruments the whole pipeline: "forecast" (fit/predict
+  /// children) and "solve" spans plus per-model latency histograms.
+  ObsContext obs;
 
   Status Validate() const;
 };

@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace ipool {
 
@@ -52,6 +53,16 @@ Result<WindowDataset> BuildWindowDataset(const std::vector<double>& series,
 
 Status DeepForecasterBase::Fit(const TimeSeries& history) {
   IPOOL_RETURN_NOT_OK(params_.Validate());
+  // Internal training telemetry: distinct from the pipeline-boundary
+  // ipool_forecast_fit_seconds recorded by the RecommendationEngine, this
+  // times the training loop itself and counts epochs actually run (early
+  // stopping makes that data-dependent).
+  obs::Histogram* train_hist = nullptr;
+  if (params_.obs.metrics != nullptr) {
+    train_hist = params_.obs.metrics->GetHistogram("ipool_train_seconds",
+                                                   {{"model", name()}});
+  }
+  obs::ScopedTimer train_timer(train_hist);
   const size_t window = params_.window;
   const size_t horizon = params_.horizon;
   if (history.size() < window + horizon + 1) {
@@ -166,6 +177,14 @@ Status DeepForecasterBase::Fit(const TimeSeries& history) {
   history_tail_.assign(scaled.end() - static_cast<ptrdiff_t>(window),
                        scaled.end());
   fitted_ = true;
+  if (params_.obs.metrics != nullptr) {
+    params_.obs.metrics
+        ->GetCounter("ipool_train_epochs_total", {{"model", name()}})
+        ->Add(epochs_run_);
+    params_.obs.metrics
+        ->GetGauge("ipool_train_last_validation_loss", {{"model", name()}})
+        ->Set(last_validation_loss_);
+  }
   return Status::OK();
 }
 

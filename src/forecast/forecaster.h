@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/obs_context.h"
 #include "tsdata/time_series.h"
 
 namespace ipool {
@@ -69,6 +70,9 @@ struct ForecastParams {
   /// SSA rank cap.
   size_t ssa_rank = 12;
   uint64_t seed = 7;
+  /// Observability sink (optional): trainable models record per-epoch
+  /// counters and internal training time against it.
+  ObsContext obs;
 
   Status Validate() const;
 };

@@ -1,0 +1,199 @@
+#include "obs/export.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ipool::obs {
+
+namespace {
+
+// Prometheus label values escape backslash, double-quote and newline; JSON
+// strings need the same three plus control characters, which our metric
+// names never contain.
+std::string EscapeValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first + "=\"" + EscapeValue(labels[i].second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+// Labels merged with the histogram's `le` bound.
+std::string RenderBucketLabels(const LabelSet& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += k + "=\"" + EscapeValue(v) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::string s = StrFormat("%.9g", v);
+  return s;
+}
+
+std::string JsonLabels(const LabelSet& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + EscapeValue(labels[i].first) + "\":\"" +
+           EscapeValue(labels[i].second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  std::string last_family;
+  for (const auto& entry : registry.Counters()) {
+    if (entry.name != last_family) {
+      out += "# TYPE " + entry.name + " counter\n";
+      last_family = entry.name;
+    }
+    out += entry.name + RenderLabels(entry.labels) + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 entry.instrument->value())) +
+           "\n";
+  }
+  for (const auto& entry : registry.Gauges()) {
+    if (entry.name != last_family) {
+      out += "# TYPE " + entry.name + " gauge\n";
+      last_family = entry.name;
+    }
+    out += entry.name + RenderLabels(entry.labels) + " " +
+           FormatDouble(entry.instrument->value()) + "\n";
+  }
+  for (const auto& entry : registry.Histograms()) {
+    if (entry.name != last_family) {
+      out += "# TYPE " + entry.name + " histogram\n";
+      last_family = entry.name;
+    }
+    const Histogram& h = *entry.instrument;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+      cumulative += h.bucket_count(i);
+      out += entry.name + "_bucket" +
+             RenderBucketLabels(entry.labels,
+                                FormatDouble(h.upper_bounds()[i])) +
+             " " + StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    cumulative += h.bucket_count(h.upper_bounds().size());
+    out += entry.name + "_bucket" + RenderBucketLabels(entry.labels, "+Inf") +
+           " " + StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+           "\n";
+    out += entry.name + "_sum" + RenderLabels(entry.labels) + " " +
+           FormatDouble(h.sum()) + "\n";
+    out += entry.name + "_count" + RenderLabels(entry.labels) + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(h.count())) + "\n";
+  }
+  return out;
+}
+
+std::string SpansJsonl(const Tracer& tracer) {
+  std::string out;
+  for (const SpanRecord& span : tracer.FinishedSpans()) {
+    out += StrFormat(
+        "{\"id\":%llu,\"parent\":%llu,\"name\":\"%s\",\"start_s\":%.9f,"
+        "\"dur_s\":%.9f}\n",
+        static_cast<unsigned long long>(span.id),
+        static_cast<unsigned long long>(span.parent_id),
+        EscapeValue(span.name).c_str(), span.start_seconds,
+        span.duration_seconds);
+  }
+  return out;
+}
+
+std::string MetricsJsonl(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& entry : registry.Counters()) {
+    out += StrFormat("{\"type\":\"counter\",\"name\":\"%s\",\"labels\":%s,"
+                     "\"value\":%llu}\n",
+                     entry.name.c_str(), JsonLabels(entry.labels).c_str(),
+                     static_cast<unsigned long long>(entry.instrument->value()));
+  }
+  for (const auto& entry : registry.Gauges()) {
+    out += StrFormat(
+        "{\"type\":\"gauge\",\"name\":\"%s\",\"labels\":%s,\"value\":%.9g}\n",
+        entry.name.c_str(), JsonLabels(entry.labels).c_str(),
+        entry.instrument->value());
+  }
+  for (const auto& entry : registry.Histograms()) {
+    const Histogram& h = *entry.instrument;
+    out += StrFormat(
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"labels\":%s,"
+        "\"count\":%llu,\"sum\":%.9g,\"p50\":%.9g,\"p95\":%.9g,"
+        "\"p99\":%.9g,\"max\":%.9g}\n",
+        entry.name.c_str(), JsonLabels(entry.labels).c_str(),
+        static_cast<unsigned long long>(h.count()), h.sum(), h.Quantile(0.5),
+        h.Quantile(0.95), h.Quantile(0.99), h.max());
+  }
+  return out;
+}
+
+std::string HumanSummary(const MetricsRegistry& registry,
+                         const Tracer* tracer) {
+  std::string out;
+  const auto histograms = registry.Histograms();
+  if (!histograms.empty()) {
+    out += StrFormat("%-44s %8s %10s %10s %10s %10s\n", "phase (histogram)",
+                     "count", "p50", "p95", "p99", "max");
+    for (const auto& entry : histograms) {
+      const Histogram& h = *entry.instrument;
+      out += StrFormat("%-44s %8llu %9.3fms %9.3fms %9.3fms %9.3fms\n",
+                       (entry.name + RenderLabels(entry.labels)).c_str(),
+                       static_cast<unsigned long long>(h.count()),
+                       1e3 * h.Quantile(0.5), 1e3 * h.Quantile(0.95),
+                       1e3 * h.Quantile(0.99), 1e3 * h.max());
+    }
+  }
+  const auto counters = registry.Counters();
+  for (const auto& entry : counters) {
+    out += StrFormat("%-44s %8llu\n",
+                     (entry.name + RenderLabels(entry.labels)).c_str(),
+                     static_cast<unsigned long long>(entry.instrument->value()));
+  }
+  for (const auto& entry : registry.Gauges()) {
+    out += StrFormat("%-44s %8.6g\n",
+                     (entry.name + RenderLabels(entry.labels)).c_str(),
+                     entry.instrument->value());
+  }
+  if (tracer != nullptr) {
+    out += StrFormat("spans retained: %zu (dropped %zu, open %zu)\n",
+                     tracer->FinishedSpans().size(), tracer->dropped(),
+                     tracer->active_depth());
+  }
+  return out;
+}
+
+}  // namespace ipool::obs

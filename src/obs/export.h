@@ -1,0 +1,32 @@
+// Exporters for the obs subsystem:
+//   * PrometheusText — the text exposition format (counters as *_total,
+//     gauges, histograms with cumulative `le` buckets + _sum/_count) ready
+//     to serve from a /metrics endpoint or diff in tests;
+//   * SpansJsonl / MetricsJsonl — one JSON object per line, for offline
+//     analysis of phase timings (pipe into jq/pandas);
+//   * HumanSummary — the operator-facing per-phase breakdown (count, p50,
+//     p95, p99, max per histogram plus counter/gauge values).
+#ifndef IPOOL_OBS_EXPORT_H_
+#define IPOOL_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ipool::obs {
+
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// {"id":3,"parent":1,"name":"solve","start_s":0.120,"dur_s":0.034}
+std::string SpansJsonl(const Tracer& tracer);
+
+/// {"type":"counter","name":"ipool_pipeline_runs_total","labels":{},"value":4}
+std::string MetricsJsonl(const MetricsRegistry& registry);
+
+std::string HumanSummary(const MetricsRegistry& registry,
+                         const Tracer* tracer = nullptr);
+
+}  // namespace ipool::obs
+
+#endif  // IPOOL_OBS_EXPORT_H_

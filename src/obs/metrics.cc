@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ipool::obs {
+
+void Gauge::Add(double delta) {
+  // CAS loop instead of fetch_add(double): portable to pre-C++20 atomics in
+  // libstdc++ and just as cheap uncontended.
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+  double max = max_.load(std::memory_order_relaxed);
+  while (value > max && !max_.compare_exchange_weak(
+                            max, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max();
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    const uint64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= rank) {
+      if (i >= bounds_.size()) return max();  // overflow bucket
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      // The exact max bounds any quantile tighter than the bucket edge does.
+      return std::min(max(), lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0));
+    }
+    cumulative = next;
+  }
+  return max();
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1 us .. 120 s, roughly x2.5 per step: 4 buckets per decade keeps
+  // interpolation error under ~25% anywhere in the range.
+  return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+          1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+          1.0,  2.5,    5.0,  10.0, 30.0,   60.0, 120.0};
+}
+
+namespace {
+
+std::string SeriesKey(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+template <typename T>
+T* MetricsRegistry::FindOrNull(const std::vector<Series<T>>& all,
+                               const std::string& key) {
+  for (const Series<T>& series : all) {
+    if (series.key == key) return series.instrument.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Counter* existing = FindOrNull(counters_, key)) return existing;
+  counters_.push_back({name, labels, key, std::make_unique<Counter>()});
+  return counters_.back().instrument.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Gauge* existing = FindOrNull(gauges_, key)) return existing;
+  gauges_.push_back({name, labels, key, std::make_unique<Gauge>()});
+  return gauges_.back().instrument.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         std::vector<double> upper_bounds) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Histogram* existing = FindOrNull(histograms_, key)) return existing;
+  if (upper_bounds.empty()) upper_bounds = DefaultLatencyBuckets();
+  histograms_.push_back(
+      {name, labels, key, std::make_unique<Histogram>(std::move(upper_bounds))});
+  return histograms_.back().instrument.get();
+}
+
+std::vector<MetricsRegistry::Entry<Counter>> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry<Counter>> out;
+  out.reserve(counters_.size());
+  for (const auto& s : counters_) {
+    out.push_back({s.name, s.labels, s.instrument.get()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Entry<Gauge>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry<Gauge>> out;
+  out.reserve(gauges_.size());
+  for (const auto& s : gauges_) {
+    out.push_back({s.name, s.labels, s.instrument.get()});
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Entry<Histogram>> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry<Histogram>> out;
+  out.reserve(histograms_.size());
+  for (const auto& s : histograms_) {
+    out.push_back({s.name, s.labels, s.instrument.get()});
+  }
+  return out;
+}
+
+}  // namespace ipool::obs

@@ -1,0 +1,161 @@
+// Process-wide metrics primitives for the control plane (§7.5 "real-time
+// monitoring is an essential part of Intelligent Pooling"): counters,
+// gauges and fixed-bucket latency histograms with derivable p50/p95/p99,
+// collected in a MetricsRegistry that exporters (obs/export.h) serialize as
+// Prometheus text exposition or JSONL.
+//
+// Instruments are cheap enough for hot paths: increments/observations are
+// lock-free atomics; only registration (GetCounter/GetGauge/GetHistogram)
+// takes a mutex, so call sites fetch handles once and hold the raw pointer
+// (handles are stable for the registry's lifetime). All instruments accept
+// concurrent writers; the tracer in obs/trace.h is the single-threaded
+// counterpart.
+#ifndef IPOOL_OBS_METRICS_H_
+#define IPOOL_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipool::obs {
+
+/// Monotonically increasing event count (Prometheus counter).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (Prometheus gauge).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: observations land in the first bucket whose upper
+/// bound is >= the value (cumulative "le" semantics on export). Quantiles are
+/// derived by linear interpolation inside the winning bucket, so p50/p95/p99
+/// are as accurate as the bucket layout; max is tracked exactly.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +Inf overflow
+  /// bucket is always appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  /// Interpolated quantile, q in [0, 1]. Returns 0 when empty; observations
+  /// beyond the last finite bound report that bound (or the exact max for
+  /// q == 1).
+  double Quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is overflow).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Log-spaced latency buckets from 1 us to 120 s — wide enough for both a
+/// no-op span and a full deep-model training run.
+std::vector<double> DefaultLatencyBuckets();
+
+/// Prometheus-style labels, e.g. {{"model", "SSA+"}}.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Owns every instrument; instruments are identified by (name, labels) and
+/// created on first access. Thread-safe; returned pointers stay valid for
+/// the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels = {});
+  /// `upper_bounds` is consulted only on first creation of the (name, labels)
+  /// series; empty means DefaultLatencyBuckets().
+  Histogram* GetHistogram(const std::string& name, const LabelSet& labels = {},
+                          std::vector<double> upper_bounds = {});
+
+  template <typename T>
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+    const T* instrument;
+  };
+  /// Registration-ordered snapshots for exporters.
+  std::vector<Entry<Counter>> Counters() const;
+  std::vector<Entry<Gauge>> Gauges() const;
+  std::vector<Entry<Histogram>> Histograms() const;
+
+ private:
+  template <typename T>
+  struct Series {
+    std::string name;
+    LabelSet labels;
+    std::string key;  // name + rendered labels, the identity
+    std::unique_ptr<T> instrument;
+  };
+  template <typename T>
+  static T* FindOrNull(const std::vector<Series<T>>& all,
+                       const std::string& key);
+
+  mutable std::mutex mu_;
+  std::vector<Series<Counter>> counters_;
+  std::vector<Series<Gauge>> gauges_;
+  std::vector<Series<Histogram>> histograms_;
+};
+
+/// RAII wall-clock timer feeding a histogram on destruction. A null
+/// histogram makes both constructor and destructor a single branch, so
+/// disabled observability costs nothing on the hot path.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram),
+        start_(histogram ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ipool::obs
+
+#endif  // IPOOL_OBS_METRICS_H_

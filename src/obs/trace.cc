@@ -1,0 +1,63 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace ipool::obs {
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+double Tracer::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+uint64_t Tracer::BeginSpan(const std::string& name) {
+  const uint64_t id = next_id_++;
+  const uint64_t parent = stack_.empty() ? 0 : stack_.back().id;
+  stack_.push_back({id, parent, name, Now()});
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  const double now = Now();
+  // Close the target span and anything opened after it that was never
+  // explicitly closed (early-return leak tolerance).
+  while (!stack_.empty()) {
+    ActiveSpan span = std::move(stack_.back());
+    stack_.pop_back();
+    Record({span.id, span.parent_id, std::move(span.name), span.start_seconds,
+            now - span.start_seconds});
+    if (span.id == id) return;
+  }
+}
+
+void Tracer::Record(SpanRecord record) {
+  if (ring_.size() < capacity_ && !ring_full_) {
+    ring_.push_back(std::move(record));
+    if (ring_.size() == capacity_) ring_full_ = true;
+    return;
+  }
+  ring_[ring_next_] = std::move(record);
+  ring_next_ = (ring_next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> Tracer::FinishedSpans() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (!ring_full_) {
+    out = ring_;
+    return out;
+  }
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace ipool::obs

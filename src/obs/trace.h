@@ -1,0 +1,94 @@
+// Span-based phase tracing for the control plane: a Tracer hands out RAII
+// ScopedSpans, nests them through an explicit active-span stack (child spans
+// opened while a parent is active record its id), and retains the most
+// recent finished spans in a bounded ring buffer.
+//
+// This answers "where did the last pipeline run spend its time?" — the §7.6
+// end-to-end latency question — without a log pipeline: the JSONL exporter
+// (obs/export.h) dumps the ring for offline analysis.
+//
+// The tracer is intentionally single-threaded (the control loop is a single
+// logical thread); use one Tracer per thread if that ever changes. A null
+// Tracer* makes ScopedSpan a no-op costing one branch per end.
+#ifndef IPOOL_OBS_TRACE_H_
+#define IPOOL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipool::obs {
+
+/// One finished span. Times are wall-clock seconds relative to the tracer's
+/// construction (monotonic clock).
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root span
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+class Tracer {
+ public:
+  /// `capacity` bounds the finished-span ring; older spans are dropped (and
+  /// counted in dropped()) once it is full.
+  explicit Tracer(size_t capacity = 4096);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span as a child of the currently active one. Prefer ScopedSpan.
+  uint64_t BeginSpan(const std::string& name);
+  /// Closes `id` and any spans opened after it that were left open (leak
+  /// tolerance for early returns that bypass inner scopes).
+  void EndSpan(uint64_t id);
+
+  /// Finished spans, oldest first. Children complete before their parent, so
+  /// a parent appears after its children.
+  std::vector<SpanRecord> FinishedSpans() const;
+
+  size_t dropped() const { return dropped_; }
+  size_t active_depth() const { return stack_.size(); }
+  /// Seconds since the tracer was constructed.
+  double Now() const;
+
+ private:
+  struct ActiveSpan {
+    uint64_t id;
+    uint64_t parent_id;
+    std::string name;
+    double start_seconds;
+  };
+
+  void Record(SpanRecord record);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<ActiveSpan> stack_;
+  std::vector<SpanRecord> ring_;
+  size_t capacity_;
+  size_t ring_next_ = 0;  // insertion cursor once the ring is full
+  bool ring_full_ = false;
+  size_t dropped_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+/// RAII span handle; a null tracer disables it.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name)
+      : tracer_(tracer), id_(tracer ? tracer->BeginSpan(name) : 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_;
+};
+
+}  // namespace ipool::obs
+
+#endif  // IPOOL_OBS_TRACE_H_

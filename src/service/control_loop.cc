@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ipool {
 
@@ -27,22 +29,43 @@ Result<ControlLoopResult> ControlLoop::Run(
         "demand bin width must match the worker's interval");
   }
 
+  // One assignment on ControlLoopConfig::obs instruments every stage below;
+  // explicitly wired sub-configs keep their own sink.
+  IntelligentPoolingWorkerConfig worker_config = config.worker;
+  worker_config.obs = worker_config.obs.OrElse(config.obs);
+  PoolingWorkerConfig pooling_config = config.pooling;
+  pooling_config.obs = pooling_config.obs.OrElse(config.obs);
+  SimConfig sim_config = config.sim;
+  sim_config.obs = sim_config.obs.OrElse(config.obs);
+  obs::ScopedSpan loop_span(config.obs.tracer, "control_loop");
+
   // Telemetry ingestion: the monitoring pipeline records every cluster
   // request. Workers only ever query ranges strictly before "now", so
   // preloading preserves causality.
   TelemetryStore telemetry;
-  for (double t : request_events) {
-    IPOOL_RETURN_NOT_OK(
-        telemetry.RecordEvent(config.worker.demand_metric, t));
+  {
+    obs::ScopedSpan ingest_span(config.obs.tracer, "telemetry_ingest");
+    obs::ScopedTimer ingest_timer(
+        config.obs.metrics != nullptr
+            ? config.obs.metrics->GetHistogram("ipool_telemetry_ingest_seconds")
+            : nullptr);
+    for (double t : request_events) {
+      IPOOL_RETURN_NOT_OK(
+          telemetry.RecordEvent(config.worker.demand_metric, t));
+    }
+    if (config.obs.metrics != nullptr) {
+      config.obs.metrics->GetCounter("ipool_telemetry_events_total")
+          ->Add(request_events.size());
+    }
   }
 
   DocumentStore documents;
   IPOOL_ASSIGN_OR_RETURN(
       IntelligentPoolingWorker ip_worker,
       IntelligentPoolingWorker::Create(&engine, &telemetry, &documents,
-                                       config.worker));
+                                       worker_config));
   IPOOL_ASSIGN_OR_RETURN(PoolingWorker pooling_worker,
-                         PoolingWorker::Create(&documents, config.pooling));
+                         PoolingWorker::Create(&documents, pooling_config));
 
   ControlLoopResult result;
   const size_t num_bins = demand.size();
@@ -70,8 +93,14 @@ Result<ControlLoopResult> ControlLoop::Run(
   result.pipeline_failures = ip_worker.runs_failed();
   result.guardrail_rejections = ip_worker.guardrail_rejections();
 
+  if (config.obs.metrics != nullptr) {
+    config.obs.metrics->GetCounter("ipool_fallback_bins_total")
+        ->Add(result.fallback_bins);
+  }
+  // Export the Kusto-stand-in's state alongside the phase metrics.
+  telemetry.PublishTo(config.obs.metrics);
   IPOOL_ASSIGN_OR_RETURN(PoolSimulator simulator,
-                         PoolSimulator::Create(config.sim));
+                         PoolSimulator::Create(sim_config));
   const double horizon = demand.TimeAt(num_bins - 1) + interval;
   IPOOL_ASSIGN_OR_RETURN(
       result.sim, simulator.Run(request_events, result.applied_schedule,

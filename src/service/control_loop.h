@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "core/recommendation_engine.h"
+#include "obs/obs_context.h"
 #include "service/workers.h"
 #include "sim/pool_simulator.h"
 #include "tsdata/time_series.h"
@@ -25,6 +26,12 @@ struct ControlLoopConfig {
   IntelligentPoolingWorkerConfig worker;
   PoolingWorkerConfig pooling;
   SimConfig sim;
+  /// Observability sink (optional). Run() propagates it into the worker,
+  /// pooling and sim configs unless those were wired explicitly, so one
+  /// assignment traces the whole loop: a "control_loop" root span with
+  /// "telemetry_ingest", per-run "pipeline" (ingestion → forecast → solve →
+  /// guardrail → apply) and "simulate" children, plus loop-level counters.
+  ObsContext obs;
 
   Status Validate() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace ipool {
 
@@ -48,6 +49,15 @@ void Monitor::Touch(double time) {
   if (!saw_event_) {
     first_event_time_ = time;
     saw_event_ = true;
+  }
+  last_seen_time_ = std::max(last_seen_time_, time);
+  // Drop request records strictly behind the trailing window of the most
+  // recent event: WindowBegin/Snapshot only ever look back window_seconds
+  // from "now", and the feeds deliver non-decreasing times, so these can
+  // never be read again. Keeps a long-running monitor O(window).
+  const double cutoff = last_seen_time_ - config_.window_seconds;
+  while (!requests_.empty() && requests_.front().time < cutoff) {
+    requests_.pop_front();
   }
 }
 
@@ -137,6 +147,37 @@ std::vector<Alert> Monitor::CheckAlerts(double now) {
 
   alerts_.insert(alerts_.end(), fired.begin(), fired.end());
   return fired;
+}
+
+void Monitor::PublishTo(obs::MetricsRegistry* registry, double now) const {
+  if (registry == nullptr) return;
+  const DashboardSnapshot snap = Snapshot(now);
+  registry->GetGauge("ipool_monitor_window_requests")
+      ->Set(static_cast<double>(snap.window_requests));
+  registry->GetGauge("ipool_monitor_window_hit_rate")
+      ->Set(snap.window_hit_rate);
+  registry->GetGauge("ipool_monitor_demand_per_minute")
+      ->Set(snap.demand_per_minute);
+  registry->GetGauge("ipool_monitor_avg_wait_seconds")
+      ->Set(snap.avg_wait_seconds);
+  registry->GetGauge("ipool_monitor_idle_cluster_seconds")
+      ->Set(snap.total_idle_cluster_seconds);
+  registry->GetGauge("ipool_monitor_recommended_pool_size")
+      ->Set(snap.recommended_pool_size);
+  registry->GetGauge("ipool_monitor_clusters_ready")
+      ->Set(static_cast<double>(snap.clusters_ready));
+  registry->GetGauge("ipool_monitor_clusters_provisioning")
+      ->Set(static_cast<double>(snap.clusters_provisioning));
+  registry->GetGauge("ipool_monitor_pipeline_successes")
+      ->Set(static_cast<double>(snap.pipeline_successes));
+  registry->GetGauge("ipool_monitor_pipeline_failures")
+      ->Set(static_cast<double>(snap.pipeline_failures));
+  registry->GetGauge("ipool_monitor_guardrail_rejections")
+      ->Set(static_cast<double>(snap.guardrail_rejections));
+  registry->GetGauge("ipool_monitor_cogs_saved_dollars")
+      ->Set(snap.cogs_saved_dollars);
+  registry->GetGauge("ipool_monitor_alerts_fired")
+      ->Set(static_cast<double>(alerts_.size()));
 }
 
 DashboardSnapshot Monitor::Snapshot(double now) const {

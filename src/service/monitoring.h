@@ -8,6 +8,7 @@
 #define IPOOL_SERVICE_MONITORING_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,10 @@
 #include "solver/pool_model.h"
 
 namespace ipool {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 enum class PipelineStatus {
   kSucceeded,
@@ -91,7 +96,17 @@ class Monitor {
 
   DashboardSnapshot Snapshot(double now) const;
 
+  /// Bridges the §7.5 dashboard into the obs metrics registry: publishes the
+  /// Snapshot(now) fields as `ipool_monitor_*` gauges so the Prometheus /
+  /// JSONL exporters carry the dashboard alongside the phase latencies.
+  /// No-op when `registry` is null.
+  void PublishTo(obs::MetricsRegistry* registry, double now) const;
+
   const std::vector<Alert>& alerts() const { return alerts_; }
+
+  /// Request records currently retained (bounded by the trailing alert
+  /// window — old records are pruned as time advances; exposed for tests).
+  size_t request_record_count() const { return requests_.size(); }
 
  private:
   Monitor(const AlertConfig& config, const CogsModel& cogs,
@@ -109,14 +124,18 @@ class Monitor {
   /// Index of the first request inside the trailing window.
   size_t WindowBegin(double now) const;
 
-  /// Marks monitoring as started at `time` if this is the first event.
+  /// Marks monitoring as started at `time` if this is the first event, and
+  /// prunes request records that have fallen behind the trailing window so a
+  /// long-running monitor stays O(window) — cumulative counters
+  /// (total_idle_cluster_seconds, pipeline counts) are unaffected.
   void Touch(double time);
 
   AlertConfig config_;
   CogsModel cogs_;
   int64_t static_reference_pool_;
 
-  std::vector<RequestRecord> requests_;
+  std::deque<RequestRecord> requests_;
+  double last_seen_time_ = 0.0;
   double total_idle_seconds_ = 0.0;
   double latest_recommendation_ = 0.0;
   int64_t provisioning_ = 0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace ipool {
 
@@ -64,12 +65,44 @@ size_t TelemetryStore::PointCount(const std::string& metric) const {
   return it == metrics_.end() ? 0 : it->second.size();
 }
 
+int64_t TelemetryStore::CountInRange(const std::string& metric, double start,
+                                     double end) const {
+  auto it = metrics_.find(metric);
+  if (it == metrics_.end()) return 0;
+  const auto& points = it->second;
+  const auto by_time = [](const Point& p, double t) { return p.time < t; };
+  auto first = std::lower_bound(points.begin(), points.end(), start, by_time);
+  auto last = std::lower_bound(first, points.end(), end, by_time);
+  return static_cast<int64_t>(last - first);
+}
+
+std::vector<std::string> TelemetryStore::Metrics() const {
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, points] : metrics_) names.push_back(name);
+  return names;  // std::map iterates in sorted key order
+}
+
 double TelemetryStore::LastTime(const std::string& metric) const {
   auto it = metrics_.find(metric);
   if (it == metrics_.end() || it->second.empty()) {
     return -std::numeric_limits<double>::infinity();
   }
   return it->second.back().time;
+}
+
+void TelemetryStore::PublishTo(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const std::string& name : Metrics()) {
+    const obs::LabelSet labels = {{"metric", name}};
+    registry->GetGauge("ipool_telemetry_points", labels)
+        ->Set(static_cast<double>(CountInRange(name, -inf, inf)));
+    registry->GetGauge("ipool_telemetry_value_sum", labels)
+        ->Set(Sum(name, -inf, inf));
+    registry->GetGauge("ipool_telemetry_last_time", labels)
+        ->Set(LastTime(name));
+  }
 }
 
 }  // namespace ipool

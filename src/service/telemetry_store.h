@@ -15,6 +15,10 @@
 
 namespace ipool {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class TelemetryStore {
  public:
   /// Appends a point. Returns InvalidArgument if `time` is before the last
@@ -38,8 +42,20 @@ class TelemetryStore {
   /// Number of points recorded for the metric.
   size_t PointCount(const std::string& metric) const;
 
+  /// Number of points (not value sum) recorded for `metric` in [start, end).
+  int64_t CountInRange(const std::string& metric, double start,
+                       double end) const;
+
+  /// Names of every metric that has been recorded, sorted.
+  std::vector<std::string> Metrics() const;
+
   /// Most recent point time, or -infinity if none.
   double LastTime(const std::string& metric) const;
+
+  /// Publishes the store's contents as `ipool_telemetry_*` gauges (point
+  /// count, value sum and last point time per recorded metric) so obs dumps
+  /// include the Kusto-stand-in's state. No-op when `registry` is null.
+  void PublishTo(obs::MetricsRegistry* registry) const;
 
  private:
   struct Point {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tsdata/metrics.h"
 
 namespace ipool {
@@ -56,20 +58,43 @@ std::optional<double> IntelligentPoolingWorker::PreviousForecastError(
 }
 
 Status IntelligentPoolingWorker::RunOnce(double now) {
+  obs::MetricsRegistry* metrics = config_.obs.metrics;
+  obs::ScopedSpan pipeline_span(config_.obs.tracer, "pipeline");
+  obs::ScopedTimer pipeline_timer(
+      metrics != nullptr ? metrics->GetHistogram("ipool_pipeline_run_seconds")
+                         : nullptr);
+  if (metrics != nullptr) {
+    metrics->GetCounter("ipool_pipeline_runs_total")->Add(1);
+  }
+  auto count_failure = [metrics] {
+    if (metrics != nullptr) {
+      metrics->GetCounter("ipool_pipeline_failures_total")->Add(1);
+    }
+  };
+
   if (injected_failures_ > 0) {
     --injected_failures_;
     ++runs_failed_;
+    count_failure();
     return Status::Internal("injected pipeline failure");
   }
 
   const double history_span =
       config_.interval_seconds * static_cast<double>(config_.history_bins);
   const double start = now - history_span;
-  auto history = telemetry_->QueryBinned(config_.demand_metric, start,
-                                         config_.interval_seconds,
-                                         config_.history_bins);
+  Result<TimeSeries> history = Status::Internal("uninitialized");
+  {
+    obs::ScopedSpan ingest_span(config_.obs.tracer, "ingestion");
+    obs::ScopedTimer ingest_timer(
+        metrics != nullptr ? metrics->GetHistogram("ipool_ingest_seconds")
+                           : nullptr);
+    history = telemetry_->QueryBinned(config_.demand_metric, start,
+                                      config_.interval_seconds,
+                                      config_.history_bins);
+  }
   if (!history.ok()) {
     ++runs_failed_;
+    count_failure();
     return history.status();
   }
 
@@ -81,6 +106,10 @@ Status IntelligentPoolingWorker::RunOnce(double now) {
   double guardrail_error = 0.0;
   double guardrail_limit = 0.0;
   if (config_.guardrail_enabled) {
+    obs::ScopedSpan guardrail_span(config_.obs.tracer, "guardrail");
+    obs::ScopedTimer guardrail_timer(
+        metrics != nullptr ? metrics->GetHistogram("ipool_guardrail_seconds")
+                           : nullptr);
     std::optional<double> error = PreviousForecastError(now);
     if (error.has_value()) {
       const double mean_actual =
@@ -94,6 +123,7 @@ Status IntelligentPoolingWorker::RunOnce(double now) {
   auto recommendation = engine_->Run(*history);
   if (!recommendation.ok()) {
     ++runs_failed_;
+    count_failure();
     return recommendation.status();
   }
 
@@ -107,12 +137,21 @@ Status IntelligentPoolingWorker::RunOnce(double now) {
   last_output_ = stored;
   if (guardrail_tripped) {
     ++guardrail_rejections_;
+    if (metrics != nullptr) {
+      metrics->GetCounter("ipool_guardrail_rejections_total")->Add(1);
+    }
     return Status::FailedPrecondition(
         StrFormat("guardrail: forecast MAE %.3f exceeds limit %.3f",
                   guardrail_error, guardrail_limit));
   }
-  documents_->Put(config_.recommendation_key, SerializeRecommendation(stored),
-                  now);
+  {
+    obs::ScopedSpan apply_span(config_.obs.tracer, "apply");
+    obs::ScopedTimer apply_timer(
+        metrics != nullptr ? metrics->GetHistogram("ipool_apply_seconds")
+                           : nullptr);
+    documents_->Put(config_.recommendation_key,
+                    SerializeRecommendation(stored), now);
+  }
   ++runs_succeeded_;
   return Status::OK();
 }
@@ -135,6 +174,22 @@ Result<PoolingWorker> PoolingWorker::Create(const DocumentStore* documents,
 }
 
 int64_t PoolingWorker::TargetAt(double now) {
+  obs::MetricsRegistry* metrics = config_.obs.metrics;
+  obs::ScopedTimer timer(
+      metrics != nullptr ? metrics->GetHistogram("ipool_pooling_apply_seconds")
+                         : nullptr);
+  if (metrics != nullptr) {
+    metrics->GetCounter("ipool_pooling_applies_total")->Add(1);
+  }
+  const size_t fallbacks_before = fallback_count_;
+  const int64_t target = TargetAtImpl(now);
+  if (metrics != nullptr && fallback_count_ > fallbacks_before) {
+    metrics->GetCounter("ipool_pooling_fallbacks_total")->Add(1);
+  }
+  return target;
+}
+
+int64_t PoolingWorker::TargetAtImpl(double now) {
   auto doc = documents_->Get(config_.recommendation_key);
   if (!doc.ok()) {
     ++fallback_count_;

@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "core/recommendation_engine.h"
+#include "obs/obs_context.h"
 #include "service/document_store.h"
 #include "service/recommendation_io.h"
 #include "service/telemetry_store.h"
@@ -37,6 +38,10 @@ struct IntelligentPoolingWorkerConfig {
   /// demand).
   bool guardrail_enabled = true;
   double guardrail_mae_ratio = 3.0;
+  /// Observability sink (optional): each RunOnce is a "pipeline" span with
+  /// "ingestion" / "guardrail" / "apply" children (the engine adds
+  /// "forecast" / "solve") plus run counters and a latency histogram.
+  ObsContext obs;
 
   Status Validate() const;
 };
@@ -94,6 +99,9 @@ struct PoolingWorkerConfig {
   double recommendation_ttl_seconds = 3600.0;
   /// The configurable default fallback.
   int64_t default_pool_size = 4;
+  /// Observability sink (optional): target reads record an apply-latency
+  /// histogram and fallback counters.
+  ObsContext obs;
 
   Status Validate() const;
 };
@@ -114,6 +122,8 @@ class PoolingWorker {
   PoolingWorker(const DocumentStore* documents,
                 const PoolingWorkerConfig& config)
       : documents_(documents), config_(config) {}
+
+  int64_t TargetAtImpl(double now);
 
   const DocumentStore* documents_;
   PoolingWorkerConfig config_;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_engine.h"
 #include "sim/live_pool.h"
 
@@ -39,6 +41,17 @@ Result<SimResult> PoolSimulator::Run(const std::vector<double>& request_times,
                                      double horizon_seconds) {
   IPOOL_RETURN_NOT_OK(ValidateRunInputs(request_times, schedule,
                                         interval_seconds, horizon_seconds));
+  obs::ScopedSpan span(config_.obs.tracer, "simulate");
+  obs::ScopedTimer timer(
+      config_.obs.metrics != nullptr
+          ? config_.obs.metrics->GetHistogram("ipool_sim_run_seconds")
+          : nullptr);
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("ipool_sim_requests_total")
+        ->Add(request_times.size());
+    config_.obs.metrics->GetCounter("ipool_sim_retargets_total")
+        ->Add(schedule.empty() ? 0 : schedule.size() - 1);
+  }
 
   EventEngine engine;
   LivePool pool(&engine, config_, schedule[0]);

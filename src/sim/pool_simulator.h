@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/obs_context.h"
 
 namespace ipool {
 
@@ -35,6 +36,9 @@ struct SimConfig {
   /// Poisson failure rate for pooled (ready, idle) clusters.
   double failure_rate_per_hour = 0.0;
   uint64_t seed = 1;
+  /// Observability sink (optional): each Run records a "simulate" span, its
+  /// wall time and request/retarget event counters.
+  ObsContext obs;
 
   Status Validate() const;
 };

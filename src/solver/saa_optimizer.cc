@@ -5,8 +5,38 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ipool {
+
+namespace {
+
+// Shared solve instrumentation: times the whole solve into
+// `ipool_solve_seconds{path=...}` and counts solved blocks.
+class SolveScope {
+ public:
+  SolveScope(const ObsContext& obs, const char* path)
+      : span_(obs.tracer, "solve"),
+        timer_(obs.metrics != nullptr
+                   ? obs.metrics->GetHistogram("ipool_solve_seconds",
+                                               {{"path", path}})
+                   : nullptr),
+        obs_(obs) {}
+
+  void RecordBlocks(size_t blocks) {
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->GetCounter("ipool_solve_blocks_total")->Add(blocks);
+    }
+  }
+
+ private:
+  obs::ScopedSpan span_;
+  obs::ScopedTimer timer_;
+  ObsContext obs_;
+};
+
+}  // namespace
 
 Status SaaConfig::Validate() const {
   IPOOL_RETURN_NOT_OK(pool.Validate());
@@ -127,9 +157,11 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
 Result<PoolSchedule> SaaOptimizer::Optimize(const TimeSeries& demand) const {
   const size_t num_bins = demand.size();
   if (num_bins == 0) return Status::InvalidArgument("empty demand");
+  SolveScope scope(config_.obs, "dp");
   const PoolModelConfig& pool = config_.pool;
   const size_t tau = pool.tau_bins;
   const size_t num_blocks = pool.NumBlocks(num_bins);
+  scope.RecordBlocks(num_blocks);
 
   // Group in-flight demand values by the block whose pool size serves them.
   const std::vector<double> w = InFlightDemand(demand);
@@ -159,8 +191,10 @@ Result<PoolSchedule> SaaOptimizer::OptimizePeriodic(const TimeSeries& demand,
   if (num_bins < period_bins) {
     return Status::InvalidArgument("demand shorter than one period");
   }
+  SolveScope scope(config_.obs, "periodic");
   const size_t tau = pool.tau_bins;
   const size_t groups_per_period = period_bins / pool.stableness_bins;
+  scope.RecordBlocks(groups_per_period);
 
   // Fold every block onto its position within the period: the pool size at
   // 06:00 is the same on every day of the sample (§4.2's simplified
@@ -236,9 +270,14 @@ Result<LpProblem> SaaOptimizer::BuildLp(const TimeSeries& demand) const {
 }
 
 Result<PoolSchedule> SaaOptimizer::OptimizeLp(const TimeSeries& demand) const {
+  SolveScope scope(config_.obs, "lp");
   IPOOL_ASSIGN_OR_RETURN(LpProblem lp, BuildLp(demand));
   SimplexSolver solver;
   IPOOL_ASSIGN_OR_RETURN(LpSolution solution, solver.Solve(lp));
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->GetCounter("ipool_simplex_iterations_total")
+        ->Add(solution.iterations);
+  }
 
   const size_t num_bins = demand.size();
   const PoolModelConfig& pool = config_.pool;

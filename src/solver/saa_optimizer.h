@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/obs_context.h"
 #include "solver/pool_model.h"
 #include "solver/simplex.h"
 #include "tsdata/time_series.h"
@@ -32,6 +33,10 @@ struct SaaConfig {
   /// Eq 16 trade-off knob in [0, 1]: weight on idle time (Delta+). Larger
   /// alpha' shrinks the pool (cheaper, slower); smaller alpha' grows it.
   double alpha_prime = 0.5;
+  /// Observability sink (optional): every solve records an
+  /// `ipool_solve_seconds` histogram sample, a "solve" span and (on the LP
+  /// path) the simplex iteration count.
+  ObsContext obs;
 
   Status Validate() const;
 };

@@ -21,6 +21,37 @@ run_cli(evaluate --demand ${demand} --schedule ${schedule})
 run_cli(simulate --demand ${demand} --schedule ${schedule} --latency 90)
 run_cli(sweep --demand ${demand})
 
+# Control-loop command with observability exports: the Prometheus dump must
+# carry the loop counters and a quantile-derivable solve histogram, and the
+# trace must contain the nested phase spans.
+set(metrics ${WORKDIR}/cli_metrics.prom)
+set(spans ${WORKDIR}/cli_spans.jsonl)
+run_cli(loop --demand ${demand} --model ssa --run-interval 1800
+        --history-bins 480 --metrics-out ${metrics} --trace-out ${spans})
+file(READ ${metrics} metrics_text)
+foreach(needle
+    "# TYPE ipool_pipeline_runs_total counter"
+    "ipool_pipeline_runs_total "
+    "# TYPE ipool_solve_seconds histogram"
+    "ipool_solve_seconds_bucket"
+    "le=\"+Inf\"")
+  string(FIND "${metrics_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "metrics export missing '${needle}'")
+  endif()
+endforeach()
+file(READ ${spans} spans_text)
+foreach(needle
+    "\"name\":\"control_loop\"" "\"name\":\"pipeline\""
+    "\"name\":\"ingestion\"" "\"name\":\"forecast\""
+    "\"name\":\"solve\"" "\"name\":\"guardrail\""
+    "\"name\":\"apply\"" "\"name\":\"simulate\"")
+  string(FIND "${spans_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace export missing span ${needle}")
+  endif()
+endforeach()
+
 # Unknown commands and missing flags must fail loudly.
 execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE code
                 OUTPUT_QUIET ERROR_QUIET)

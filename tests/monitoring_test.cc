@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "service/monitoring.h"
 
 namespace ipool {
@@ -137,6 +138,72 @@ TEST(MonitorTest, HitRateAlertRearmsAfterRecovery) {
   // A fresh breach fires again.
   for (int i = 0; i < 5; ++i) monitor.RecordRequest(400 + i, false, 90.0);
   EXPECT_EQ(monitor.CheckAlerts(410).size(), 1u);
+}
+
+TEST(MonitorTest, RequestRecordsPrunedBehindWindow) {
+  AlertConfig config;
+  config.window_seconds = 100.0;
+  Monitor monitor = MakeMonitor(config);
+  // A long-running feed: retained records must stay O(window), not O(total).
+  for (int i = 0; i < 10'000; ++i) {
+    monitor.RecordRequest(static_cast<double>(i), i % 2 == 0, 0.0);
+  }
+  // One record per second over a 100 s window (+1 boundary record).
+  EXPECT_LE(monitor.request_record_count(), 102u);
+  // The pruning must not disturb window aggregates or cumulative counters.
+  DashboardSnapshot snap = monitor.Snapshot(10'000.0);
+  EXPECT_EQ(snap.window_requests, 100);
+  monitor.RecordClusterIdle(10'000.0, 50.0);
+  EXPECT_DOUBLE_EQ(monitor.Snapshot(10'000.0).total_idle_cluster_seconds,
+                   50.0);
+}
+
+TEST(MonitorTest, FailClearFailRecordsTwoFailureAlerts) {
+  AlertConfig config;
+  config.consecutive_failure_threshold = 2;
+  Monitor monitor = MakeMonitor(config);
+  // First streak trips the alert...
+  monitor.RecordPipelineRun(100, PipelineStatus::kFailed);
+  monitor.RecordPipelineRun(200, PipelineStatus::kFailed);
+  ASSERT_EQ(monitor.CheckAlerts(201).size(), 1u);
+  // ...a success clears the streak and re-arms...
+  monitor.RecordPipelineRun(300, PipelineStatus::kSucceeded);
+  EXPECT_TRUE(monitor.CheckAlerts(301).empty());
+  // ...and a second streak fires a second, distinct alert.
+  monitor.RecordPipelineRun(400, PipelineStatus::kFailed);
+  monitor.RecordPipelineRun(500, PipelineStatus::kFailed);
+  ASSERT_EQ(monitor.CheckAlerts(501).size(), 1u);
+  ASSERT_EQ(monitor.alerts().size(), 2u);
+  EXPECT_EQ(monitor.alerts()[0].kind, "pipeline-failures");
+  EXPECT_EQ(monitor.alerts()[1].kind, "pipeline-failures");
+  EXPECT_LT(monitor.alerts()[0].time, monitor.alerts()[1].time);
+}
+
+TEST(MonitorTest, PublishToBridgesSnapshotIntoRegistry) {
+  Monitor monitor = MakeMonitor();
+  monitor.RecordRequest(100.0, true, 0.0);
+  monitor.RecordRequest(200.0, false, 30.0);
+  monitor.RecordPipelineRun(300, PipelineStatus::kSucceeded);
+  monitor.RecordPipelineRun(400, PipelineStatus::kFailed);
+  monitor.RecordRecommendation(400, 12.0);
+  monitor.RecordHydrationStatus(400, 2, 10, 12);
+
+  obs::MetricsRegistry registry;
+  monitor.PublishTo(&registry, 500.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ipool_monitor_window_requests")->value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ipool_monitor_window_hit_rate")->value(),
+                   0.5);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("ipool_monitor_pipeline_successes")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("ipool_monitor_pipeline_failures")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("ipool_monitor_recommended_pool_size")->value(), 12.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ipool_monitor_clusters_ready")->value(),
+                   10.0);
+  // Null registry is a no-op, not a crash.
+  monitor.PublishTo(nullptr, 500.0);
 }
 
 TEST(MonitorTest, CogsSavedAgainstStaticReference) {

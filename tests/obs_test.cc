@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
+
+namespace ipool::obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(HistogramTest, BucketAssignmentAndTotals) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket le=1
+  h.Observe(1.0);   // le semantics: exactly 1.0 lands in le=1
+  h.Observe(1.5);   // le=2
+  h.Observe(10.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+}
+
+TEST(HistogramTest, QuantilesInterpolateAndClampToMax) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 1; i <= 100; ++i) {
+    h.Observe(static_cast<double>(i % 30) + 0.5);
+  }
+  const double p50 = h.Quantile(0.5);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  // Interpolation never reports beyond the exact observed max.
+  EXPECT_LE(p99, h.max());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max());
+}
+
+TEST(HistogramTest, EmptyAndOverflowQuantiles) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Observe(100.0);                        // everything beyond the last bound
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsStrictlyIncreasing) {
+  const std::vector<double> bounds = DefaultLatencyBuckets();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, SameSeriesSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("runs", {{"model", "SSA+"}});
+  Counter* b = registry.GetCounter("runs", {{"model", "SSA+"}});
+  Counter* c = registry.GetCounter("runs", {{"model", "TST"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotsPreserveRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("first");
+  registry.GetCounter("second");
+  registry.GetGauge("depth");
+  registry.GetHistogram("latency");
+  const auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "first");
+  EXPECT_EQ(counters[1].name, "second");
+  EXPECT_EQ(registry.Gauges().size(), 1u);
+  EXPECT_EQ(registry.Histograms().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedOnFirstCreation) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("x", {}, {1.0, 2.0});
+  Histogram* again = registry.GetHistogram("x", {}, {5.0});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(h->upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(PrometheusTextTest, RendersAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("ipool_pipeline_runs_total")->Add(7);
+  registry.GetGauge("ipool_queue_depth", {{"pool", "east"}})->Set(3.5);
+  Histogram* h =
+      registry.GetHistogram("ipool_solve_seconds", {}, {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  const std::string text = PrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "# TYPE ipool_pipeline_runs_total counter\n"));
+  EXPECT_TRUE(Contains(text, "ipool_pipeline_runs_total 7\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE ipool_queue_depth gauge\n"));
+  EXPECT_TRUE(Contains(text, "ipool_queue_depth{pool=\"east\"} 3.5\n"));
+  EXPECT_TRUE(Contains(text, "# TYPE ipool_solve_seconds histogram\n"));
+  // Buckets are cumulative with le labels plus the +Inf closing bucket.
+  EXPECT_TRUE(Contains(text, "ipool_solve_seconds_bucket{le=\"0.1\"} 1\n"));
+  EXPECT_TRUE(Contains(text, "ipool_solve_seconds_bucket{le=\"1\"} 2\n"));
+  EXPECT_TRUE(Contains(text, "ipool_solve_seconds_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "ipool_solve_seconds_sum 5.55\n"));
+  EXPECT_TRUE(Contains(text, "ipool_solve_seconds_count 3\n"));
+}
+
+TEST(PrometheusTextTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"path", "a\"b\\c\nd"}})->Add(1);
+  const std::string text = PrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "c{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+}
+
+TEST(MetricsJsonlTest, EmitsOneObjectPerSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs")->Add(2);
+  registry.GetHistogram("lat", {{"phase", "solve"}}, {1.0})->Observe(0.5);
+  const std::string jsonl = MetricsJsonl(registry);
+  EXPECT_TRUE(Contains(
+      jsonl, "{\"type\":\"counter\",\"name\":\"runs\",\"labels\":{},"
+             "\"value\":2}"));
+  EXPECT_TRUE(Contains(jsonl, "\"type\":\"histogram\""));
+  EXPECT_TRUE(Contains(jsonl, "\"labels\":{\"phase\":\"solve\"}"));
+  EXPECT_TRUE(Contains(jsonl, "\"p50\""));
+  EXPECT_TRUE(Contains(jsonl, "\"max\""));
+}
+
+TEST(TracerTest, NestsThroughActiveSpanStack) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "pipeline");
+    {
+      ScopedSpan inner(&tracer, "solve");
+    }
+  }
+  const auto spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children finish first; the child records the parent's id.
+  EXPECT_EQ(spans[0].name, "solve");
+  EXPECT_EQ(spans[1].name, "pipeline");
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[1].parent_id, 0u);  // root
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+  EXPECT_LE(spans[0].start_seconds + spans[0].duration_seconds,
+            spans[1].start_seconds + spans[1].duration_seconds + 1e-9);
+  EXPECT_EQ(tracer.active_depth(), 0u);
+}
+
+TEST(TracerTest, EndSpanClosesLeakedChildren) {
+  Tracer tracer;
+  const uint64_t outer = tracer.BeginSpan("outer");
+  tracer.BeginSpan("leaked");
+  tracer.EndSpan(outer);  // must close "leaked" too
+  EXPECT_EQ(tracer.active_depth(), 0u);
+  const auto spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "leaked");
+  EXPECT_EQ(spans[1].name, "outer");
+}
+
+TEST(TracerTest, RingBoundsRetentionAndCountsDrops) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span(&tracer, "s");
+  }
+  const auto spans = tracer.FinishedSpans();
+  EXPECT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Oldest-first: the survivors are the last four, in order.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].id, spans[i].id);
+  }
+}
+
+TEST(TracerTest, SpansJsonlRendersEveryFinishedSpan) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "pipeline");
+    ScopedSpan inner(&tracer, "solve");
+  }
+  const std::string jsonl = SpansJsonl(tracer);
+  EXPECT_TRUE(Contains(jsonl, "\"name\":\"solve\""));
+  EXPECT_TRUE(Contains(jsonl, "\"name\":\"pipeline\""));
+  EXPECT_TRUE(Contains(jsonl, "\"parent\":"));
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+TEST(ObsContextTest, DisabledByDefaultAndOrElseFallsBack) {
+  ObsContext disabled;
+  EXPECT_FALSE(disabled.enabled());
+  MetricsRegistry registry;
+  Tracer tracer;
+  ObsContext wired{&registry, &tracer};
+  EXPECT_TRUE(wired.enabled());
+  EXPECT_EQ(disabled.OrElse(wired).metrics, &registry);
+  EXPECT_EQ(wired.OrElse(disabled).metrics, &registry);
+}
+
+TEST(ObsContextTest, NullSafeRaiiHelpers) {
+  // Must not crash nor allocate anything observable.
+  ScopedSpan span(nullptr, "noop");
+  ScopedTimer timer(nullptr);
+}
+
+// Tier-1 guard for the "zero-cost when disabled" promise: an uninstrumented
+// site (null ScopedSpan + null ScopedTimer) must stay far below 50 ns. The
+// bound is ~100x the measured cost, so scheduler noise cannot trip it.
+TEST(ObsOverheadTest, DisabledInstrumentationSiteUnder50ns) {
+  constexpr int kIters = 1 << 20;
+  ObsContext ctx;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    ScopedSpan span(ctx.tracer, "noop");
+    ScopedTimer timer(nullptr);
+    asm volatile("" ::: "memory");  // keep the loop from folding away
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double ns_per_site = 1e9 * elapsed / kIters;
+  EXPECT_LT(ns_per_site, 50.0);
+}
+
+TEST(HumanSummaryTest, ListsHistogramsCountersGaugesAndSpanLine) {
+  MetricsRegistry registry;
+  registry.GetHistogram("ipool_solve_seconds")->Observe(0.01);
+  registry.GetCounter("ipool_pipeline_runs_total")->Add(3);
+  registry.GetGauge("ipool_monitor_window_hit_rate")->Set(0.97);
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "pipeline"); }
+  const std::string summary = HumanSummary(registry, &tracer);
+  EXPECT_TRUE(Contains(summary, "ipool_solve_seconds"));
+  EXPECT_TRUE(Contains(summary, "ipool_pipeline_runs_total"));
+  EXPECT_TRUE(Contains(summary, "ipool_monitor_window_hit_rate"));
+  EXPECT_TRUE(Contains(summary, "spans retained: 1"));
+}
+
+}  // namespace
+}  // namespace ipool::obs

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
 #include "core/recommendation_engine.h"
+#include "obs/metrics.h"
+#include "obs/obs_context.h"
+#include "obs/trace.h"
 #include "service/arbitrator.h"
 #include "service/adaptive_loop.h"
 #include "service/control_loop.h"
@@ -76,6 +80,35 @@ TEST(TelemetryStoreTest, SumOverRange) {
   for (double t : {1.0, 2.0, 3.0, 4.0}) ASSERT_TRUE(store.RecordEvent("m", t).ok());
   EXPECT_DOUBLE_EQ(store.Sum("m", 2.0, 4.0), 2.0);  // [2, 4): points 2, 3
   EXPECT_DOUBLE_EQ(store.LastTime("m"), 4.0);
+}
+
+TEST(TelemetryStoreTest, CountInRangeAndMetricNames) {
+  TelemetryStore store;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    ASSERT_TRUE(store.Record("reqs", t, 10.0).ok());  // value != count
+  }
+  ASSERT_TRUE(store.RecordEvent("alerts", 2.0).ok());
+  EXPECT_EQ(store.CountInRange("reqs", 2.0, 4.0), 2);  // [2, 4): points 2, 3
+  EXPECT_EQ(store.CountInRange("reqs", 0.0, 100.0), 4);
+  EXPECT_EQ(store.CountInRange("reqs", 4.5, 9.0), 0);
+  EXPECT_EQ(store.CountInRange("ghost", 0.0, 100.0), 0);
+  EXPECT_EQ(store.Metrics(), (std::vector<std::string>{"alerts", "reqs"}));
+}
+
+TEST(TelemetryStoreTest, PublishToExportsPerMetricGauges) {
+  TelemetryStore store;
+  ASSERT_TRUE(store.Record("m", 1.0, 2.0).ok());
+  ASSERT_TRUE(store.Record("m", 5.0, 4.0).ok());
+  obs::MetricsRegistry registry;
+  store.PublishTo(&registry);
+  const obs::LabelSet labels = {{"metric", "m"}};
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("ipool_telemetry_points", labels)->value(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("ipool_telemetry_value_sum", labels)->value(), 6.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("ipool_telemetry_last_time", labels)->value(), 5.0);
+  store.PublishTo(nullptr);  // no-op, not a crash
 }
 
 // ---- recommendation io ------------------------------------------------------
@@ -413,6 +446,91 @@ TEST(ControlLoopTest, RunsEndToEnd) {
             static_cast<int64_t>(events.size()));
   // With a functioning loop the pool hit rate should be high.
   EXPECT_GT(result->sim.hit_rate, 0.8);
+}
+
+TEST(ControlLoopTest, ObservabilityCountsRunsAndNestsPhaseSpans) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  const ObsContext obs{&registry, &tracer};
+
+  PipelineConfig pipeline = LoopPipeline();
+  pipeline.obs = obs;  // the engine adds "forecast" / "solve" spans
+  auto engine = RecommendationEngine::Create(pipeline);
+  ASSERT_TRUE(engine.ok());
+  WorkloadConfig wconfig;
+  wconfig.duration_days = 0.25;
+  wconfig.base_rate_per_minute = 6.0;
+  wconfig.diurnal_amplitude = 0.0;
+  wconfig.seed = 23;
+  auto generator = DemandGenerator::Create(wconfig);
+  TimeSeries demand = generator->GenerateBinned();
+  auto events = generator->GenerateEvents();
+
+  ControlLoopConfig config = LoopConfig();
+  config.obs = obs;
+  auto result = ControlLoop::Run(*engine, config, demand, events);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Metrics side: the run counter agrees with the loop's own accounting and
+  // every run landed one pipeline-latency observation.
+  EXPECT_EQ(registry.GetCounter("ipool_pipeline_runs_total")->value(),
+            result->pipeline_runs);
+  EXPECT_EQ(registry.GetHistogram("ipool_pipeline_run_seconds")->count(),
+            result->pipeline_runs);
+  EXPECT_EQ(registry.GetCounter("ipool_telemetry_events_total")->value(),
+            events.size());
+  // The exporter path published the telemetry store's state.
+  EXPECT_DOUBLE_EQ(registry
+                       .GetGauge("ipool_telemetry_points",
+                                 {{"metric", "cluster_requests"}})
+                       ->value(),
+                   static_cast<double>(events.size()));
+
+  // Trace side: every "pipeline" span nests its phase children, and the
+  // children's durations sum to no more than the parent's.
+  const auto spans = tracer.FinishedSpans();
+  ASSERT_EQ(tracer.dropped(), 0u);
+  uint64_t root_id = 0;
+  for (const auto& s : spans) {
+    if (s.name == "control_loop") root_id = s.id;
+  }
+  ASSERT_NE(root_id, 0u);
+  size_t pipeline_spans = 0;
+  size_t apply_spans = 0;
+  bool saw_simulate = false;
+  for (const auto& parent : spans) {
+    if (parent.name == "simulate") {
+      saw_simulate = true;
+      EXPECT_EQ(parent.parent_id, root_id);
+    }
+    if (parent.name != "pipeline") continue;
+    ++pipeline_spans;
+    EXPECT_EQ(parent.parent_id, root_id);
+    double child_total = 0.0;
+    std::vector<std::string> child_names;
+    for (const auto& child : spans) {
+      if (child.parent_id != parent.id) continue;
+      EXPECT_GE(child.duration_seconds, 0.0);
+      EXPECT_GE(child.start_seconds, parent.start_seconds - 1e-9);
+      child_total += child.duration_seconds;
+      child_names.push_back(child.name);
+    }
+    EXPECT_LE(child_total, parent.duration_seconds + 1e-9);
+    // Every run reaches these phases; "apply" is skipped on guardrail
+    // rejection and counted separately below.
+    for (const char* phase : {"ingestion", "guardrail", "forecast", "solve"}) {
+      EXPECT_NE(std::find(child_names.begin(), child_names.end(), phase),
+                child_names.end())
+          << "pipeline span missing child " << phase;
+    }
+    apply_spans += static_cast<size_t>(
+        std::count(child_names.begin(), child_names.end(), "apply"));
+  }
+  EXPECT_EQ(pipeline_spans, result->pipeline_runs);
+  EXPECT_EQ(apply_spans, result->pipeline_runs - result->pipeline_failures -
+                             result->guardrail_rejections);
+  EXPECT_GT(apply_spans, 0u);
+  EXPECT_TRUE(saw_simulate);
 }
 
 TEST(ControlLoopTest, SurvivesInjectedFailures) {

@@ -10,11 +10,21 @@
 //   ipool_cli simulate  --demand demand.csv --schedule schedule.csv
 //                       [--latency 90] [--latency-cv 0.2] [--seed 1]
 //   ipool_cli sweep     --demand demand.csv [--tau-bins 3]
+//   ipool_cli loop      --demand demand.csv | --profile east-medium
+//                       [--days 2] [--seed 7] [--model ssa+]
+//                       [--run-interval 1800] [--latency 90]
 //
 // `recommend` fits on the whole input and emits the next `--bins` bins;
 // `evaluate` scores a schedule with the analytical queueing model (§4.1);
 // `simulate` replays the demand through the event-driven pool simulator;
-// `sweep` prints the alpha' Pareto frontier of SAA-on-history.
+// `sweep` prints the alpha' Pareto frontier of SAA-on-history;
+// `loop` drives the full control plane (telemetry ingest -> periodic
+// pipeline runs -> pooling worker -> simulator) end to end.
+//
+// Observability (recommend, simulate and loop): `--metrics-out FILE`
+// writes Prometheus text exposition, `--trace-out FILE` writes one JSON
+// span per line, `--obs-summary 1` prints a human-readable latency table.
+// FILE may be "-" for stdout.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -26,6 +36,11 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/control_loop.h"
+#include "service/monitoring.h"
 #include "sim/pool_simulator.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/csv.h"
@@ -121,6 +136,57 @@ ModelKind ModelByName(const std::string& name) {
       "' (use baseline, ssa, ssa+, mwdn, tst, incpt)");
 }
 
+// Metrics registry + tracer pair owned by a command, plus flag-driven
+// export: --metrics-out (Prometheus text), --trace-out (span JSONL),
+// --obs-summary 1 (human-readable table). "-" writes to stdout.
+struct ObsBundle {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+
+  ObsContext Context() { return ObsContext{&registry, &tracer}; }
+};
+
+void WriteTextTo(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) Die("cannot open for writing: " + path);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+void ExportObs(const std::map<std::string, std::string>& flags,
+               ObsBundle& obs) {
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    WriteTextTo(it->second, obs::PrometheusText(obs.registry));
+  }
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    WriteTextTo(it->second, obs::SpansJsonl(obs.tracer));
+  }
+  if (NumFlag(flags, "obs-summary", 0) != 0) {
+    std::fputs(obs::HumanSummary(obs.registry, &obs.tracer).c_str(), stdout);
+  }
+}
+
+// Scatters binned demand counts into arrival-event times, uniformly within
+// each bin (deterministic given the seed), re-based so the first bin is t=0.
+std::vector<double> ScatterEvents(const TimeSeries& demand, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> events;
+  for (size_t i = 0; i < demand.size(); ++i) {
+    const int64_t count = static_cast<int64_t>(std::llround(demand.value(i)));
+    for (int64_t k = 0; k < count; ++k) {
+      events.push_back(demand.TimeAt(i) + rng.NextDouble() * demand.interval());
+    }
+  }
+  std::sort(events.begin(), events.end());
+  const double base = demand.start();
+  for (double& t : events) t -= base;
+  return events;
+}
+
 void PrintMetrics(const PoolMetrics& metrics) {
   CogsModel cogs;
   std::printf("requests            %ld\n", metrics.total_requests);
@@ -164,8 +230,11 @@ int CmdRecommend(const std::map<std::string, std::string>& flags) {
   config.recommendation_bins = static_cast<size_t>(NumFlag(flags, "bins", 120));
   config.smoothing_factor_bins =
       static_cast<size_t>(NumFlag(flags, "smooth-sf", 0));
+  ObsBundle obs;
+  config.obs = obs.Context();
   auto engine = DieOnError(RecommendationEngine::Create(config), "config");
   auto rec = DieOnError(engine.Run(demand), "pipeline");
+  ExportObs(flags, obs);
 
   StoredSchedule stored;
   stored.start_time =
@@ -210,23 +279,15 @@ int CmdSimulate(const std::map<std::string, std::string>& flags) {
     Die("schedule/demand bin counts differ");
   }
   // Scatter the binned counts into arrival events (deterministic seed).
-  Rng rng(static_cast<uint64_t>(NumFlag(flags, "seed", 1)));
-  std::vector<double> events;
-  for (size_t i = 0; i < demand.size(); ++i) {
-    const int64_t count = static_cast<int64_t>(std::llround(demand.value(i)));
-    for (int64_t k = 0; k < count; ++k) {
-      events.push_back(demand.TimeAt(i) + rng.NextDouble() * demand.interval());
-    }
-  }
-  std::sort(events.begin(), events.end());
-  // Re-base to zero for the simulator.
-  const double base = demand.start();
-  for (double& t : events) t -= base;
+  std::vector<double> events =
+      ScatterEvents(demand, static_cast<uint64_t>(NumFlag(flags, "seed", 1)));
 
   SimConfig config;
   config.creation_latency_mean_seconds = NumFlag(flags, "latency", 90.0);
   config.creation_latency_cv = NumFlag(flags, "latency-cv", 0.2);
   config.seed = static_cast<uint64_t>(NumFlag(flags, "seed", 1));
+  ObsBundle obs;
+  config.obs = obs.Context();
   auto simulator = DieOnError(PoolSimulator::Create(config), "sim config");
   const double horizon =
       demand.interval() * static_cast<double>(demand.size());
@@ -234,6 +295,7 @@ int CmdSimulate(const std::map<std::string, std::string>& flags) {
       simulator.Run(events, schedule.pool_size_per_bin, demand.interval(),
                     horizon),
       "simulate");
+  ExportObs(flags, obs);
   CogsModel cogs;
   std::printf("requests            %ld\n", result.total_requests);
   std::printf("pool hit rate       %.2f%%\n", 100.0 * result.hit_rate);
@@ -269,13 +331,99 @@ int CmdSweep(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdLoop(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed = static_cast<uint64_t>(NumFlag(flags, "seed", 7));
+  TimeSeries demand = [&] {
+    if (flags.count("demand") != 0) {
+      return DieOnError(LoadTimeSeriesCsv(flags.at("demand")), "load demand");
+    }
+    WorkloadConfig workload =
+        ProfileByName(FlagOr(flags, "profile", "east-medium"), seed);
+    workload.duration_days = NumFlag(flags, "days", 1.0);
+    auto generator = DieOnError(DemandGenerator::Create(workload), "generate");
+    return generator.GenerateBinned();
+  }();
+  std::vector<double> events = ScatterEvents(demand, seed);
+  // Re-base the demand trace itself so worker virtual time matches events.
+  demand = TimeSeries(0.0, demand.interval(),
+                      std::vector<double>(demand.values()));
+
+  ObsBundle obs;
+  PipelineConfig pipeline;
+  pipeline.obs = obs.Context();
+  pipeline.model = ModelByName(FlagOr(flags, "model", "ssa+"));
+  pipeline.forecast.window = static_cast<size_t>(NumFlag(flags, "window", 96));
+  pipeline.forecast.horizon =
+      static_cast<size_t>(NumFlag(flags, "horizon", 48));
+  pipeline.forecast.alpha_prime = NumFlag(flags, "loss-alpha", 0.9);
+  pipeline.saa.alpha_prime = NumFlag(flags, "alpha", 0.3);
+  pipeline.saa.pool.tau_bins =
+      static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
+  pipeline.saa.pool.max_pool_size =
+      static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
+  auto engine = DieOnError(RecommendationEngine::Create(pipeline), "config");
+
+  ControlLoopConfig config;
+  config.run_interval_seconds = NumFlag(flags, "run-interval", 1800.0);
+  config.worker.interval_seconds = demand.interval();
+  config.worker.history_bins = static_cast<size_t>(
+      NumFlag(flags, "history-bins",
+              static_cast<double>(std::max<size_t>(8, demand.size() / 2))));
+  config.sim.creation_latency_mean_seconds = NumFlag(flags, "latency", 90.0);
+  config.sim.creation_latency_cv = NumFlag(flags, "latency-cv", 0.2);
+  config.sim.seed = seed;
+  config.obs = obs.Context();
+  auto result = DieOnError(
+      ControlLoop::Run(engine, config, demand, events), "control loop");
+
+  // Bridge the §7.5 dashboard into the same registry before exporting.
+  const double horizon =
+      demand.interval() * static_cast<double>(demand.size());
+  auto monitor =
+      DieOnError(Monitor::Create(AlertConfig{}, CogsModel{},
+                                 config.pooling.default_pool_size),
+                 "monitor");
+  const size_t successes = result.pipeline_runs - result.pipeline_failures -
+                           result.guardrail_rejections;
+  for (size_t i = 0; i < result.pipeline_failures; ++i) {
+    monitor.RecordPipelineRun(horizon, PipelineStatus::kFailed);
+  }
+  for (size_t i = 0; i < result.guardrail_rejections; ++i) {
+    monitor.RecordPipelineRun(horizon, PipelineStatus::kGuardrailRejected);
+  }
+  for (size_t i = 0; i < successes; ++i) {
+    monitor.RecordPipelineRun(horizon, PipelineStatus::kSucceeded);
+  }
+  monitor.RecordClusterIdle(horizon, result.sim.idle_cluster_seconds);
+  if (!result.applied_schedule.empty()) {
+    monitor.RecordRecommendation(
+        horizon, static_cast<double>(result.applied_schedule.back()));
+  }
+  monitor.PublishTo(&obs.registry, horizon);
+
+  CogsModel cogs;
+  std::printf("pipeline runs       %zu (%zu failed, %zu guardrail-rejected)\n",
+              result.pipeline_runs, result.pipeline_failures,
+              result.guardrail_rejections);
+  std::printf("fallback bins       %zu\n", result.fallback_bins);
+  std::printf("requests            %ld\n", result.sim.total_requests);
+  std::printf("pool hit rate       %.2f%%\n", 100.0 * result.sim.hit_rate);
+  std::printf("avg / p99 wait      %.2f / %.1f s\n",
+              result.sim.avg_wait_seconds, result.sim.p99_wait_seconds);
+  std::printf("idle cluster time   %s ($%.2f)\n",
+              HumanDuration(result.sim.idle_cluster_seconds).c_str(),
+              cogs.IdleDollars(result.sim.idle_cluster_seconds));
+  ExportObs(flags, obs);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ipool_cli <generate|recommend|evaluate|simulate|"
-                 "sweep> [--flag value ...]\n");
+                 "sweep|loop> [--flag value ...]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -285,5 +433,6 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "loop") return CmdLoop(flags);
   Die("unknown command: " + command);
 }
