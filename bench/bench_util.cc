@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "forecast/forecaster.h"
 #include "obs/export.h"
@@ -36,7 +37,8 @@ std::vector<CurvePoint> ParetoFront(std::vector<CurvePoint> points) {
 std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
                                           PipelineKind pipeline,
                                           const TimeSeries& train,
-                                          const TimeSeries& eval) {
+                                          const TimeSeries& eval,
+                                          const exec::ExecContext& exec) {
   const bool quick = QuickMode();
   const std::vector<double> loss_alphas =
       model == ModelKind::kBaseline
@@ -48,9 +50,19 @@ std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
       quick ? std::vector<double>{0.5, 0.1}
             : std::vector<double>{0.8, 0.5, 0.2, 0.05, 0.01, 0.002};
 
-  std::vector<CurvePoint> points;
+  // Flattened grid, fanned out over the pool (each point is a full
+  // independent pipeline run writing only its own slot). The point order is
+  // index-fixed, so the computed front matches the serial sweep exactly.
+  std::vector<std::pair<double, double>> grid;
   for (double loss_alpha : loss_alphas) {
     for (double saa_alpha : saa_alphas) {
+      grid.emplace_back(loss_alpha, saa_alpha);
+    }
+  }
+  std::vector<CurvePoint> points(grid.size());
+  exec::ParallelFor(exec, 0, grid.size(), [&](size_t lo, size_t hi) {
+    for (size_t idx = lo; idx < hi; ++idx) {
+      const auto [loss_alpha, saa_alpha] = grid[idx];
       PipelineConfig config;
       config.kind = pipeline;
       config.model = model;
@@ -75,10 +87,61 @@ std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
       auto metrics = CheckOk(
           EvaluateSchedule(eval, rec.pool_size_per_bin, config.saa.pool),
           "evaluate");
-      points.push_back({loss_alpha, saa_alpha, metrics});
+      points[idx] = {loss_alpha, saa_alpha, metrics};
+    }
+  });
+  return ParetoFront(std::move(points));
+}
+
+size_t ThreadsOption(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return static_cast<size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
     }
   }
-  return ParetoFront(std::move(points));
+  if (const char* env = std::getenv("IPOOL_THREADS")) {
+    return static_cast<size_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
+}
+
+namespace {
+double Speedup(const ParallelBenchRecord& record) {
+  return record.parallel_seconds > 0.0
+             ? record.serial_seconds / record.parallel_seconds
+             : 0.0;
+}
+}  // namespace
+
+void AppendParallelBench(const ParallelBenchRecord& record) {
+  const char* env = std::getenv("IPOOL_BENCH_JSON");
+  const char* path = env != nullptr ? env : "BENCH_parallel.json";
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot append to %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"benchmark\":\"%s\",\"threads\":%zu,"
+               "\"serial_seconds\":%.6f,\"parallel_seconds\":%.6f,"
+               "\"speedup\":%.3f,\"outputs_match\":%s}\n",
+               record.benchmark.c_str(), record.threads,
+               record.serial_seconds, record.parallel_seconds,
+               Speedup(record), record.outputs_match ? "true" : "false");
+  std::fclose(f);
+}
+
+void PrintParallelSummary(const ParallelBenchRecord& record) {
+  std::printf("\n--- parallel pass (%zu threads) "
+              "-----------------------------------\n",
+              record.threads);
+  std::printf("serial %.3fs, parallel %.3fs -> %.2fx speedup; outputs %s\n",
+              record.serial_seconds, record.parallel_seconds, Speedup(record),
+              record.outputs_match ? "bit-identical to serial"
+                                   : "DIFFER FROM SERIAL (bug!)");
 }
 
 TradeoffDataset MakeTradeoffDataset(uint64_t seed) {

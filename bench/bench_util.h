@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "solver/pool_model.h"
 #include "solver/saa_optimizer.h"
@@ -125,11 +126,39 @@ std::vector<CurvePoint> ParetoFront(std::vector<CurvePoint> points);
 /// Evaluates a grid of (Eq 12 loss alpha', SAA alpha') combinations for one
 /// model and pipeline — the paper examines "various combinations of penalty
 /// values" — scoring each emitted schedule against `eval`. Returns the
-/// Pareto-dominant points.
+/// Pareto-dominant points. Grid points are independent full pipeline runs,
+/// so they fan out over `exec`'s pool when one is wired in; the front is
+/// bit-identical to the serial sweep.
 std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
                                           PipelineKind pipeline,
                                           const TimeSeries& train,
-                                          const TimeSeries& eval);
+                                          const TimeSeries& eval,
+                                          const exec::ExecContext& exec = {});
+
+/// Threads requested for a bench binary's parallel pass: `--threads N` (or
+/// `--threads=N`) first, the IPOOL_THREADS env var as fallback. 0 (the
+/// default) keeps the bench serial-only.
+size_t ThreadsOption(int argc, char** argv);
+
+/// One serial-vs-parallel comparison of a bench binary: total wall-clock of
+/// the serial and the fanned-out pass plus whether the parallel pass
+/// reproduced the serial outputs exactly (the determinism contract).
+struct ParallelBenchRecord {
+  std::string benchmark;
+  size_t threads = 0;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  bool outputs_match = false;
+};
+
+/// Appends the record (one JSON object per line, speedup included) to the
+/// file named by IPOOL_BENCH_JSON, default "BENCH_parallel.json" in the
+/// working directory.
+void AppendParallelBench(const ParallelBenchRecord& record);
+
+/// Prints the serial/parallel wall-clocks and speedup recorded above (the
+/// human-readable tail of a `--threads N` run).
+void PrintParallelSummary(const ParallelBenchRecord& record);
 
 /// Prints one line per obs histogram (count, p50/p95/p99, max in ms) plus
 /// counters — the per-phase breakdown of a bench run whose configs were

@@ -14,7 +14,7 @@
 #include "bench/bench_util.h"
 #include "forecast/forecaster.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ipool;
   using namespace ipool::bench;
   PrintHeader(
@@ -26,6 +26,8 @@ int main() {
 
   const std::vector<ModelKind> models = {ModelKind::kBaseline, ModelKind::kSsa,
                                          ModelKind::kSsaPlus, ModelKind::kMwdn};
+  std::vector<std::vector<CurvePoint>> fronts;
+  WallTimer serial_timer;
   for (PipelineKind pipeline : {PipelineKind::k2Step, PipelineKind::kEndToEnd}) {
     std::printf("\n--- Figure 5%s: %s pipeline (Pareto-dominant points) ---\n",
                 pipeline == PipelineKind::k2Step ? "a" : "b",
@@ -48,7 +50,45 @@ int main() {
       }
       std::printf("%-10s  -> lowest reachable avg wait: %.2f s\n",
                   ModelKindToString(model).c_str(), min_wait);
+      fronts.push_back(std::move(front));
     }
+  }
+  const double serial_seconds = serial_timer.Seconds();
+
+  // Parallel pass: the same model x pipeline sweeps, each sweep's grid
+  // fanned out over the pool, fronts checked against the serial ones.
+  const size_t threads = ThreadsOption(argc, argv);
+  if (threads > 0) {
+    exec::ThreadPool pool(threads);
+    const exec::ExecContext exec{&pool};
+    WallTimer parallel_timer;
+    bool match = true;
+    size_t fi = 0;
+    for (PipelineKind pipeline :
+         {PipelineKind::k2Step, PipelineKind::kEndToEnd}) {
+      for (ModelKind model : models) {
+        auto front = SweepTradeoffGrid(model, pipeline, dataset.train,
+                                       dataset.eval, exec);
+        const std::vector<CurvePoint>& serial_front = fronts[fi++];
+        match = match && front.size() == serial_front.size();
+        for (size_t i = 0; match && i < front.size(); ++i) {
+          match = front[i].loss_alpha == serial_front[i].loss_alpha &&
+                  front[i].saa_alpha == serial_front[i].saa_alpha &&
+                  front[i].metrics.avg_wait_seconds_capped ==
+                      serial_front[i].metrics.avg_wait_seconds_capped &&
+                  front[i].metrics.idle_cluster_seconds ==
+                      serial_front[i].metrics.idle_cluster_seconds;
+        }
+      }
+    }
+    ParallelBenchRecord record;
+    record.benchmark = "fig5_pareto";
+    record.threads = threads;
+    record.serial_seconds = serial_seconds;
+    record.parallel_seconds = parallel_timer.Seconds();
+    record.outputs_match = match;
+    PrintParallelSummary(record);
+    AppendParallelBench(record);
   }
   std::printf("\nReading the curves: at equal wait time, the ML rows should "
               "sit at lower idle\nhours than the baseline; SSA's lowest "

@@ -5,7 +5,7 @@
 #include "bench/bench_util.h"
 #include "forecast/forecaster.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ipool;
   using namespace ipool::bench;
   PrintHeader("Figure 6: training time vs input data size",
@@ -36,23 +36,62 @@ int main() {
   for (ModelKind m : models) std::printf(" %12s", ModelKindToString(m).c_str());
   std::printf("\n");
 
-  std::vector<std::vector<double>> times(days.size(),
-                                         std::vector<double>(models.size()));
-  for (size_t di = 0; di < days.size(); ++di) {
+  // Serial pass: the Fig-6 table proper (per-cell times are only meaningful
+  // without co-running cells). Each cell's forecast is kept as a
+  // fingerprint of the trained model for the parallel-pass equality check.
+  std::vector<TimeSeries> histories;
+  for (double d : days) {
     WorkloadConfig workload = RegionNodeProfile(Region::kEastUs2,
                                                 NodeSize::kMedium, 41);
-    workload.duration_days = days[di];
+    workload.duration_days = d;
     auto generator = CheckOk(DemandGenerator::Create(workload), "workload");
-    TimeSeries history = generator.GenerateBinned();
-    std::printf("%-12zu", history.size());
+    histories.push_back(generator.GenerateBinned());
+  }
+  std::vector<std::vector<double>> times(days.size(),
+                                         std::vector<double>(models.size()));
+  std::vector<std::vector<double>> fingerprints(days.size() * models.size());
+  WallTimer serial_timer;
+  for (size_t di = 0; di < days.size(); ++di) {
+    std::printf("%-12zu", histories[di].size());
     for (size_t mi = 0; mi < models.size(); ++mi) {
       auto forecaster = CheckOk(CreateForecaster(models[mi], params), "create");
       WallTimer timer;
-      CheckOk(forecaster->Fit(history), "fit");
+      CheckOk(forecaster->Fit(histories[di]), "fit");
       times[di][mi] = timer.Seconds();
+      fingerprints[di * models.size() + mi] =
+          CheckOk(forecaster->Forecast(48), "forecast");
       std::printf(" %11.3fs", times[di][mi]);
     }
     std::printf("\n");
+  }
+  const double serial_seconds = serial_timer.Seconds();
+
+  // Parallel pass: the same model x size cells fanned out over the pool
+  // (cells are independent trainings). Forecasts must come back
+  // bit-identical — training is seeded and the cells share nothing.
+  const size_t threads = ThreadsOption(argc, argv);
+  if (threads > 0) {
+    exec::ThreadPool pool(threads);
+    const exec::ExecContext exec{&pool};
+    WallTimer parallel_timer;
+    std::vector<std::vector<double>> redo =
+        exec::ParallelMap(
+            exec, days.size() * models.size(), [&](size_t cell) {
+              const size_t di = cell / models.size();
+              const size_t mi = cell % models.size();
+              auto forecaster =
+                  CheckOk(CreateForecaster(models[mi], params), "create");
+              CheckOk(forecaster->Fit(histories[di]), "fit");
+              return CheckOk(forecaster->Forecast(48), "forecast");
+            });
+    ParallelBenchRecord record;
+    record.benchmark = "fig6_training_time";
+    record.threads = threads;
+    record.serial_seconds = serial_seconds;
+    record.parallel_seconds = parallel_timer.Seconds();
+    record.outputs_match = redo == fingerprints;
+    PrintParallelSummary(record);
+    AppendParallelBench(record);
   }
 
   // Speedup of SSA+ over the slowest deep model at the largest size.

@@ -4,7 +4,10 @@
 // the DP-vs-LP solver gap on this implementation.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
 #include "forecast/forecaster.h"
 #include "forecast/ssa.h"
 #include "obs/metrics.h"
@@ -144,6 +147,31 @@ void BM_MaxFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxFilter)->Arg(2880)->Arg(40320)->Unit(benchmark::kMicrosecond);
+
+// Dispatch overhead of an empty-body ParallelFor over a pool of
+// `state.range(0)` threads: group setup, chunk claiming and the final
+// wake-up, with no useful work to amortize them. This is the fixed cost a
+// hot path pays for fanning out — the grain heuristics in nn/linalg exist
+// to keep real work far above it. Thread count 0 measures the serial-inline
+// short-circuit (no pool), the floor every ParallelFor call site pays when
+// parallelism is off.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<exec::ThreadPool>(threads);
+  const exec::ExecContext exec{pool.get()};
+  for (auto _ : state) {
+    exec::ParallelFor(exec, 0, 1024, [](size_t lo, size_t hi) {
+      // Empty body: measure dispatch, not work.
+      benchmark::DoNotOptimize(lo);
+      benchmark::DoNotOptimize(hi);
+    });
+  }
+  state.SetLabel(threads == 0 ? "serial-inline short-circuit"
+                              : "empty-body fan-out + join");
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -6,6 +6,8 @@
 // that motivates multiple pools).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "common/strings.h"
 #include "sim/multi_pool.h"
@@ -42,28 +44,19 @@ std::vector<SizedRequest> BuildFleetDemand(double days, uint64_t seed,
   return requests;
 }
 
-// Sizes one class's pool with a daily template (§4.2's periodic policy):
-// SAA on the max-filtered day-1 history, one pool size per time-of-day slot,
-// reused for day 2.
-std::vector<int64_t> SizeClassSchedule(const TimeSeries& day1,
-                                       size_t day2_bins) {
-  SaaConfig config;
-  config.alpha_prime = 0.1;
-  config.pool.tau_bins = 3;
-  config.pool.stableness_bins = 10;
-  config.pool.max_pool_size = 300;
-  auto optimizer = SaaOptimizer::Create(config);
+// Builds one class's solve spec for the fleet solver: a daily template
+// (§4.2's periodic policy) from the SAA on the max-filtered day-1 history,
+// one pool size per time-of-day slot, reused for day 2.
+FleetSolveSpec ClassSolveSpec(const TimeSeries& day1) {
+  FleetSolveSpec spec;
+  spec.saa.alpha_prime = 0.1;
+  spec.saa.pool.tau_bins = 3;
+  spec.saa.pool.stableness_bins = 10;
+  spec.saa.pool.max_pool_size = 300;
   // Eq 18 margin absorbs day-to-day realization noise.
-  auto schedule = optimizer->OptimizePeriodic(MaxFilter(day1, 10),
-                                              /*period_bins=*/day1.size());
-  if (!schedule.ok()) {
-    std::fprintf(stderr, "optimize: %s\n",
-                 schedule.status().ToString().c_str());
-    std::exit(1);
-  }
-  std::vector<int64_t> out = schedule->pool_size_per_bin;
-  out.resize(day2_bins, out.back());
-  return out;
+  spec.demand = MaxFilter(day1, 10);
+  spec.period_bins = day1.size();
+  return spec;
 }
 
 }  // namespace
@@ -93,12 +86,30 @@ int main() {
     c.sim.seed = 3;
   }
 
-  // Per-class pipelines sized from each class's own day-1 history.
+  // Per-class pipelines sized from each class's own day-1 history. The
+  // per-class solves are independent, so they go through the fleet solver
+  // (which fans out over a pool when IPOOL_THREADS asks for one; results
+  // are identical either way).
+  std::vector<FleetSolveSpec> specs;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    specs.push_back(ClassSolveSpec(binned[c].Slice(0, day2_bins)));
+  }
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (const char* env = std::getenv("IPOOL_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) pool = std::make_unique<exec::ThreadPool>(static_cast<size_t>(n));
+  }
+  auto solved = SolveFleetSchedules(specs, {pool.get()});
+  if (!solved.ok()) {
+    std::fprintf(stderr, "optimize: %s\n", solved.status().ToString().c_str());
+    return 1;
+  }
   std::vector<std::vector<int64_t>> schedules;
   std::printf("Per-class recommendations (from each class's own history):\n");
   for (size_t c = 0; c < classes.size(); ++c) {
-    TimeSeries day1 = binned[c].Slice(0, day2_bins);
-    schedules.push_back(SizeClassSchedule(day1, day2_bins));
+    std::vector<int64_t> schedule = (*solved)[c].pool_size_per_bin;
+    schedule.resize(day2_bins, schedule.back());
+    schedules.push_back(std::move(schedule));
     double mean = 0;
     for (int64_t n : schedules.back()) mean += static_cast<double>(n);
     std::printf("  %-28s avg target %.1f clusters\n", classes[c].name.c_str(),

@@ -1,0 +1,248 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace ipool::exec {
+
+namespace {
+
+// Owning pool of the current thread when it is a pool worker. Used to run
+// nested ParallelFor inline: the outer fan-out already owns the hardware,
+// and workers must never block on a task group.
+thread_local ThreadPool* t_worker_of = nullptr;
+
+// Innermost ScopedPool installation for this thread.
+thread_local ThreadPool* t_current = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  slots_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    slots_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t slot =
+      next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slots_[slot]->mu);
+    slots_[slot]->deque.push_back(std::move(task));
+  }
+  {
+    // queued_ is the workers' sleep predicate; updating it under wake_mu_
+    // orders the push against a worker's decision to sleep.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t self) {
+  {
+    Worker& own = *slots_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.deque.empty()) {
+      std::function<void()> task = std::move(own.deque.front());
+      own.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // Steal from the back of a peer's deque (classic Chase-Lev orientation:
+  // owners pop the front, thieves the back, minimizing contention).
+  for (size_t off = 1; off < slots_.size(); ++off) {
+    Worker& victim = *slots_[(self + off) % slots_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.deque.empty()) {
+      std::function<void()> task = std::move(victim.deque.back());
+      victim.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  t_worker_of = this;
+  for (;;) {
+    std::function<void()> task = TakeTask(index);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      { std::lock_guard<std::mutex> lock(wake_mu_); }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+size_t ThreadPool::QueueDepth() const {
+  size_t depth = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    depth += slot->deque.size();
+  }
+  return depth;
+}
+
+void ThreadPool::PublishTo(obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->GetGauge("ipool_exec_threads")
+      ->Set(static_cast<double>(num_threads()));
+  metrics->GetGauge("ipool_exec_tasks_executed_total")
+      ->Set(static_cast<double>(tasks_executed()));
+  metrics->GetGauge("ipool_exec_tasks_stolen_total")
+      ->Set(static_cast<double>(tasks_stolen()));
+  metrics->GetGauge("ipool_exec_queue_depth")
+      ->Set(static_cast<double>(QueueDepth()));
+}
+
+bool ThreadPool::InWorkerThread() const { return t_worker_of == this; }
+
+ScopedPool::ScopedPool(ThreadPool* pool) : previous_(t_current) {
+  t_current = pool;
+}
+
+ScopedPool::~ScopedPool() { t_current = previous_; }
+
+ThreadPool* Current() { return t_current; }
+
+std::vector<std::pair<size_t, size_t>> Partition(size_t n, size_t parts) {
+  parts = std::max<size_t>(1, std::min(parts, n));
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0) return ranges;
+  ranges.reserve(parts);
+  const size_t base = n / parts;
+  const size_t extra = n % parts;  // first `extra` parts get one more
+  size_t begin = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    const size_t len = base + (p < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Chunks are claimed from an atomic
+// cursor by the submitted drivers and the calling thread alike; the caller
+// blocks on `done_cv` only after the cursor is drained.
+struct ForGroup {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> completed{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  // Claims and runs chunks until the cursor is exhausted.
+  void Drain() {
+    for (;;) {
+      const size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= chunks.size()) return;
+      (*body)(chunks[idx].first, chunks[idx].second);
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          chunks.size()) {
+        { std::lock_guard<std::mutex> lock(mu); }
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body,
+                 const ParallelForOptions& options) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t grain = std::max<size_t>(1, options.grain);
+  // Serial path: no pool, a tiny range, or a nested call from a worker (the
+  // outer fan-out already owns the hardware; blocking a worker on a group
+  // could deadlock the pool).
+  if (pool == nullptr || n < 2 * grain || t_worker_of != nullptr) {
+    body(begin, end);
+    return;
+  }
+  const size_t executors = pool->num_threads() + 1;  // workers + caller
+  const size_t chunks_wanted =
+      options.chunking == Chunking::kStatic ? executors : 4 * executors;
+  const size_t parts = std::min(chunks_wanted, n / grain);
+  auto group = std::make_shared<ForGroup>();
+  group->chunks = Partition(n, parts);
+  for (auto& range : group->chunks) {
+    range.first += begin;
+    range.second += begin;
+  }
+  group->body = &body;
+  if (group->chunks.size() == 1) {
+    body(begin, end);
+    return;
+  }
+  // Drivers, not per-chunk tasks: each submitted task drains the shared
+  // cursor, so a late-starting worker costs nothing and an idle one steals a
+  // whole driver.
+  const size_t drivers = std::min(pool->num_threads(), group->chunks.size() - 1);
+  for (size_t d = 0; d < drivers; ++d) {
+    pool->Submit([group] { group->Drain(); });
+  }
+  group->Drain();  // caller participates
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->done_cv.wait(lock, [&] {
+    return group->completed.load(std::memory_order_acquire) ==
+           group->chunks.size();
+  });
+}
+
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index) {
+  // Golden-ratio stride keeps adjacent task indices far apart in the
+  // SplitMix64 state space; two mix rounds decorrelate the outputs.
+  SplitMix64 mix(base_seed ^ (0x9E3779B97F4A7C15ULL * (task_index + 1)));
+  mix.Next();
+  return mix.Next();
+}
+
+}  // namespace ipool::exec

@@ -1,0 +1,204 @@
+// Shared parallel execution runtime for every independent-work hot path in
+// the control plane: solver sweeps (one task per alpha'), fleet solves (one
+// task per region x node-size pool), NN training kernels (row-block MatMul)
+// and the benchmark matrix (one task per model x dataset cell).
+//
+// Design contract (see DESIGN.md "Execution & parallelism"):
+//  * A fixed-size work-stealing ThreadPool. Submitted tasks land in
+//    per-worker deques round-robin; idle workers steal from the back of
+//    their peers' deques (counted in stolen()).
+//  * ParallelFor partitions an index range into contiguous chunks. The
+//    calling thread participates (it drains chunks alongside the workers),
+//    so a pool of N threads applies N+1 executors and a ParallelFor on a
+//    pool is never slower than the serial loop by more than the dispatch
+//    cost. Chunks are claimed dynamically (atomic cursor) unless the caller
+//    pins static chunking.
+//  * Determinism: chunk boundaries depend only on (range, chunking, grain,
+//    worker count is NOT involved) and every chunk owns a disjoint slice of
+//    the output, so parallel results are bit-identical to the serial path
+//    regardless of thread count or scheduling order. Stochastic tasks derive
+//    their RNG stream from DeriveTaskSeed(base_seed, task_index), never from
+//    the executing thread.
+//  * Worker threads never block on a task group (they only execute), so
+//    nested ParallelFor cannot deadlock: a ParallelFor issued from inside a
+//    pool worker runs inline serially (the outer fan-out already owns the
+//    hardware).
+//  * A null/absent pool degrades every helper to the plain serial loop —
+//    the default, so existing call sites keep working unchanged (mirrors
+//    ObsContext).
+#ifndef IPOOL_EXEC_THREAD_POOL_H_
+#define IPOOL_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ipool::obs {
+class MetricsRegistry;
+}  // namespace ipool::obs
+
+namespace ipool::exec {
+
+/// Fixed-size work-stealing thread pool. Construction spawns the workers;
+/// destruction drains outstanding tasks and joins them. Thread-safe.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task (round-robin across worker deques).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. The caller does
+  /// not execute tasks; prefer ParallelFor for caller participation.
+  void Wait();
+
+  /// Lifetime totals (relaxed reads; exact once the pool is idle).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+  /// Tasks currently enqueued (not yet picked up).
+  size_t QueueDepth() const;
+
+  /// Writes ipool_exec_threads / ipool_exec_tasks_executed_total /
+  /// ipool_exec_tasks_stolen_total / ipool_exec_queue_depth gauges into the
+  /// registry (no-op on nullptr). Call at any quiescent point.
+  void PublishTo(obs::MetricsRegistry* metrics) const;
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mu;
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops own work or steals; returns an empty function when idle.
+  std::function<void()> TakeTask(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> slots_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> pending_{0};  // submitted, not yet finished
+  std::atomic<size_t> queued_{0};   // submitted, not yet picked up
+  std::atomic<size_t> next_slot_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
+};
+
+/// The execution handle threaded through configs, mirroring ObsContext: a
+/// single non-owning pointer whose default (null) means "serial inline".
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+
+  bool enabled() const { return pool != nullptr; }
+  size_t num_threads() const { return pool != nullptr ? pool->num_threads() : 0; }
+
+  /// Child configs default to a null context; parents propagate theirs into
+  /// children that were left unset (an explicitly wired child wins).
+  ExecContext OrElse(const ExecContext& fallback) const {
+    return enabled() ? *this : fallback;
+  }
+};
+
+/// Thread-local "ambient" pool for compute kernels (nn/linalg MatMul) that
+/// sit too deep for config plumbing. ScopedPool installs a pool for the
+/// current thread; Current() reads it (null by default). Kernels running on
+/// pool worker threads see null (nested parallelism runs inline).
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool);
+  explicit ScopedPool(const ExecContext& exec) : ScopedPool(exec.pool) {}
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+/// The pool installed for this thread by the innermost live ScopedPool, or
+/// null (serial).
+ThreadPool* Current();
+
+/// Contiguous half-open index ranges covering [0, n), at most `parts` of
+/// them, sizes differing by at most one. parts == 0 behaves as 1.
+std::vector<std::pair<size_t, size_t>> Partition(size_t n, size_t parts);
+
+enum class Chunking {
+  /// One chunk per executor (pool threads + caller): lowest dispatch cost,
+  /// best for uniform bodies.
+  kStatic,
+  /// ~4 chunks per executor claimed from a shared cursor: balances skewed
+  /// bodies (deep-model cells next to baseline cells).
+  kDynamic,
+};
+
+struct ParallelForOptions {
+  Chunking chunking = Chunking::kDynamic;
+  /// Minimum indices per chunk; ranges smaller than 2*grain run inline.
+  size_t grain = 1;
+};
+
+/// Runs body(begin, end) over disjoint contiguous sub-ranges of
+/// [begin, end). Serial inline when `pool` is null, the range is small, or
+/// the caller is already a pool worker. Blocks until the whole range is
+/// done. The body must only write state owned by its sub-range.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body,
+                 const ParallelForOptions& options = {});
+
+inline void ParallelFor(const ExecContext& exec, size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& body,
+                        const ParallelForOptions& options = {}) {
+  ParallelFor(exec.pool, begin, end, body, options);
+}
+
+/// Maps fn over [0, n) into a vector with results in index order (the
+/// parallel schedule never reorders outputs). fn must be copyable and
+/// thread-compatible.
+template <typename Fn>
+auto ParallelMap(ThreadPool* pool, size_t n, Fn fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(n);
+  ParallelFor(pool, 0, n, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+template <typename Fn>
+auto ParallelMap(const ExecContext& exec, size_t n, Fn fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  return ParallelMap(exec.pool, n, std::move(fn));
+}
+
+/// Deterministic per-task RNG seed: a SplitMix64 mix of (base_seed,
+/// task_index). Tasks seeded this way draw identical streams no matter which
+/// thread runs them or in what order, and distinct tasks get statistically
+/// independent streams.
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index);
+
+}  // namespace ipool::exec
+
+#endif  // IPOOL_EXEC_THREAD_POOL_H_

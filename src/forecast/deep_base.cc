@@ -63,6 +63,9 @@ Status DeepForecasterBase::Fit(const TimeSeries& history) {
                                                    {{"model", name()}});
   }
   obs::ScopedTimer train_timer(train_hist);
+  // Ambient pool for the MatMul kernels of the whole fit (forward passes and
+  // Backward() both read it); null exec keeps everything serial inline.
+  exec::ScopedPool pool_scope(params_.exec);
   const size_t window = params_.window;
   const size_t horizon = params_.horizon;
   if (history.size() < window + horizon + 1) {
@@ -190,6 +193,7 @@ Status DeepForecasterBase::Fit(const TimeSeries& history) {
 
 Result<std::vector<double>> DeepForecasterBase::Forecast(size_t horizon) {
   if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  exec::ScopedPool pool_scope(params_.exec);
   std::vector<double> window = history_tail_;
   std::vector<double> out;
   out.reserve(horizon);

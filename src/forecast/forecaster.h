@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "obs/obs_context.h"
 #include "tsdata/time_series.h"
 
@@ -73,6 +74,11 @@ struct ForecastParams {
   /// Observability sink (optional): trainable models record per-epoch
   /// counters and internal training time against it.
   ObsContext obs;
+  /// Execution context (optional): when a thread pool is wired in, Fit and
+  /// Forecast install it as the ambient pool so the row-blocked MatMul
+  /// kernels fan out. Results are bit-identical to the serial path (the
+  /// determinism contract in DESIGN.md "Execution & parallelism").
+  exec::ExecContext exec;
 
   Status Validate() const;
 };

@@ -1,9 +1,11 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "common/strings.h"
+#include "exec/thread_pool.h"
 
 namespace ipool {
 
@@ -58,16 +60,27 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
                   a.cols(), b.rows(), b.cols()));
   }
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both B and C.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
-      }
-    }
-  }
+  // i-k-j loop order keeps the inner loop contiguous in both B and C. Row
+  // blocks of C are independent, so the outer loop fans out over the ambient
+  // pool (exec::Current(), serial by default); each task owns its rows and
+  // the per-element accumulation order is fixed, keeping results
+  // bit-identical to the serial loop at any thread count.
+  const size_t flops_per_row = a.cols() * b.cols();
+  exec::ParallelFor(
+      exec::Current(), 0, a.rows(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          for (size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            for (size_t j = 0; j < b.cols(); ++j) {
+              c(i, j) += aik * b(k, j);
+            }
+          }
+        }
+      },
+      {exec::Chunking::kDynamic,
+       std::max<size_t>(1, (16 * 1024) / std::max<size_t>(1, flops_per_row))});
   return c;
 }
 

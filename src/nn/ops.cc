@@ -4,12 +4,88 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "exec/thread_pool.h"
 
 namespace ipool::nn {
 
 namespace {
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// Row blocks below this many multiply-adds are not worth a dispatch; the
+// ParallelFor grain is sized so every chunk clears it.
+constexpr size_t kMinFlopsPerChunk = 16 * 1024;
+
+size_t RowGrain(size_t flops_per_row) {
+  return std::max<size_t>(1, kMinFlopsPerChunk / std::max<size_t>(1, flops_per_row));
+}
+
+// C (m x n) = A (m x k) * B (k x n), B packed transposed so each output
+// element is one contiguous dot product. Row-blocked over the ambient
+// thread pool (exec::Current()); each task owns a disjoint block of C rows
+// and accumulates over kk in ascending order, so results are bit-identical
+// to the serial loop at any thread count.
+void MatMulForward(const double* a, const double* b, double* c, size_t m,
+                   size_t k, size_t n) {
+  std::vector<double> bt(n * k);
+  for (size_t kk = 0; kk < k; ++kk) {
+    for (size_t j = 0; j < n; ++j) bt[j * k + kk] = b[kk * n + j];
+  }
+  exec::ParallelFor(
+      exec::Current(), 0, m,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const double* arow = a + i * k;
+          for (size_t j = 0; j < n; ++j) {
+            const double* brow = bt.data() + j * k;
+            double acc = 0.0;
+            for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            c[i * n + j] = acc;
+          }
+        }
+      },
+      {exec::Chunking::kDynamic, RowGrain(k * n)});
+}
+
+// dA += dC * B^T and dB += A^T * dC, each phase row-blocked over the rows it
+// owns (dA over i, dB over kk), so no two tasks touch the same gradient slot
+// and the per-element accumulation order never depends on the thread count.
+void MatMulBackward(const TensorImpl& self, TensorImpl& a, TensorImpl& b,
+                    size_t m, size_t k, size_t n) {
+  const double* g = self.grad.data();
+  const double* av = a.value.data();
+  const double* bv = b.value.data();
+  double* ga = a.grad.data();
+  double* gb = b.grad.data();
+  exec::ParallelFor(
+      exec::Current(), 0, m,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const double* grow = g + i * n;
+          for (size_t kk = 0; kk < k; ++kk) {
+            const double* brow = bv + kk * n;
+            double acc = 0.0;
+            for (size_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            ga[i * k + kk] += acc;
+          }
+        }
+      },
+      {exec::Chunking::kDynamic, RowGrain(k * n)});
+  exec::ParallelFor(
+      exec::Current(), 0, k,
+      [&](size_t lo, size_t hi) {
+        for (size_t kk = lo; kk < hi; ++kk) {
+          double* gbrow = gb + kk * n;
+          for (size_t i = 0; i < m; ++i) {
+            const double aik = av[i * k + kk];
+            if (aik == 0.0) continue;
+            const double* grow = g + i * n;
+            for (size_t j = 0; j < n; ++j) gbrow[j] += aik * grow[j];
+          }
+        }
+      },
+      {exec::Chunking::kDynamic, RowGrain(m * n)});
+}
 
 // Shorthand for unary elementwise ops: out[i] = f(a[i]),
 // da[i] += dout[i] * dfda(a[i], out[i]).
@@ -163,28 +239,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   ImplPtr pa = a.impl(), pb = b.impl();
   Tensor out =
       MakeNode({m, n}, {pa, pb}, [pa, pb, m, k, n](TensorImpl& self) {
-        // dA = dC * B^T ; dB = A^T * dC
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t j = 0; j < n; ++j) {
-            const double g = self.grad[i * n + j];
-            if (g == 0.0) continue;
-            for (size_t kk = 0; kk < k; ++kk) {
-              pa->grad[i * k + kk] += g * pb->value[kk * n + j];
-              pb->grad[kk * n + j] += g * pa->value[i * k + kk];
-            }
-          }
-        }
+        MatMulBackward(self, *pa, *pb, m, k, n);
       });
-  auto& o = out.mutable_value();
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t kk = 0; kk < k; ++kk) {
-      const double av = a.value()[i * k + kk];
-      if (av == 0.0) continue;
-      for (size_t j = 0; j < n; ++j) {
-        o[i * n + j] += av * b.value()[kk * n + j];
-      }
-    }
-  }
+  MatMulForward(a.value().data(), b.value().data(),
+                out.mutable_value().data(), m, k, n);
   return out;
 }
 

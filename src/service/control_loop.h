@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
 #include "obs/obs_context.h"
 #include "service/workers.h"
 #include "sim/pool_simulator.h"
@@ -47,6 +48,15 @@ struct ControlLoopResult {
   size_t fallback_bins = 0;
 };
 
+/// One pool of a fleet (a region x node-size pair): its own loop config,
+/// demand trace and request events. Each pool's loop is fully independent —
+/// own telemetry store, document store and simulator.
+struct FleetPoolSpec {
+  ControlLoopConfig config;
+  TimeSeries demand;
+  std::vector<double> request_events;
+};
+
 class ControlLoop {
  public:
   /// `fail_run` (optional) returns true to crash a given pipeline run
@@ -55,6 +65,18 @@ class ControlLoop {
       const RecommendationEngine& engine, const ControlLoopConfig& config,
       const TimeSeries& demand, const std::vector<double>& request_events,
       const std::function<bool(size_t)>& fail_run = nullptr);
+
+  /// Runs one control loop per fleet pool, fanned out over `exec`'s pool
+  /// when one is wired in; results come back in spec order, bit-identical
+  /// to running the loops serially. The shared engine is read-only across
+  /// loops. In the parallel case each spec's ObsContext keeps its metrics
+  /// (lock-free atomics) but drops its tracer — obs::Tracer is
+  /// single-threaded, as is any tracer reachable through the engine's own
+  /// config, which callers must not wire when passing a pool here.
+  static Result<std::vector<ControlLoopResult>> RunFleet(
+      const RecommendationEngine& engine,
+      const std::vector<FleetPoolSpec>& pools,
+      const exec::ExecContext& exec = {});
 };
 
 }  // namespace ipool

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -82,12 +83,18 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
 
   // Per-group piecewise-linear convex cost over the integer pool size:
   // g(N) = sum_w alpha * max(0, N - w) + (1 - alpha) * max(0, w - N).
-  // Computed for all N via sorted w + prefix sums.
+  // Computed for all N via sorted w + prefix sums. The sorted-w, prefix and
+  // cost buffers are hoisted out of the per-group call and reused (their
+  // capacity stabilizes after the largest group), keeping the DP
+  // allocation-free past the first few groups.
+  std::vector<double> cost(num_sizes, 0.0);
+  std::vector<double> ws;
+  std::vector<double> prefix;
   auto group_cost = [&](size_t g) {
-    std::vector<double> cost(num_sizes, 0.0);
-    std::vector<double> ws = group_w[g];
+    ws.assign(group_w[g].begin(), group_w[g].end());
     std::sort(ws.begin(), ws.end());
-    std::vector<double> prefix(ws.size() + 1, 0.0);
+    prefix.resize(ws.size() + 1);
+    prefix[0] = 0.0;
     for (size_t i = 0; i < ws.size(); ++i) prefix[i + 1] = prefix[i] + ws[i];
     const double total = prefix[ws.size()];
     size_t below = 0;  // count of ws <= N
@@ -101,12 +108,12 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
       cost[s] = alpha * (n * cnt_below - sum_below) +
                 (1.0 - alpha) * (sum_above - n * cnt_above);
     }
-    return cost;
   };
 
   // DP over groups. f[s] = best cost through group g ending at size s.
   const int64_t ramp = pool.max_new_requests_per_bin;
-  std::vector<double> f = group_cost(0);
+  group_cost(0);
+  std::vector<double> f = cost;
   std::vector<std::vector<size_t>> choice(num_groups);  // predecessor index
   for (size_t g = 1; g < num_groups; ++g) {
     // suffix_min[s] = argmin/valmin of f over indices >= s (ties -> smallest
@@ -124,7 +131,7 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
         suffix_arg[s] = suffix_arg[s + 1];
       }
     }
-    const std::vector<double> cost = group_cost(g);
+    group_cost(g);
     std::vector<double> next(num_sizes);
     choice[g].resize(num_sizes);
     for (size_t s = 0; s < num_sizes; ++s) {
@@ -166,6 +173,11 @@ Result<PoolSchedule> SaaOptimizer::Optimize(const TimeSeries& demand) const {
   // Group in-flight demand values by the block whose pool size serves them.
   const std::vector<double> w = InFlightDemand(demand);
   std::vector<std::vector<double>> block_w(num_blocks);
+  // Every block serves ~stableness_bins bins; block 0 additionally absorbs
+  // the first tau bins. Reserving exactly that avoids push_back regrowth.
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_w[b].reserve(pool.stableness_bins + (b == 0 ? tau : 0));
+  }
   for (size_t t = 0; t < num_bins; ++t) {
     const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
     block_w[b].push_back(w[t]);
@@ -201,6 +213,13 @@ Result<PoolSchedule> SaaOptimizer::OptimizePeriodic(const TimeSeries& demand,
   // "same time of day" policy).
   const std::vector<double> w = InFlightDemand(demand);
   std::vector<std::vector<double>> group_w(groups_per_period);
+  // Each period slot collects one stableness block per period occurrence
+  // (slot 0 also absorbs the first tau bins).
+  const size_t occurrences = (num_bins + period_bins - 1) / period_bins;
+  for (size_t g = 0; g < groups_per_period; ++g) {
+    group_w[g].reserve(occurrences * pool.stableness_bins +
+                       (g == 0 ? tau : 0));
+  }
   for (size_t t = 0; t < num_bins; ++t) {
     const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
     group_w[b % groups_per_period].push_back(w[t]);
@@ -296,25 +315,46 @@ Result<PoolSchedule> SaaOptimizer::OptimizeLp(const TimeSeries& demand) const {
 
 Result<std::vector<ParetoPoint>> SweepPareto(
     const TimeSeries& planning_demand, const TimeSeries& actual_demand,
-    const PoolModelConfig& pool_config, const std::vector<double>& alphas) {
+    const PoolModelConfig& pool_config, const std::vector<double>& alphas,
+    const ObsContext& obs, const exec::ExecContext& exec) {
   if (!planning_demand.SameShape(actual_demand)) {
     return Status::InvalidArgument(
         "planning and actual demand must share bin count and width");
   }
-  std::vector<ParetoPoint> points;
-  points.reserve(alphas.size());
-  for (double alpha : alphas) {
-    SaaConfig config;
-    config.pool = pool_config;
-    config.alpha_prime = alpha;
-    IPOOL_ASSIGN_OR_RETURN(SaaOptimizer optimizer, SaaOptimizer::Create(config));
-    IPOOL_ASSIGN_OR_RETURN(PoolSchedule schedule,
-                           optimizer.Optimize(planning_demand));
-    IPOOL_ASSIGN_OR_RETURN(
-        PoolMetrics metrics,
-        EvaluateSchedule(actual_demand, schedule.pool_size_per_bin,
-                         pool_config));
-    points.push_back({alpha, metrics});
+  // Per-alpha solves are independent: each writes only its own slot, so the
+  // sweep fans out over the pool and still returns points in alpha order,
+  // bit-identical to the serial loop. The caller's obs is propagated into
+  // every solve (it used to be dropped entirely); MetricsRegistry instruments
+  // are lock-free atomics and safe to share, but obs::Tracer is
+  // single-threaded by design, so the tracer rides along only when the sweep
+  // actually runs serial.
+  ObsContext task_obs = obs;
+  if (exec.enabled() && alphas.size() > 1) task_obs.tracer = nullptr;
+  std::vector<ParetoPoint> points(alphas.size());
+  std::vector<Status> statuses(alphas.size());
+  exec::ParallelFor(exec, 0, alphas.size(), [&](size_t lo, size_t hi) {
+    for (size_t idx = lo; idx < hi; ++idx) {
+      statuses[idx] = [&]() -> Status {
+        SaaConfig config;
+        config.pool = pool_config;
+        config.alpha_prime = alphas[idx];
+        config.obs = task_obs;
+        IPOOL_ASSIGN_OR_RETURN(SaaOptimizer optimizer,
+                               SaaOptimizer::Create(config));
+        IPOOL_ASSIGN_OR_RETURN(PoolSchedule schedule,
+                               optimizer.Optimize(planning_demand));
+        IPOOL_ASSIGN_OR_RETURN(
+            PoolMetrics metrics,
+            EvaluateSchedule(actual_demand, schedule.pool_size_per_bin,
+                             pool_config));
+        points[idx] = {alphas[idx], metrics};
+        return Status::OK();
+      }();
+    }
+  });
+  // First error by alpha index wins, matching what the serial loop reports.
+  for (const Status& s : statuses) {
+    IPOOL_RETURN_NOT_OK(s);
   }
   return points;
 }

@@ -1,0 +1,265 @@
+// Unit tests for the shared parallel execution runtime (src/exec): pool
+// lifecycle, work stealing, ParallelFor/ParallelMap semantics (including the
+// serial-inline degradations and nested fan-out), Partition, deterministic
+// task seeds, and the metrics-gauge export. The cross-module bit-identical
+// guarantees live in parallel_determinism_test.cc.
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ipool::exec {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadCountPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100u);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDistinguishesWorkersFromCaller) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<bool> saw_worker{false};
+  pool.Submit([&] { saw_worker = pool.InWorkerThread(); });
+  pool.Wait();
+  EXPECT_TRUE(saw_worker.load());
+}
+
+TEST(ThreadPoolTest, UnbalancedSubmissionTriggersStealing) {
+  // All tasks land round-robin, but each sleeps long enough that idle
+  // workers must steal to finish the batch promptly. With 4 workers and
+  // bursty submission some steal activity is overwhelmingly likely; the
+  // test only asserts the counter is consistent (total executed is exact,
+  // stolen <= executed) because stealing is scheduling-dependent.
+  ThreadPool pool(4);
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(pool.tasks_executed(), 200u);
+  EXPECT_LE(pool.tasks_stolen(), pool.tasks_executed());
+}
+
+TEST(ThreadPoolTest, PublishToExportsGauges) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  obs::MetricsRegistry registry;
+  pool.PublishTo(&registry);
+  EXPECT_EQ(registry.GetGauge("ipool_exec_threads")->value(), 3.0);
+  EXPECT_EQ(registry.GetGauge("ipool_exec_tasks_executed_total")->value(),
+            10.0);
+  EXPECT_EQ(registry.GetGauge("ipool_exec_queue_depth")->value(), 0.0);
+  pool.PublishTo(nullptr);  // no-op, must not crash
+}
+
+TEST(PartitionTest, CoversRangeWithBalancedChunks) {
+  const auto parts = Partition(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::pair<size_t, size_t>{0, 4}));
+  EXPECT_EQ(parts[1], (std::pair<size_t, size_t>{4, 7}));
+  EXPECT_EQ(parts[2], (std::pair<size_t, size_t>{7, 10}));
+}
+
+TEST(PartitionTest, MorePartsThanItemsAndZeroParts) {
+  EXPECT_EQ(Partition(2, 8).size(), 2u);
+  EXPECT_EQ(Partition(0, 4).size(), 0u);
+  const auto one = Partition(5, 0);  // parts == 0 behaves as 1
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<size_t, size_t>{0, 5}));
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(16, 0);
+  ParallelFor(static_cast<ThreadPool*>(nullptr), 0, hits.size(),
+              [&](size_t lo, size_t hi) {
+                for (size_t i = lo; i < hi; ++i) ++hits[i];
+              });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (Chunking chunking : {Chunking::kStatic, Chunking::kDynamic}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(
+        &pool, 0, hits.size(),
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        {chunking, 1});
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, RespectsNonZeroBegin) {
+  ThreadPool pool(2);
+  std::vector<int> hits(20, 0);
+  ParallelFor(&pool, 5, 15, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i] = 1;
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 5 && i < 15 ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, SmallRangeRunsInlineOnCallerThread) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  // grain 8 => ranges below 16 stay inline on the caller.
+  ParallelFor(
+      &pool, 0, 10,
+      [&](size_t, size_t) { body_thread = std::this_thread::get_id(); },
+      {Chunking::kDynamic, 8});
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ParallelForTest, NestedParallelForFromWorkerRunsInline) {
+  // A ParallelFor issued from inside a pool worker must not deadlock and
+  // must not fan out again: the inner body runs on the same worker thread.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> inner_stayed_on_worker{true};
+  ParallelFor(&pool, 0, 8, [&](size_t lo, size_t hi) {
+    const auto outer_thread = std::this_thread::get_id();
+    ParallelFor(&pool, lo, hi, [&](size_t ilo, size_t ihi) {
+      if (std::this_thread::get_id() != outer_thread) {
+        inner_stayed_on_worker = false;
+      }
+      inner_total.fetch_add(static_cast<int>(ihi - ilo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8);
+  EXPECT_TRUE(inner_stayed_on_worker.load());
+}
+
+TEST(ParallelForTest, ExecContextOverloadAndOrElse) {
+  ThreadPool pool(2);
+  ExecContext off;
+  ExecContext on{&pool};
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(on.enabled());
+  EXPECT_EQ(on.num_threads(), 2u);
+  EXPECT_EQ(off.OrElse(on).pool, &pool);  // unset child inherits
+  EXPECT_EQ(on.OrElse(off).pool, &pool);  // wired child wins
+  std::atomic<int> total{0};
+  ParallelFor(on, 0, 100, [&](size_t lo, size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelMapTest, ReturnsResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<size_t> out =
+      ParallelMap(&pool, 100, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapTest, NullPoolMatchesSerialMap) {
+  const auto serial = ParallelMap(static_cast<ThreadPool*>(nullptr), 10,
+                                  [](size_t i) { return 3 * i + 1; });
+  ThreadPool pool(2);
+  const auto parallel = ParallelMap(&pool, 10, [](size_t i) { return 3 * i + 1; });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ScopedPoolTest, InstallsAndRestoresAmbientPool) {
+  EXPECT_EQ(Current(), nullptr);
+  ThreadPool outer(1);
+  ThreadPool inner(1);
+  {
+    ScopedPool scope_outer(&outer);
+    EXPECT_EQ(Current(), &outer);
+    {
+      ScopedPool scope_inner(&inner);
+      EXPECT_EQ(Current(), &inner);
+    }
+    EXPECT_EQ(Current(), &outer);
+  }
+  EXPECT_EQ(Current(), nullptr);
+}
+
+TEST(ScopedPoolTest, WorkerThreadsSeeNullAmbientPool) {
+  // The ambient pool is caller-thread state; kernels running *on* the pool
+  // must see null so nested fan-out degrades to inline.
+  ThreadPool pool(2);
+  ScopedPool scope(&pool);
+  std::atomic<bool> worker_saw_null{true};
+  ParallelFor(&pool, 0, 64, [&](size_t, size_t) {
+    if (pool.InWorkerThread() && Current() != nullptr) worker_saw_null = false;
+  });
+  EXPECT_TRUE(worker_saw_null.load());
+}
+
+TEST(DeriveTaskSeedTest, DeterministicDistinctAndIndexSensitive) {
+  const uint64_t a0 = DeriveTaskSeed(7, 0);
+  EXPECT_EQ(a0, DeriveTaskSeed(7, 0));  // pure function of (base, index)
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) seeds.insert(DeriveTaskSeed(7, i));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across task indices
+  EXPECT_NE(DeriveTaskSeed(7, 3), DeriveTaskSeed(8, 3));  // base matters
+}
+
+// Tier-1 dispatch-overhead bound, mirroring ObsOverheadTest: the
+// serial-inline short-circuit (null pool) is the cost every ParallelFor call
+// site pays when parallelism is off, so it must stay negligible — under
+// 2 us per call even on debug builds (measured ~5-20 ns optimized).
+TEST(ExecOverheadTest, SerialInlineDispatchUnder2Microseconds) {
+  constexpr int kIters = 1 << 16;
+  size_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    ParallelFor(static_cast<ThreadPool*>(nullptr), 0, 4,
+                [&](size_t lo, size_t hi) { sink += hi - lo; });
+    asm volatile("" ::: "memory");  // keep the loop from folding away
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(sink, static_cast<size_t>(kIters) * 4);
+  const double us_per_call = 1e6 * elapsed / kIters;
+  EXPECT_LT(us_per_call, 2.0);
+}
+
+}  // namespace
+}  // namespace ipool::exec

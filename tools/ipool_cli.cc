@@ -4,15 +4,20 @@
 //                       [--days 2] [--seed 7] --out demand.csv
 //   ipool_cli recommend --demand demand.csv [--model ssa+] [--alpha 0.3]
 //                       [--loss-alpha 0.9] [--bins 120] [--smooth-sf 0]
-//                       --out schedule.csv
+//                       [--threads 0] --out schedule.csv
 //   ipool_cli evaluate  --demand demand.csv --schedule schedule.csv
 //                       [--tau-bins 3]
 //   ipool_cli simulate  --demand demand.csv --schedule schedule.csv
 //                       [--latency 90] [--latency-cv 0.2] [--seed 1]
-//   ipool_cli sweep     --demand demand.csv [--tau-bins 3]
+//   ipool_cli sweep     --demand demand.csv [--tau-bins 3] [--threads 0]
 //   ipool_cli loop      --demand demand.csv | --profile east-medium
 //                       [--days 2] [--seed 7] [--model ssa+]
-//                       [--run-interval 1800] [--latency 90]
+//                       [--run-interval 1800] [--latency 90] [--threads 0]
+//
+// `--threads N` (recommend, sweep, loop; default 0 = serial) runs the
+// command's independent work — deep-model training kernels, per-alpha'
+// sweep solves — on an N-thread pool. Results are bit-identical to the
+// serial run (the determinism contract of DESIGN.md).
 //
 // `recommend` fits on the whole input and emits the next `--bins` bins;
 // `evaluate` scores a schedule with the analytical queueing model (§4.1);
@@ -30,12 +35,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -136,6 +143,13 @@ ModelKind ModelByName(const std::string& name) {
       "' (use baseline, ssa, ssa+, mwdn, tst, incpt)");
 }
 
+// --threads N: the command's shared thread pool, null (serial) by default.
+std::unique_ptr<exec::ThreadPool> PoolFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  const size_t n = static_cast<size_t>(NumFlag(flags, "threads", 0));
+  return n > 0 ? std::make_unique<exec::ThreadPool>(n) : nullptr;
+}
+
 // Metrics registry + tracer pair owned by a command, plus flag-driven
 // export: --metrics-out (Prometheus text), --trace-out (span JSONL),
 // --obs-summary 1 (human-readable table). "-" writes to stdout.
@@ -232,8 +246,11 @@ int CmdRecommend(const std::map<std::string, std::string>& flags) {
       static_cast<size_t>(NumFlag(flags, "smooth-sf", 0));
   ObsBundle obs;
   config.obs = obs.Context();
+  const auto thread_pool = PoolFromFlags(flags);
+  config.forecast.exec.pool = thread_pool.get();
   auto engine = DieOnError(RecommendationEngine::Create(config), "config");
   auto rec = DieOnError(engine.Run(demand), "pipeline");
+  if (thread_pool != nullptr) thread_pool->PublishTo(&obs.registry);
   ExportObs(flags, obs);
 
   StoredSchedule stored;
@@ -318,7 +335,10 @@ int CmdSweep(const std::map<std::string, std::string>& flags) {
   pool.max_pool_size = static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
   const std::vector<double> alphas = {0.95, 0.8, 0.6, 0.4, 0.2,
                                       0.1,  0.05, 0.02, 0.005};
-  auto points = DieOnError(SweepPareto(demand, demand, pool, alphas), "sweep");
+  const auto thread_pool = PoolFromFlags(flags);
+  auto points = DieOnError(
+      SweepPareto(demand, demand, pool, alphas, {}, {thread_pool.get()}),
+      "sweep");
   CogsModel cogs;
   std::printf("%8s %14s %12s %10s %14s\n", "alpha'", "avg wait(s)",
               "hit rate", "avg pool", "idle $");
@@ -361,6 +381,8 @@ int CmdLoop(const std::map<std::string, std::string>& flags) {
       static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
   pipeline.saa.pool.max_pool_size =
       static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
+  const auto thread_pool = PoolFromFlags(flags);
+  pipeline.forecast.exec.pool = thread_pool.get();
   auto engine = DieOnError(RecommendationEngine::Create(pipeline), "config");
 
   ControlLoopConfig config;
@@ -375,6 +397,7 @@ int CmdLoop(const std::map<std::string, std::string>& flags) {
   config.obs = obs.Context();
   auto result = DieOnError(
       ControlLoop::Run(engine, config, demand, events), "control loop");
+  if (thread_pool != nullptr) thread_pool->PublishTo(&obs.registry);
 
   // Bridge the §7.5 dashboard into the same registry before exporting.
   const double horizon =
