@@ -4,12 +4,19 @@
 // the DP-vs-LP solver gap on this implementation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/recommendation_engine.h"
 #include "exec/thread_pool.h"
 #include "forecast/forecaster.h"
 #include "forecast/ssa.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/subspace.h"
 #include "obs/metrics.h"
 #include "obs/obs_context.h"
 #include "obs/trace.h"
@@ -63,6 +70,65 @@ void BM_SaaOptimizerLp(benchmark::State& state) {
   state.SetLabel("two-phase simplex on Eqs 4-11");
 }
 BENCHMARK(BM_SaaOptimizerLp)->Arg(60)->Arg(120)->Unit(benchmark::kMillisecond);
+
+// Hankel-free Gram of the SSA trajectory matrix via the sliding-diagonal
+// identity: O(L*K + L^2) time, O(L^2) space, the L x K Hankel never exists.
+// This is phase 1 of every SSA fit on the control loop's hot path.
+void BM_HankelGram(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  TimeSeries history = MakeDemand(2880);
+  const std::vector<double>& series = history.values();
+  for (auto _ : state) {
+    auto gram = HankelGram(series, window);
+    benchmark::DoNotOptimize(gram);
+  }
+  state.SetLabel("sliding-diagonal identity, no L x K materialization");
+}
+BENCHMARK(BM_HankelGram)->Arg(96)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+namespace {
+// The eigensolver benches share one SSA-style Gram: a strong diurnal + surge
+// demand window whose spectrum has a well-gapped head, the regime the
+// subspace path accepts.
+Matrix SsaStyleGram(size_t window) {
+  TimeSeries history = MakeDemand(2880, /*seed=*/29);
+  std::vector<double> y = history.values();
+  const double scale = std::max(1.0, history.Max());
+  for (double& v : y) v /= scale;
+  auto gram = HankelGram(y, window);
+  return std::move(gram).value();
+}
+}  // namespace
+
+// Old SSA eigensolve: full dense Jacobi, O(L^3) per sweep, all L pairs.
+void BM_TopEigenJacobi(benchmark::State& state) {
+  const Matrix gram = SsaStyleGram(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto eig = SymmetricEigen(gram);
+    benchmark::DoNotOptimize(eig);
+  }
+  state.SetLabel("dense Jacobi, all pairs");
+}
+BENCHMARK(BM_TopEigenJacobi)->Arg(96)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// New SSA eigensolve: block power + Rayleigh-Ritz for the top max_rank
+// pairs only, O(L^2 * r) per iteration.
+void BM_TopEigenSubspace(benchmark::State& state) {
+  const Matrix gram = SsaStyleGram(static_cast<size_t>(state.range(0)));
+  SubspaceOptions options;
+  options.converge_energy = 0.995;  // SSA's rank-selection threshold
+  size_t iters = 0;
+  for (auto _ : state) {
+    auto eig = SubspaceTopEigen(gram, 12, options);
+    benchmark::DoNotOptimize(eig);
+    if (eig.ok()) iters = eig->iterations;
+  }
+  state.SetLabel("block power + Rayleigh-Ritz, top 12+4 pairs, " +
+                 std::to_string(iters) + " iters");
+}
+BENCHMARK(BM_TopEigenSubspace)->Arg(96)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SsaFit(benchmark::State& state) {
   TimeSeries history = MakeDemand(static_cast<size_t>(state.range(0)));

@@ -66,25 +66,32 @@ std::vector<int64_t> SmoothSchedule(const std::vector<int64_t>& schedule,
 
 Result<Recommendation> RecommendationEngine::Run(
     const TimeSeries& history) const {
+  return Run(history, nullptr);
+}
+
+Result<Recommendation> RecommendationEngine::Run(
+    const TimeSeries& history, ForecastWarmState* warm) const {
   if (history.empty()) return Status::InvalidArgument("empty history");
   switch (config_.kind) {
     case PipelineKind::k2Step:
-      return RunTwoStep(history);
+      return RunTwoStep(history, warm);
     case PipelineKind::kEndToEnd:
-      return RunEndToEnd(history);
+      return RunEndToEnd(history, warm);
   }
   return Status::InvalidArgument("unknown pipeline kind");
 }
 
 Result<Recommendation> RecommendationEngine::RunTwoStep(
-    const TimeSeries& history) const {
+    const TimeSeries& history, ForecastWarmState* warm) const {
   const TimeSeries training =
       config_.smoothing_factor_bins > 0
           ? MaxFilter(history, config_.smoothing_factor_bins)
           : history;
 
+  ForecastParams fparams = config_.forecast;
+  fparams.ssa_warm = warm != nullptr ? &warm->ssa : nullptr;
   IPOOL_ASSIGN_OR_RETURN(std::unique_ptr<Forecaster> forecaster,
-                         CreateForecaster(config_.model, config_.forecast));
+                         CreateForecaster(config_.model, fparams));
   std::vector<double> predicted;
   {
     obs::ScopedSpan forecast_span(config_.obs.tracer, "forecast");
@@ -92,7 +99,8 @@ Result<Recommendation> RecommendationEngine::RunTwoStep(
       obs::ScopedSpan fit_span(config_.obs.tracer, "fit");
       obs::ScopedTimer fit_timer(ModelHistogram(
           config_.obs, "ipool_forecast_fit_seconds", forecaster->name()));
-      IPOOL_RETURN_NOT_OK(forecaster->Fit(training));
+      IPOOL_RETURN_NOT_OK(warm != nullptr ? forecaster->Refit(training)
+                                          : forecaster->Fit(training));
     }
     obs::ScopedSpan predict_span(config_.obs.tracer, "predict");
     obs::ScopedTimer predict_timer(ModelHistogram(
@@ -123,7 +131,7 @@ Result<Recommendation> RecommendationEngine::RunTwoStep(
 }
 
 Result<Recommendation> RecommendationEngine::RunEndToEnd(
-    const TimeSeries& history) const {
+    const TimeSeries& history, ForecastWarmState* warm) const {
   const TimeSeries training =
       config_.smoothing_factor_bins > 0
           ? MaxFilter(history, config_.smoothing_factor_bins)
@@ -140,8 +148,10 @@ Result<Recommendation> RecommendationEngine::RunEndToEnd(
                                   historic.pool_size_per_bin.end());
   TimeSeries pool_history(history.start(), history.interval(),
                           std::move(pool_series));
+  ForecastParams fparams = config_.forecast;
+  fparams.ssa_warm = warm != nullptr ? &warm->ssa : nullptr;
   IPOOL_ASSIGN_OR_RETURN(std::unique_ptr<Forecaster> forecaster,
-                         CreateForecaster(config_.model, config_.forecast));
+                         CreateForecaster(config_.model, fparams));
   std::vector<double> predicted_pool;
   {
     obs::ScopedSpan forecast_span(config_.obs.tracer, "forecast");
@@ -149,7 +159,8 @@ Result<Recommendation> RecommendationEngine::RunEndToEnd(
       obs::ScopedSpan fit_span(config_.obs.tracer, "fit");
       obs::ScopedTimer fit_timer(ModelHistogram(
           config_.obs, "ipool_forecast_fit_seconds", forecaster->name()));
-      IPOOL_RETURN_NOT_OK(forecaster->Fit(pool_history));
+      IPOOL_RETURN_NOT_OK(warm != nullptr ? forecaster->Refit(pool_history)
+                                          : forecaster->Fit(pool_history));
     }
     obs::ScopedSpan predict_span(config_.obs.tracer, "predict");
     obs::ScopedTimer predict_timer(ModelHistogram(

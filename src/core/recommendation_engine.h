@@ -77,14 +77,25 @@ class RecommendationEngine {
   /// immediately following the history.
   Result<Recommendation> Run(const TimeSeries& history) const;
 
+  /// Same, threading per-pool warm training state across runs: the
+  /// forecaster Refit()s from the previous tick's state (warm-started SSA
+  /// training) and writes this tick's state back into `warm`. A null `warm`
+  /// behaves exactly like Run(history). The engine itself stays stateless —
+  /// it is shared across RunFleet's concurrent per-pool loops — so each
+  /// caller owns its warm state.
+  Result<Recommendation> Run(const TimeSeries& history,
+                             ForecastWarmState* warm) const;
+
   const PipelineConfig& config() const { return config_; }
 
  private:
   explicit RecommendationEngine(const PipelineConfig& config)
       : config_(config) {}
 
-  Result<Recommendation> RunTwoStep(const TimeSeries& history) const;
-  Result<Recommendation> RunEndToEnd(const TimeSeries& history) const;
+  Result<Recommendation> RunTwoStep(const TimeSeries& history,
+                                    ForecastWarmState* warm) const;
+  Result<Recommendation> RunEndToEnd(const TimeSeries& history,
+                                     ForecastWarmState* warm) const;
 
   PipelineConfig config_;
 };

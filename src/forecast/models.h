@@ -132,10 +132,17 @@ class SsaPlusForecaster : public Forecaster {
 
   std::string name() const override { return "SSA+"; }
   Status Fit(const TimeSeries& history) override;
+  /// Warm refit: the final full-history SSA fit reuses the previous tick's
+  /// training state (via ForecastParams::ssa_warm); the anchor-prefix probes
+  /// and the corrector retrain as usual.
+  Status Refit(const TimeSeries& history) override;
   Result<std::vector<double>> Forecast(size_t horizon) override;
 
   /// Number of trainable corrector parameters (paper: ~30).
   size_t corrector_parameter_count() const;
+
+  /// The underlying SSA model of the last fit (null before Fit). For tests.
+  const SsaForecaster* ssa() const { return ssa_ ? &*ssa_ : nullptr; }
 
  private:
   /// Corrector feature vector for a forecast step: the SSA prediction,
@@ -161,6 +168,9 @@ class SsaPlusForecaster : public Forecaster {
   /// model then behaves as plain SSA.
   bool use_corrector_ = true;
   double recent_level_scaled_ = 0.0;
+  /// True while a Refit is in flight (routes the final SSA fit through its
+  /// warm path).
+  bool refitting_ = false;
 };
 
 }  // namespace ipool

@@ -19,21 +19,35 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& input,
   Matrix a = input;
   Matrix v = Matrix::Identity(n);
 
-  auto off_diag_norm = [&]() {
+  auto exact_off2 = [&]() {
     double s = 0.0;
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
     }
-    return std::sqrt(2.0 * s);
+    return s;
   };
 
   const double scale = std::max(1.0, a.Norm());
+  // Convergence when sqrt(2 * off2) <= tol * scale.
+  const double off2_limit = 0.5 * (tol * scale) * (tol * scale);
+  // Each Jacobi rotation zeroes a(p, q) and preserves the off-diagonal
+  // Frobenius mass of every other entry, so the upper-triangle sum of
+  // squares drops by exactly apq^2 per rotation. Maintaining it
+  // incrementally replaces the O(n^2) per-sweep recomputation; an exact
+  // refresh every few sweeps plus a verify-before-break bound FP drift in
+  // both directions (premature and missed convergence).
+  double off2 = exact_off2();
   for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (off_diag_norm() <= tol * scale) break;
+    if (sweep > 0 && sweep % 4 == 0) off2 = exact_off2();
+    if (off2 <= off2_limit) {
+      off2 = exact_off2();
+      if (off2 <= off2_limit) break;
+    }
     for (size_t p = 0; p + 1 < n; ++p) {
       for (size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
         if (std::fabs(apq) <= 1e-300) continue;
+        off2 = std::max(0.0, off2 - apq * apq);
         const double app = a(p, p);
         const double aqq = a(q, q);
         const double theta = (aqq - app) / (2.0 * apq);
@@ -86,26 +100,12 @@ Result<Svd> ThinSvd(const Matrix& a, double rank_tol) {
   const size_t n = a.cols();
   // Work with the smaller Gram matrix: A^T A (n x n) or A A^T (m x m).
   const bool use_ata = n <= m;
-  Matrix gram(use_ata ? n : m, use_ata ? n : m);
-  if (use_ata) {
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i; j < n; ++j) {
-        double acc = 0.0;
-        for (size_t k = 0; k < m; ++k) acc += a(k, i) * a(k, j);
-        gram(i, j) = acc;
-        gram(j, i) = acc;
-      }
-    }
-  } else {
-    for (size_t i = 0; i < m; ++i) {
-      for (size_t j = i; j < m; ++j) {
-        double acc = 0.0;
-        for (size_t k = 0; k < n; ++k) acc += a(i, k) * a(j, k);
-        gram(i, j) = acc;
-        gram(j, i) = acc;
-      }
-    }
-  }
+  // The Gram product routes through the blocked MatMul so it picks up cache
+  // blocking and the ambient exec pool. Both triangles accumulate identical
+  // products in identical (k-ascending) order, so the result is exactly
+  // symmetric — no symmetrization pass needed.
+  const Matrix at = a.Transpose();
+  IPOOL_ASSIGN_OR_RETURN(Matrix gram, use_ata ? MatMul(at, a) : MatMul(a, at));
 
   IPOOL_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(gram));
 

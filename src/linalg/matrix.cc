@@ -125,4 +125,61 @@ Result<Matrix> HankelMatrix(const std::vector<double>& series, size_t window) {
   return h;
 }
 
+Result<Matrix> HankelGram(const std::vector<double>& series, size_t window) {
+  if (window == 0 || window > series.size()) {
+    return Status::InvalidArgument(
+        StrFormat("window %zu invalid for series of length %zu", window,
+                  series.size()));
+  }
+  const size_t k = series.size() - window + 1;
+  Matrix g(window, window);
+  // First row: window dot products of length K against the leading lag.
+  for (size_t j = 0; j < window; ++j) {
+    double acc = 0.0;
+    for (size_t t = 0; t < k; ++t) acc += series[t] * series[j + t];
+    g(0, j) = acc;
+    g(j, 0) = acc;
+  }
+  // Slide each super-diagonal down-right from its first-row seed; mirror
+  // into the lower triangle.
+  for (size_t j = 0; j < window; ++j) {
+    for (size_t i = 1; i + j < window; ++i) {
+      const double v = g(i - 1, i - 1 + j) - series[i - 1] * series[i - 1 + j] +
+                       series[i - 1 + k] * series[i - 1 + j + k];
+      g(i, i + j) = v;
+      g(i + j, i) = v;
+    }
+  }
+  return g;
+}
+
+Status SlideHankelGram(Matrix& gram, const std::vector<double>& combined,
+                       size_t window, size_t shift) {
+  if (gram.rows() != window || gram.cols() != window) {
+    return Status::InvalidArgument("gram shape does not match window");
+  }
+  if (combined.size() < shift || combined.size() - shift < window) {
+    return Status::InvalidArgument(
+        StrFormat("combined series of length %zu too short for window %zu "
+                  "and shift %zu",
+                  combined.size(), window, shift));
+  }
+  if (shift == 0) return Status::OK();
+  const size_t n = combined.size() - shift;  // old window length
+  const size_t k = n - window + 1;
+  for (size_t i = 0; i < window; ++i) {
+    for (size_t j = i; j < window; ++j) {
+      double delta = 0.0;
+      for (size_t t = 0; t < shift; ++t) {
+        delta -= combined[i + t] * combined[j + t];
+        delta += combined[i + k + t] * combined[j + k + t];
+      }
+      const double v = gram(i, j) + delta;
+      gram(i, j) = v;
+      gram(j, i) = v;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace ipool

@@ -67,6 +67,27 @@ double Norm(const std::vector<double>& v);
 /// H(i, j) = series[i + j], with L + K - 1 == series.size().
 Result<Matrix> HankelMatrix(const std::vector<double>& series, size_t window);
 
+/// Gram matrix G = H H^T (window x window) of the Hankel trajectory matrix,
+/// built WITHOUT materializing H: G(i, j) = sum_t series[i+t] * series[j+t]
+/// over t in [0, K), K = series.size() - window + 1. The first row costs
+/// O(window * K); every remaining entry follows the sliding identity
+///   G(i+1, j+1) = G(i, j) - series[i]*series[j]
+///                         + series[i+K]*series[j+K]
+/// in O(1), so the whole build is O(window * K + window^2) instead of the
+/// O(window^2 * K) of an explicit Gram product — the SSA training fast
+/// path's first win.
+Result<Matrix> HankelGram(const std::vector<double>& series, size_t window);
+
+/// In-place update of `gram` (previously HankelGram(combined[0..n), window)
+/// with n = combined.size() - shift) to HankelGram(combined[shift..), window)
+/// — the Gram of the control-loop window slid forward by `shift` bins. Each
+/// entry gains the `shift` newly-entered lag products and loses the `shift`
+/// departed ones, so the update is O(window^2 * shift): cheaper than a
+/// rebuild whenever shift * window < K. Exact up to floating-point
+/// accumulation order (callers refresh periodically to bound drift).
+Status SlideHankelGram(Matrix& gram, const std::vector<double>& combined,
+                       size_t window, size_t shift);
+
 }  // namespace ipool
 
 #endif  // IPOOL_LINALG_MATRIX_H_

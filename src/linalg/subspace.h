@@ -1,0 +1,85 @@
+// Warm-startable top-r symmetric eigensolver: seeded block power iteration
+// with Rayleigh–Ritz projection. Extracts only the leading eigenpairs of a
+// symmetric (positive semi-definite in the SSA use) matrix in O(n^2 * r) per
+// iteration — replacing the full O(n^3)-per-sweep Jacobi solve on the SSA
+// training hot path, where only `max_rank` components are ever kept. The
+// iteration is deterministic given the seed, reports convergence against a
+// residual tolerance, and accepts the previous tick's basis as a starting
+// block so control-loop refits converge in a handful of iterations.
+#ifndef IPOOL_LINALG_SUBSPACE_H_
+#define IPOOL_LINALG_SUBSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace ipool {
+
+struct SubspaceOptions {
+  /// Extra iterated directions beyond `want`: the oversampled block absorbs
+  /// spectrum leakage so the wanted leading pairs converge faster. The
+  /// whole block is returned (callers feed it back as the next warm start).
+  size_t oversample = 4;
+  /// Iteration cap before giving up (callers fall back to the dense solve).
+  size_t max_iters = 96;
+  /// Converged when every wanted Ritz pair satisfies
+  /// ||A v - lambda v|| <= tol * max(|lambda_0|, 1).
+  double tol = 1e-10;
+  /// Fraction of the total spectral mass (the trace of `a`, exact and free
+  /// to compute) that the residual-converged leading Ritz values must
+  /// capture. 1.0 (default) requires every wanted pair to meet `tol`. Any
+  /// smaller value opts into noise-floor relaxation for callers — SSA rank
+  /// selection — that keep components only up to an energy threshold: pairs
+  /// beyond the energy target, and pairs not standing 2x clear of the
+  /// block's tail eigenvalue (a cluster the iteration cannot split and no
+  /// consumer should depend on), are returned best-effort once the
+  /// energetic, well-separated head is tight. Also enables early stall
+  /// detection: hopeless contraction bails to the caller's dense fallback
+  /// instead of burning the whole iteration cap. Meaningful for PSD
+  /// matrices.
+  double converge_energy = 1.0;
+  /// Seeds the random start block (and deterministic re-seeds on rank
+  /// collapse). Fixed default keeps un-configured callers reproducible.
+  uint64_t seed = 0x55AAC0FFEEull;
+  /// Optional warm start: columns of an n x r0 block from a previous solve
+  /// of a nearby matrix. Missing columns (r0 < block width) are filled with
+  /// seeded random directions; extra columns are ignored.
+  const Matrix* warm_start = nullptr;
+};
+
+struct SubspaceEigenResult {
+  /// Descending Ritz values, `want + oversample` of them (clamped to n).
+  std::vector<double> values;
+  /// Column i of `vectors` is the orthonormal Ritz vector for values[i].
+  Matrix vectors;
+  /// Block power iterations performed (0 when the dense fallback ran).
+  size_t iterations = 0;
+  /// Leading Ritz pairs that actually passed the residual test on the
+  /// converging iteration: `want` unless the `converge_energy` relaxation
+  /// accepted a noise-floor tail best-effort, `n` on the dense fallback, 0
+  /// when unconverged. Callers that keep components must not keep more than
+  /// this many — the tail past it is reproducible but not resolved.
+  size_t converged_columns = 0;
+  /// True when the wanted leading pairs met the residual tolerance. False
+  /// means the iteration stalled; callers should treat `values`/`vectors`
+  /// as a best effort and fall back to SymmetricEigen.
+  bool converged = false;
+  /// True when the block width reached n and the solve was delegated to the
+  /// dense Jacobi path (tiny matrices).
+  bool used_dense_fallback = false;
+};
+
+/// Leading `want` eigenpairs (plus oversample) of symmetric `a` via block
+/// power iteration with Rayleigh–Ritz extraction. Matrix products route
+/// through the blocked MatMul, so an ambient exec pool accelerates the
+/// iteration with bit-identical results. When the oversampled block would
+/// cover the whole spectrum (want + oversample >= n) the dense Jacobi solve
+/// runs instead and `used_dense_fallback` is set.
+Result<SubspaceEigenResult> SubspaceTopEigen(const Matrix& a, size_t want,
+                                             const SubspaceOptions& options = {});
+
+}  // namespace ipool
+
+#endif  // IPOOL_LINALG_SUBSPACE_H_

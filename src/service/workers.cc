@@ -120,7 +120,8 @@ Status IntelligentPoolingWorker::RunOnce(double now) {
     }
   }
 
-  auto recommendation = engine_->Run(*history);
+  auto recommendation =
+      engine_->Run(*history, config_.warm_refit ? &warm_state_ : nullptr);
   if (!recommendation.ok()) {
     ++runs_failed_;
     count_failure();

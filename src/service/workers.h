@@ -38,6 +38,10 @@ struct IntelligentPoolingWorkerConfig {
   /// demand).
   bool guardrail_enabled = true;
   double guardrail_mae_ratio = 3.0;
+  /// Warm-start forecaster training across runs: the worker owns a
+  /// ForecastWarmState and consecutive RunOnce calls Refit from it (the SSA
+  /// training fast path). Disable to force every run cold.
+  bool warm_refit = true;
   /// Observability sink (optional): each RunOnce is a "pipeline" span with
   /// "ingestion" / "guardrail" / "apply" children (the engine adds
   /// "forecast" / "solve") plus run counters and a latency histogram.
@@ -86,6 +90,9 @@ class IntelligentPoolingWorker {
   IntelligentPoolingWorkerConfig config_;
 
   std::optional<StoredRecommendation> last_output_;
+  /// Per-worker (hence per-pool under RunFleet) warm training state carried
+  /// across RunOnce ticks. The shared engine never stores it.
+  ForecastWarmState warm_state_;
   size_t injected_failures_ = 0;
   size_t runs_succeeded_ = 0;
   size_t runs_failed_ = 0;

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "forecast/forecaster.h"
+#include "forecast/ssa.h"
 #include "linalg/matrix.h"
 #include "nn/gradcheck.h"
 #include "obs/metrics.h"
@@ -117,6 +118,54 @@ TEST(ParallelDeterminismTest, LinalgMatMulBitIdentical) {
     exec::ScopedPool scope(&pool);
     const Matrix parallel = *MatMul(a, b);
     EXPECT_EQ(serial.data(), parallel.data()) << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, SsaFitRefitAndForecastBitIdentical) {
+  // The SSA fast path fans three stages over the ambient pool — the blocked
+  // MatMuls inside the subspace iteration, the rank-major W = H^T U build,
+  // and the diagonal-averaging reconstruction — each with a fixed
+  // per-element accumulation order, so cold Fit and warm Refit forecasts
+  // must be bit-identical to serial at every thread count.
+  // High signal-to-noise on purpose: the subspace path engages only when
+  // the retained components stand clear of the noise floor (sparse-traffic
+  // spectra go to the dense oracle, which has its own coverage).
+  Rng rng(77);
+  std::vector<double> base(520);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = 40.0 + 20.0 * std::sin(static_cast<double>(i) / 8.0) +
+              rng.Uniform(0.0, 3.0);
+  }
+  const TimeSeries full(0.0, 30.0, std::move(base));
+  const std::vector<double> v = full.values();
+  const TimeSeries first(full.start(), full.interval(),
+                         std::vector<double>(v.begin(), v.begin() + 512));
+  const TimeSeries second(full.start() + 8.0 * full.interval(),
+                          full.interval(),
+                          std::vector<double>(v.begin() + 8, v.end()));
+  auto run = [&](exec::ThreadPool* pool) {
+    SsaForecaster::Options options;
+    options.window = 96;
+    options.exec.pool = pool;
+    SsaForecaster ssa(options);
+    EXPECT_TRUE(ssa.Fit(first).ok());
+    EXPECT_EQ(ssa.fit_path(), SsaForecaster::FitPath::kSubspace);
+    auto cold = ssa.Forecast(48);
+    EXPECT_TRUE(cold.ok());
+    EXPECT_TRUE(ssa.Refit(second).ok());
+    EXPECT_TRUE(ssa.warm_gram_hit());
+    auto warm = ssa.Forecast(48);
+    EXPECT_TRUE(warm.ok());
+    return std::pair<std::vector<double>, std::vector<double>>(*cold, *warm);
+  };
+  const auto serial = run(nullptr);
+  for (size_t threads : ThreadCounts()) {
+    exec::ThreadPool pool(threads);
+    const auto parallel = run(&pool);
+    pool.Wait();
+    EXPECT_GT(pool.tasks_executed(), 0u) << threads << " threads: inline?";
+    EXPECT_EQ(serial.first, parallel.first) << threads;
+    EXPECT_EQ(serial.second, parallel.second) << threads;
   }
 }
 
