@@ -1,0 +1,301 @@
+// Load generator for the ipool serving layer: hammers GetRecommendation
+// (plus a telemetry/health side-channel) over loopback TCP and reports
+// sustained throughput and client-observed p50/p95/p99 latency.
+//
+// Default mode hosts the server in-process on an ephemeral port — the
+// self-contained serving benchmark. With `--port P` (and optionally
+// `--host H`) it drives an external `ipool_cli serve` instead, which is
+// what the CI serving-smoke job does.
+//
+//   loadgen [--clients 4] [--server-threads 4] [--seconds 5]
+//           [--port 0] [--host 127.0.0.1] [--key east-medium]
+//           [--publish-every 64] [--inflight 64]
+//
+// Every completed run appends a JSON record (throughput, latency quantiles,
+// shed/error counts) to BENCH_serving.json (IPOOL_BENCH_SERVING_JSON
+// overrides the path) and exits non-zero if any client or server protocol
+// error was observed — the bench doubles as the protocol-correctness gate.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "service/document_store.h"
+#include "service/recommendation_io.h"
+#include "service/telemetry_store.h"
+#include "workload/demand_generator.h"
+
+namespace ipool::bench {
+namespace {
+
+double ArgOr(int argc, char** argv, const char* name, double fallback) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string ArgOr(int argc, char** argv, const char* name,
+                  const std::string& fallback) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Pulls `name value` (no labels) out of a Prometheus scrape; -1 if absent.
+double ScrapedValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const size_t after = pos + name.size();
+    if ((pos == 0 || text[pos - 1] == '\n') && after < text.size() &&
+        text[after] == ' ') {
+      return std::atof(text.c_str() + after + 1);
+    }
+    pos = after;
+  }
+  return -1.0;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_seconds;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  net::ClientStats stats;
+};
+
+int Run(int argc, char** argv) {
+  const bool quick = QuickMode();
+  const size_t clients =
+      static_cast<size_t>(ArgOr(argc, argv, "clients", quick ? 3 : 4));
+  const size_t server_threads =
+      static_cast<size_t>(ArgOr(argc, argv, "server-threads", 4));
+  const double seconds =
+      ArgOr(argc, argv, "seconds", quick ? 1.5 : 5.0);
+  const uint16_t external_port =
+      static_cast<uint16_t>(ArgOr(argc, argv, "port", 0));
+  const std::string host = ArgOr(argc, argv, "host", "127.0.0.1");
+  const std::string key = ArgOr(argc, argv, "key", "east-medium");
+  // Every Nth request publishes a telemetry point instead of reading — the
+  // write path stays warm without dominating the read benchmark.
+  const uint64_t publish_every =
+      static_cast<uint64_t>(ArgOr(argc, argv, "publish-every", 64));
+
+  PrintHeader("Serving-layer load generator (ipool::net)",
+              "Sustained loopback GetRecommendation throughput; the paper's "
+              "control plane serves pooling workers at fleet scale (sec 7).");
+
+  // In-process server unless an external one was named.
+  obs::MetricsRegistry registry;
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  std::unique_ptr<exec::ThreadPool> pool;
+  std::unique_ptr<net::Router> router;
+  std::unique_ptr<net::Server> server;
+  uint16_t port = external_port;
+  if (external_port == 0) {
+    WorkloadConfig workload = RegionNodeProfile(
+        Region::kEastUs2, NodeSize::kMedium, /*seed=*/7);
+    workload.duration_days = 1.0;
+    auto generator = CheckOk(DemandGenerator::Create(workload), "workload");
+    const TimeSeries demand = generator.GenerateBinned();
+    PipelineConfig pipeline;  // SSA+ 2-step, the production default
+    auto engine =
+        CheckOk(RecommendationEngine::Create(pipeline), "engine");
+    StoredRecommendation stored;
+    stored.recommendation = CheckOk(engine.Run(demand), "recommend");
+    stored.start_time = demand.TimeAt(demand.size() - 1) + demand.interval();
+    stored.interval_seconds = demand.interval();
+    documents.Put(key, SerializeRecommendation(stored), stored.start_time);
+
+    pool = std::make_unique<exec::ThreadPool>(server_threads);
+    router = std::make_unique<net::Router>(
+        net::RouterConfig{&documents, &telemetry, &registry});
+    net::ServerConfig config;
+    config.port = 0;
+    config.pool = pool.get();
+    config.max_inflight_per_conn =
+        static_cast<size_t>(ArgOr(argc, argv, "inflight", 64));
+    config.metrics = &registry;
+    server = CheckOk(
+        net::Server::Start(config,
+                           [r = router.get()](const net::Frame& request) {
+                             return r->Handle(request);
+                           }),
+        "server");
+    port = server->port();
+  }
+  std::printf("target %s:%u, %zu clients, %zu server threads, %.1fs\n\n",
+              host.c_str(), port, clients, server_threads, seconds);
+
+  // Fan out the client threads. Telemetry times must be non-decreasing per
+  // metric, so each client publishes to its own metric stream.
+  std::vector<WorkerResult> results(clients);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientConfig config;
+      config.host = host;
+      config.port = port;
+      config.jitter_seed = 1000 + c;
+      WorkerResult& out = results[c];
+      net::Client client(config);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(seconds);
+      const std::string metric = StrFormat("loadgen_client_%zu", c);
+      uint64_t i = 0;
+      double publish_time = 0.0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto start = std::chrono::steady_clock::now();
+        Status status = Status::OK();
+        if (publish_every != 0 && ++i % publish_every == 0) {
+          status = client.PublishTelemetry(metric, publish_time, 1.0);
+          publish_time += 1.0;
+        } else {
+          auto doc = client.GetRecommendation(key);
+          status = doc.ok() ? Status::OK() : doc.status();
+        }
+        out.latencies_seconds.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count());
+        if (status.ok()) {
+          ++out.ok;
+        } else {
+          ++out.failed;
+        }
+      }
+      out.stats = client.stats();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  const WallTimer wall;
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.Seconds();
+
+  // Aggregate.
+  std::vector<double> latencies;
+  uint64_t ok = 0, failed = 0, shed = 0, client_protocol_errors = 0,
+           retries = 0;
+  for (const WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_seconds.begin(),
+                     r.latencies_seconds.end());
+    ok += r.ok;
+    failed += r.failed;
+    shed += r.stats.shed_responses;
+    retries += r.stats.retries;
+    client_protocol_errors += r.stats.protocol_errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double throughput = static_cast<double>(ok) / elapsed;
+  const double p50_ms = Quantile(latencies, 0.50) * 1e3;
+  const double p95_ms = Quantile(latencies, 0.95) * 1e3;
+  const double p99_ms = Quantile(latencies, 0.99) * 1e3;
+
+  // One final scrape checks the server saw a clean protocol stream too.
+  double server_protocol_errors = -1.0;
+  {
+    net::ClientConfig config;
+    config.host = host;
+    config.port = port;
+    net::Client probe(config);
+    auto scrape = probe.ScrapeMetrics();
+    if (scrape.ok()) {
+      server_protocol_errors =
+          ScrapedValue(*scrape, "ipool_net_protocol_errors_total");
+    } else {
+      std::fprintf(stderr, "final scrape failed: %s\n",
+                   scrape.status().ToString().c_str());
+    }
+  }
+
+  std::printf("requests            %llu ok, %llu failed\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(failed));
+  std::printf("throughput          %.0f req/s over %.2fs\n", throughput,
+              elapsed);
+  std::printf("latency             p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+              p50_ms, p95_ms, p99_ms);
+  std::printf("retries/shed        %llu / %llu\n",
+              static_cast<unsigned long long>(retries),
+              static_cast<unsigned long long>(shed));
+  std::printf("protocol errors     client %llu, server %.0f\n",
+              static_cast<unsigned long long>(client_protocol_errors),
+              server_protocol_errors);
+  if (server != nullptr) {
+    server->Shutdown(2.0);
+    std::printf("server totals       %llu handled, %llu shed, %llu conns\n",
+                static_cast<unsigned long long>(server->requests_handled()),
+                static_cast<unsigned long long>(server->requests_shed()),
+                static_cast<unsigned long long>(
+                    server->connections_accepted()));
+  }
+
+  // Append the record.
+  const char* path_env = std::getenv("IPOOL_BENCH_SERVING_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_serving.json";
+  if (FILE* f = std::fopen(path.c_str(), "a"); f != nullptr) {
+    std::fprintf(
+        f,
+        "{\"benchmark\":\"loadgen\",\"mode\":\"%s\",\"clients\":%zu,"
+        "\"server_threads\":%zu,\"seconds\":%.2f,\"requests_ok\":%llu,"
+        "\"requests_failed\":%llu,\"throughput_rps\":%.1f,\"p50_ms\":%.4f,"
+        "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"retries\":%llu,\"shed\":%llu,"
+        "\"client_protocol_errors\":%llu,\"server_protocol_errors\":%.0f}\n",
+        external_port == 0 ? "in-process" : "external", clients,
+        server_threads, elapsed, static_cast<unsigned long long>(ok),
+        static_cast<unsigned long long>(failed), throughput, p50_ms, p95_ms,
+        p99_ms, static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(client_protocol_errors),
+        server_protocol_errors);
+    std::fclose(f);
+    std::printf("appended record to %s\n", path.c_str());
+  }
+
+  // Protocol-correctness gate: any framing/CRC error fails the bench.
+  if (client_protocol_errors != 0 || server_protocol_errors > 0 ||
+      failed != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu failed requests, %llu client / %.0f server "
+                 "protocol errors\n",
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(client_protocol_errors),
+                 server_protocol_errors);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipool::bench
+
+int main(int argc, char** argv) { return ipool::bench::Run(argc, argv); }

@@ -1,7 +1,9 @@
 #include "common/strings.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ipool {
 
@@ -40,6 +42,34 @@ std::string HumanDuration(double seconds) {
   const int64_t s = whole % 60;
   if (h > 0) return StrFormat("%ldh %02ldm %02lds", h, m, s);
   return StrFormat("%ldm %02lds", m, s);
+}
+
+Result<double> ParseDouble(const std::string& token) {
+  if (token.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("not a number: '" + token + "'");
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument("number out of range: '" + token + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(const std::string& token) {
+  if (token.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("not an integer: '" + token + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("integer out of range: '" + token + "'");
+  }
+  return static_cast<int64_t>(value);
 }
 
 std::string HumanClock(double seconds) {

@@ -4,8 +4,11 @@
 #define IPOOL_COMMON_STRINGS_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace ipool {
 
@@ -22,6 +25,14 @@ std::string HumanDuration(double seconds);
 
 /// Renders a virtual-time offset (seconds since trace start) as "Dd HH:MM:SS".
 std::string HumanClock(double seconds);
+
+/// Strict full-string numeric parsing for untrusted input (network payloads,
+/// operator files): the whole token must be consumed, so "12abc", "", and
+/// bare whitespace are errors rather than silently truncating the way
+/// atof/atoll do. ParseDouble additionally rejects NaN and infinities —
+/// nothing in the control plane stores non-finite telemetry.
+Result<double> ParseDouble(const std::string& token);
+Result<int64_t> ParseInt64(const std::string& token);
 
 }  // namespace ipool
 

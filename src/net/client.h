@@ -1,0 +1,103 @@
+// Blocking client for the ipool serving layer with the retry discipline a
+// pooling worker needs against a loaded control plane:
+//   * connect and per-request deadlines (nonblocking sockets + poll);
+//   * exponential backoff with deterministic jitter between attempts
+//     (seeded Rng — tests reproduce byte-for-byte);
+//   * retries only when safe: RETRY_AFTER / UNAVAILABLE responses mean the
+//     request was shed before execution and always retry; transport errors
+//     and timeouts retry only for idempotent methods (everything except
+//     PublishTelemetry, whose append is not idempotent) unless the caller
+//     overrides via RequestOptions.
+//
+// One Client drives one connection serially; it reconnects transparently
+// after transport errors. Not thread-safe — give each load-generator
+// thread its own Client.
+#ifndef IPOOL_NET_CLIENT_H_
+#define IPOOL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace ipool::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double connect_timeout_seconds = 1.0;
+  /// Deadline for one attempt (send + receive).
+  double request_timeout_seconds = 2.0;
+  /// Total tries per Call (1 = no retry).
+  int max_attempts = 4;
+  double backoff_initial_seconds = 0.002;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 0.25;
+  /// Jitter stream seed; attempts sleep backoff * U[0.5, 1.5).
+  uint64_t jitter_seed = 1;
+  size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+struct ClientStats {
+  uint64_t requests = 0;         ///< Call() invocations
+  uint64_t attempts = 0;         ///< wire round-trips tried
+  uint64_t retries = 0;          ///< attempts beyond the first
+  uint64_t reconnects = 0;       ///< sockets re-established
+  uint64_t shed_responses = 0;   ///< RETRY_AFTER answers seen
+  uint64_t protocol_errors = 0;  ///< bad magic / CRC / id mismatches
+};
+
+struct RequestOptions {
+  /// Tri-state: unset defers to the per-method default.
+  enum class Idempotency { kDefault, kIdempotent, kNotIdempotent };
+  Idempotency idempotency = Idempotency::kDefault;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response exchange with retry. Returns the response frame
+  /// on any wire status except RETRY_AFTER/UNAVAILABLE (those are retried
+  /// until attempts run out, then surface as Unavailable). Application
+  /// errors (e.g. NOT_FOUND) are returned as frames, not Status errors —
+  /// the exchange itself succeeded.
+  Result<Frame> Call(Method method, std::string payload,
+                     const RequestOptions& options = {});
+
+  /// Typed conveniences over Call (errors fold the wire status in).
+  Result<std::string> GetRecommendation(const std::string& pool_key);
+  Status PublishTelemetry(const std::string& metric, double time,
+                          double value);
+  Result<std::string> Health();
+  Result<std::string> ScrapeMetrics();
+
+  const ClientStats& stats() const { return stats_; }
+  bool connected() const { return fd_ >= 0; }
+
+  /// Drops the connection (the next Call reconnects).
+  void Disconnect();
+
+ private:
+  Status EnsureConnected();
+  Status SendAll(const std::string& bytes, double deadline);
+  Result<Frame> ReadResponse(double deadline);
+  /// Turns a non-OK wire response into the equivalent Status.
+  static Status FrameError(const Frame& frame);
+
+  ClientConfig config_;
+  Rng jitter_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  uint32_t next_request_id_ = 1;
+  ClientStats stats_;
+};
+
+}  // namespace ipool::net
+
+#endif  // IPOOL_NET_CLIENT_H_

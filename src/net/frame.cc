@@ -1,0 +1,196 @@
+#include "net/frame.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace ipool::net {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+const char* MethodToString(Method method) {
+  switch (method) {
+    case Method::kGetRecommendation:
+      return "GetRecommendation";
+    case Method::kPublishTelemetry:
+      return "PublishTelemetry";
+    case Method::kHealth:
+      return "Health";
+    case Method::kMetrics:
+      return "Metrics";
+  }
+  return "Unknown";
+}
+
+const char* WireStatusToString(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case WireStatus::kNotFound:
+      return "NOT_FOUND";
+    case WireStatus::kUnavailable:
+      return "UNAVAILABLE";
+    case WireStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireStatus::kInternal:
+      return "INTERNAL";
+    case WireStatus::kRetryAfter:
+      return "RETRY_AFTER";
+  }
+  return "UNKNOWN";
+}
+
+Status WireStatusToStatus(WireStatus status, const std::string& message) {
+  switch (status) {
+    case WireStatus::kOk:
+      return Status::OK();
+    case WireStatus::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case WireStatus::kNotFound:
+      return Status::NotFound(message);
+    case WireStatus::kUnavailable:
+    case WireStatus::kRetryAfter:
+      return Status::Unavailable(message);
+    case WireStatus::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case WireStatus::kInternal:
+      return Status::Internal(message);
+  }
+  return Status::Internal(message);
+}
+
+WireStatus StatusToWireStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kAlreadyExists:
+      return WireStatus::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireStatus::kNotFound;
+    case StatusCode::kUnavailable:
+      return WireStatus::kUnavailable;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case StatusCode::kInternal:
+      return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  PutU32(out, kFrameMagic);
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.method));
+  out.push_back(static_cast<char>(frame.status));
+  out.push_back(0);  // reserved
+  PutU32(out, frame.request_id);
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutU32(out, Crc32(frame.payload.data(), frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t size) {
+  if (poisoned_) {
+    return Status::InvalidArgument("frame decoder poisoned by earlier error");
+  }
+  buffer_.append(data, size);
+  while (buffer_.size() >= kFrameHeaderBytes) {
+    const char* head = buffer_.data();
+    const uint32_t magic = GetU32(head);
+    if (magic != kFrameMagic) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          StrFormat("bad frame magic 0x%08x", magic));
+    }
+    const uint8_t type = static_cast<uint8_t>(head[4]);
+    if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+        type != static_cast<uint8_t>(FrameType::kResponse)) {
+      poisoned_ = true;
+      return Status::InvalidArgument(StrFormat("bad frame type %u", type));
+    }
+    if (head[7] != 0) {
+      poisoned_ = true;
+      return Status::InvalidArgument("reserved frame byte is non-zero");
+    }
+    const uint32_t payload_len = GetU32(head + 12);
+    if (payload_len > max_payload_bytes_) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          StrFormat("frame payload %u exceeds cap %zu", payload_len,
+                    max_payload_bytes_));
+    }
+    if (buffer_.size() < kFrameHeaderBytes + payload_len) break;
+    const uint32_t want_crc = GetU32(head + 16);
+    const uint32_t got_crc = Crc32(head + kFrameHeaderBytes, payload_len);
+    if (want_crc != got_crc) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          StrFormat("frame CRC mismatch: header 0x%08x payload 0x%08x",
+                    want_crc, got_crc));
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.method = static_cast<Method>(static_cast<uint8_t>(head[5]));
+    frame.status = static_cast<WireStatus>(static_cast<uint8_t>(head[6]));
+    frame.request_id = GetU32(head + 8);
+    frame.payload.assign(head + kFrameHeaderBytes, payload_len);
+    ready_.push_back(std::move(frame));
+    buffer_.erase(0, kFrameHeaderBytes + payload_len);
+  }
+  return Status::OK();
+}
+
+Frame FrameDecoder::Next() {
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+}  // namespace ipool::net

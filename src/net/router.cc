@@ -1,0 +1,123 @@
+#include "net/router.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/export.h"
+#include "service/document_store.h"
+#include "service/telemetry_store.h"
+
+namespace ipool::net {
+
+namespace {
+
+/// Caps a PublishTelemetry batch: a single request appending more points
+/// than this is a malformed client, not a workload.
+constexpr size_t kMaxTelemetryLines = 4096;
+
+}  // namespace
+
+Result<std::string> ParseTelemetryLine(const std::string& line, double* time,
+                                       double* value) {
+  const size_t first = line.find(',');
+  if (first == std::string::npos) {
+    return Status::InvalidArgument("telemetry line needs metric,time,value: " +
+                                   line);
+  }
+  const size_t second = line.find(',', first + 1);
+  if (second == std::string::npos ||
+      line.find(',', second + 1) != std::string::npos) {
+    return Status::InvalidArgument("telemetry line needs exactly 3 fields: " +
+                                   line);
+  }
+  std::string metric = line.substr(0, first);
+  if (metric.empty()) {
+    return Status::InvalidArgument("telemetry line has empty metric name");
+  }
+  IPOOL_ASSIGN_OR_RETURN(*time,
+                         ParseDouble(line.substr(first + 1,
+                                                 second - first - 1)));
+  IPOOL_ASSIGN_OR_RETURN(*value, ParseDouble(line.substr(second + 1)));
+  return metric;
+}
+
+Result<std::string> Router::Dispatch(Method method,
+                                     const std::string& payload) {
+  switch (method) {
+    case Method::kGetRecommendation: {
+      if (config_.documents == nullptr) {
+        return Status::Unavailable("no document store wired");
+      }
+      if (payload.empty()) {
+        return Status::InvalidArgument("GetRecommendation needs a pool key");
+      }
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      IPOOL_ASSIGN_OR_RETURN(auto doc, config_.documents->Get(payload));
+      return std::move(doc.value);
+    }
+    case Method::kPublishTelemetry: {
+      if (config_.telemetry == nullptr) {
+        return Status::Unavailable("no telemetry store wired");
+      }
+      // Validate the whole batch before touching the store so a malformed
+      // tail cannot leave a half-applied append behind a retry.
+      std::vector<std::pair<std::string, std::pair<double, double>>> points;
+      std::istringstream in(payload);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (points.size() >= kMaxTelemetryLines) {
+          return Status::InvalidArgument(
+              StrFormat("telemetry batch exceeds %zu lines",
+                        kMaxTelemetryLines));
+        }
+        double time = 0.0, value = 0.0;
+        IPOOL_ASSIGN_OR_RETURN(auto metric,
+                               ParseTelemetryLine(line, &time, &value));
+        points.emplace_back(std::move(metric), std::make_pair(time, value));
+      }
+      if (points.empty()) {
+        return Status::InvalidArgument("PublishTelemetry got no points");
+      }
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      for (const auto& [metric, tv] : points) {
+        IPOOL_RETURN_NOT_OK(
+            config_.telemetry->Record(metric, tv.first, tv.second));
+      }
+      return std::string();
+    }
+    case Method::kHealth:
+      return std::string("ok");
+    case Method::kMetrics: {
+      if (config_.metrics == nullptr) {
+        return Status::Unavailable("no metrics registry wired");
+      }
+      // PrometheusText reads instruments via atomics; the shared lock only
+      // keeps a scrape consistent with concurrent telemetry appends.
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return obs::PrometheusText(*config_.metrics);
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown method %u", static_cast<unsigned>(method)));
+}
+
+Frame Router::Handle(const Frame& request) {
+  Frame response;
+  response.type = FrameType::kResponse;
+  response.method = request.method;
+  response.request_id = request.request_id;
+  auto result = Dispatch(request.method, request.payload);
+  if (result.ok()) {
+    response.status = WireStatus::kOk;
+    response.payload = std::move(result).value();
+  } else {
+    response.status = StatusToWireStatus(result.status());
+    response.payload = result.status().message();
+  }
+  return response;
+}
+
+}  // namespace ipool::net

@@ -1,0 +1,76 @@
+// The request router: maps decoded request frames onto the control-plane
+// stores, mirroring the production topology of §7 (pooling workers fetch
+// recommendation documents, the monitoring pipeline appends telemetry, the
+// dashboard scrapes metrics).
+//
+// Payloads are the repo's existing text formats, so the wire layer adds no
+// second serialization scheme:
+//   * GetRecommendation  — request: document key (e.g. "east-medium");
+//                          response: the stored recommendation document
+//                          (ParseRecommendation-compatible).
+//   * PublishTelemetry   — request: one `metric,time,value` triple per
+//                          line; response: empty. Appends must arrive in
+//                          non-decreasing time order per metric (the
+//                          TelemetryStore contract).
+//   * Health             — response: "ok".
+//   * Metrics            — response: Prometheus text exposition of the
+//                          wired registry (obs::PrometheusText).
+//
+// Handle() is thread-safe (an internal mutex serializes store access), so
+// the server may dispatch it from every worker of an exec::ThreadPool.
+#ifndef IPOOL_NET_ROUTER_H_
+#define IPOOL_NET_ROUTER_H_
+
+#include <shared_mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace ipool {
+class DocumentStore;
+class TelemetryStore;
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace ipool
+
+namespace ipool::net {
+
+struct RouterConfig {
+  /// Recommendation documents served to GetRecommendation. May be null
+  /// (every lookup answers NOT_FOUND).
+  DocumentStore* documents = nullptr;
+  /// Sink for PublishTelemetry. May be null (publishes answer UNAVAILABLE).
+  TelemetryStore* telemetry = nullptr;
+  /// Scrape target for Metrics. May be null (scrapes answer UNAVAILABLE).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Parses one `metric,time,value` telemetry line. Exposed for tests.
+Result<std::string> ParseTelemetryLine(const std::string& line, double* time,
+                                       double* value);
+
+class Router {
+ public:
+  explicit Router(RouterConfig config) : config_(config) {}
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Builds the response frame for one request (request_id echoed, type
+  /// kResponse). Errors become wire statuses with the Status message as
+  /// payload; this never fails out-of-band.
+  Frame Handle(const Frame& request);
+
+ private:
+  Result<std::string> Dispatch(Method method, const std::string& payload);
+
+  RouterConfig config_;
+  /// Readers (GetRecommendation, Metrics) share; PublishTelemetry is the
+  /// only writer. The stores themselves are not thread-safe.
+  std::shared_mutex mu_;
+};
+
+}  // namespace ipool::net
+
+#endif  // IPOOL_NET_ROUTER_H_

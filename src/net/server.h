@@ -1,0 +1,170 @@
+// Nonblocking epoll TCP service host for the ipool control plane.
+//
+// Threading model (see DESIGN.md "Serving layer"):
+//   * One event-loop thread owns epoll, every socket, and all frame
+//     decoding. Sockets are nonblocking and level-triggered.
+//   * Request frames are dispatched onto an exec::ThreadPool (the handler
+//     runs on a pool worker); with no pool wired, handlers run inline on
+//     the event loop (fine for tests and tiny deployments).
+//   * Workers never touch sockets: a finished handler appends the encoded
+//     response to the connection's outbound buffer under its mutex and
+//     nudges the event loop through an eventfd; the loop flushes.
+//
+// Backpressure: each connection has a bounded in-flight budget
+// (`max_inflight_per_conn`). A request arriving over budget is shed — it is
+// NOT executed and the client gets an explicit RETRY_AFTER response (count:
+// ipool_net_shed_total), making retry unconditionally safe. A connection
+// whose outbound buffer exceeds `max_outbuf_bytes` is closed (the peer
+// stopped reading).
+//
+// Shutdown: Shutdown(t) stops accepting, lets in-flight handlers finish and
+// responses flush for up to t seconds (new requests during the drain answer
+// UNAVAILABLE), then closes everything. The destructor drains with the
+// configured default.
+#ifndef IPOOL_NET_SERVER_H_
+#define IPOOL_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace ipool {
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+}  // namespace ipool
+
+namespace ipool::net {
+
+struct ServerConfig {
+  /// Loopback by default; the serving layer is not hardened for the open
+  /// internet.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Handler executor. Null runs handlers inline on the event loop.
+  exec::ThreadPool* pool = nullptr;
+  /// Bounded per-connection queue: requests queued or executing. At the
+  /// limit, new requests are shed with RETRY_AFTER.
+  size_t max_inflight_per_conn = 64;
+  /// Accept backlog + concurrent connection cap; excess accepts are closed
+  /// immediately.
+  size_t max_connections = 1024;
+  size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Close a connection whose unflushed responses exceed this.
+  size_t max_outbuf_bytes = 64u << 20;
+  /// Drain budget used by the destructor.
+  double default_drain_timeout_seconds = 5.0;
+  /// Server-side instruments (request/shed/error counters, connection
+  /// gauge, per-method latency). Null disables.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct NetInstruments;
+
+class Server {
+ public:
+  /// Handles one decoded request; must be thread-safe when a pool is wired.
+  using Handler = std::function<Frame(const Frame&)>;
+
+  /// Binds, listens, and starts the event loop. The returned server is
+  /// pinned (unique_ptr) because workers capture a pointer to it.
+  static Result<std::unique_ptr<Server>> Start(const ServerConfig& config,
+                                               Handler handler);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolved when config.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish in-flight work and flush
+  /// responses for up to `drain_timeout_seconds`, then close. Idempotent;
+  /// later calls return immediately.
+  void Shutdown(double drain_timeout_seconds);
+  void Shutdown() { Shutdown(config_.default_drain_timeout_seconds); }
+
+  /// Lifetime counters (exact once shut down).
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+  uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+
+  Server(const ServerConfig& config, Handler handler);
+  Status Bind();
+  void EventLoop();
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void DispatchFrame(const std::shared_ptr<Conn>& conn, Frame frame);
+  /// Encodes and enqueues `response`, bumps the request counters, and
+  /// observes latency when `elapsed_seconds` >= 0. The Locked variant
+  /// requires `conn->mu` to be held by the caller.
+  void FinishRequest(const std::shared_ptr<Conn>& conn, const Frame& response,
+                     double elapsed_seconds);
+  void FinishRequestLocked(const std::shared_ptr<Conn>& conn,
+                           const Frame& response, double elapsed_seconds);
+  void FlushWrites(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void UpdateEpollOut(const std::shared_ptr<Conn>& conn, bool want_write);
+  void Wake();
+  /// True when no connection has queued work or unflushed output.
+  bool Idle();
+
+  ServerConfig config_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::map<int, std::shared_ptr<Conn>> conns_;  // event-loop thread only
+
+  std::atomic<bool> draining_{false};
+  std::once_flag shutdown_once_;
+  std::atomic<double> drain_deadline_seconds_{0.0};  // from loop start
+
+  std::atomic<size_t> inflight_tasks_{0};  // handler tasks not yet finished
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+
+  std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  // Instrument handles fetched once at Start (null when metrics disabled).
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* protocol_error_counter_ = nullptr;
+  obs::Gauge* connections_gauge_ = nullptr;
+  std::unique_ptr<NetInstruments> instruments_;
+};
+
+}  // namespace ipool::net
+
+#endif  // IPOOL_NET_SERVER_H_

@@ -1,8 +1,8 @@
 #include "service/recommendation_io.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -52,49 +52,108 @@ Result<std::pair<std::string, std::string>> SplitKeyValue(
   return std::make_pair(line.substr(0, eq), line.substr(eq + 1));
 }
 
+// Splits a comma-separated list, applying `parse` to every item. Empty
+// items ("1,,2", trailing commas) are corruption, not formatting slack; an
+// entirely empty value yields an empty list (the serializer's shape for a
+// pipeline with no demand forecast).
+template <typename T, typename ParseFn>
+Status ParseList(const std::string& value, size_t max_items, ParseFn parse,
+                 std::vector<T>* out) {
+  if (value.empty()) return Status::OK();
+  size_t begin = 0;
+  while (true) {
+    const size_t comma = value.find(',', begin);
+    const std::string item = value.substr(
+        begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    if (item.empty()) {
+      return Status::InvalidArgument("empty list item in recommendation");
+    }
+    if (out->size() >= max_items) {
+      return Status::InvalidArgument(
+          StrFormat("recommendation list exceeds %zu items", max_items));
+    }
+    IPOOL_ASSIGN_OR_RETURN(T parsed, parse(item));
+    out->push_back(parsed);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<StoredRecommendation> ParseRecommendation(const std::string& text) {
+  // This parser faces the network (GetRecommendation payloads), not just
+  // operator-written files: cap sizes before touching content so a hostile
+  // document cannot balloon memory, and parse numbers strictly so truncated
+  // or bit-flipped values fail instead of silently reading as a prefix.
+  if (text.size() > kMaxRecommendationBytes) {
+    return Status::InvalidArgument(
+        StrFormat("recommendation document of %zu bytes exceeds cap %zu",
+                  text.size(), kMaxRecommendationBytes));
+  }
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != "v1") {
     return Status::InvalidArgument("unsupported recommendation format");
   }
   StoredRecommendation stored;
+  bool saw_model = false, saw_pipeline = false, saw_start = false,
+       saw_interval = false, saw_pool = false, saw_demand = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     IPOOL_ASSIGN_OR_RETURN(auto kv, SplitKeyValue(line));
     const std::string& key = kv.first;
     const std::string& value = kv.second;
     if (key == "model") {
+      if (saw_model) return Status::InvalidArgument("duplicate model field");
+      saw_model = true;
       stored.recommendation.model_name = value;
     } else if (key == "pipeline") {
-      stored.recommendation.pipeline = value == "E2E"
-                                           ? PipelineKind::kEndToEnd
-                                           : PipelineKind::k2Step;
+      if (saw_pipeline) {
+        return Status::InvalidArgument("duplicate pipeline field");
+      }
+      saw_pipeline = true;
+      if (value == "E2E") {
+        stored.recommendation.pipeline = PipelineKind::kEndToEnd;
+      } else if (value == "2-step") {
+        stored.recommendation.pipeline = PipelineKind::k2Step;
+      } else {
+        return Status::InvalidArgument("unknown pipeline kind: " + value);
+      }
     } else if (key == "start") {
-      stored.start_time = std::atof(value.c_str());
+      if (saw_start) return Status::InvalidArgument("duplicate start field");
+      saw_start = true;
+      IPOOL_ASSIGN_OR_RETURN(stored.start_time, ParseDouble(value));
     } else if (key == "interval") {
-      stored.interval_seconds = std::atof(value.c_str());
+      if (saw_interval) {
+        return Status::InvalidArgument("duplicate interval field");
+      }
+      saw_interval = true;
+      IPOOL_ASSIGN_OR_RETURN(stored.interval_seconds, ParseDouble(value));
       if (stored.interval_seconds <= 0.0) {
         return Status::InvalidArgument("non-positive interval");
       }
     } else if (key == "pool") {
-      std::istringstream items(value);
-      std::string item;
-      while (std::getline(items, item, ',')) {
-        if (item.empty()) continue;
-        stored.recommendation.pool_size_per_bin.push_back(
-            std::atoll(item.c_str()));
-      }
+      if (saw_pool) return Status::InvalidArgument("duplicate pool field");
+      saw_pool = true;
+      IPOOL_RETURN_NOT_OK(ParseList<int64_t>(
+          value, kMaxRecommendationBins,
+          [](const std::string& item) -> Result<int64_t> {
+            IPOOL_ASSIGN_OR_RETURN(int64_t n, ParseInt64(item));
+            if (n < 0) {
+              return Status::InvalidArgument("negative pool size: " + item);
+            }
+            return n;
+          },
+          &stored.recommendation.pool_size_per_bin));
     } else if (key == "demand") {
-      std::istringstream items(value);
-      std::string item;
-      while (std::getline(items, item, ',')) {
-        if (item.empty()) continue;
-        stored.recommendation.predicted_demand.push_back(
-            std::atof(item.c_str()));
-      }
+      if (saw_demand) return Status::InvalidArgument("duplicate demand field");
+      saw_demand = true;
+      IPOOL_RETURN_NOT_OK(ParseList<double>(
+          value, kMaxRecommendationBins,
+          [](const std::string& item) { return ParseDouble(item); },
+          &stored.recommendation.predicted_demand));
     } else {
       return Status::InvalidArgument("unknown recommendation field: " + key);
     }

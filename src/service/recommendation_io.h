@@ -5,12 +5,21 @@
 #ifndef IPOOL_SERVICE_RECOMMENDATION_IO_H_
 #define IPOOL_SERVICE_RECOMMENDATION_IO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "common/status.h"
 #include "core/recommendation_engine.h"
 
 namespace ipool {
+
+/// Caps applied by ParseRecommendation before any content is interpreted:
+/// the parser faces the network through the serving layer, so a hostile or
+/// corrupt document must not be able to balloon memory. Both are far above
+/// anything the pipeline emits (the production document is the next hour:
+/// 120 bins).
+inline constexpr size_t kMaxRecommendationBytes = 1u << 20;
+inline constexpr size_t kMaxRecommendationBins = 65536;
 
 /// A recommendation plus the time base it applies to.
 struct StoredRecommendation {

@@ -135,6 +135,63 @@ TEST(PrometheusTextTest, RendersAllInstrumentKinds) {
   EXPECT_TRUE(Contains(text, "ipool_solve_seconds_count 3\n"));
 }
 
+// The serving layer preregisters multi-label families (see net/server.cc):
+// counters keyed {method, status} and histograms keyed {method}. Pin down
+// the exposition shape scrapers depend on — label insertion order is
+// preserved and the histogram's `le` label renders after the series labels.
+TEST(PrometheusTextTest, MultiLabelCounterFamiliesRenderEverySeries) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("ipool_net_requests_total",
+                  {{"method", "GetRecommendation"}, {"status", "OK"}})
+      ->Add(5);
+  registry
+      .GetCounter("ipool_net_requests_total",
+                  {{"method", "GetRecommendation"}, {"status", "NOT_FOUND"}})
+      ->Add(2);
+  registry
+      .GetCounter("ipool_net_requests_total",
+                  {{"method", "Health"}, {"status", "OK"}})
+      ->Add(1);
+  const std::string text = PrometheusText(registry);
+  // One TYPE line for the family, not one per series.
+  size_t type_lines = 0;
+  for (size_t pos = 0;
+       (pos = text.find("# TYPE ipool_net_requests_total counter", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_TRUE(Contains(text,
+                       "ipool_net_requests_total{method=\"GetRecommendation\","
+                       "status=\"OK\"} 5\n"));
+  EXPECT_TRUE(Contains(text,
+                       "ipool_net_requests_total{method=\"GetRecommendation\","
+                       "status=\"NOT_FOUND\"} 2\n"));
+  EXPECT_TRUE(Contains(
+      text, "ipool_net_requests_total{method=\"Health\",status=\"OK\"} 1\n"));
+}
+
+TEST(PrometheusTextTest, LabeledHistogramPutsLeAfterSeriesLabels) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("ipool_net_request_seconds",
+                                       {{"method", "Health"}}, {0.001, 0.01});
+  h->Observe(0.0005);
+  h->Observe(0.5);
+  const std::string text = PrometheusText(registry);
+  EXPECT_TRUE(Contains(text,
+                       "ipool_net_request_seconds_bucket{method=\"Health\","
+                       "le=\"0.001\"} 1\n"));
+  EXPECT_TRUE(Contains(text,
+                       "ipool_net_request_seconds_bucket{method=\"Health\","
+                       "le=\"+Inf\"} 2\n"));
+  EXPECT_TRUE(
+      Contains(text, "ipool_net_request_seconds_count{method=\"Health\"} 2\n"));
+  EXPECT_TRUE(
+      Contains(text, "ipool_net_request_seconds_sum{method=\"Health\"} "));
+}
+
 TEST(PrometheusTextTest, EscapesLabelValues) {
   MetricsRegistry registry;
   registry.GetCounter("c", {{"path", "a\"b\\c\nd"}})->Add(1);

@@ -176,6 +176,65 @@ TEST(RecommendationIoTest, RandomGarbageNeverCrashes) {
   }
 }
 
+TEST(RecommendationIoTest, RejectsOversizedDocument) {
+  // A document over the byte cap is refused before any content parsing.
+  std::string huge = "v1\npool=";
+  huge.append(kMaxRecommendationBytes, '1');
+  auto parsed = ParseRecommendation(huge);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().ToString().find("exceeds cap") !=
+              std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(RecommendationIoTest, RejectsDuplicateFields) {
+  const std::string base = SerializeRecommendation(SampleStored());
+  for (const char* dup :
+       {"model=TST\n", "pipeline=E2E\n", "start=1\n", "interval=1\n",
+        "pool=1\n", "demand=1\n"}) {
+    EXPECT_FALSE(ParseRecommendation(base + dup).ok()) << dup;
+  }
+}
+
+TEST(RecommendationIoTest, RejectsPartialNumericTokens) {
+  // atof-style prefix parsing would accept all of these; strict parsing
+  // treats a trailing-garbage numeral as corruption.
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=12abc\ninterval=30\npool=1\n").ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=1,2x,3\n").ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=1\ndemand=1.5.2\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=nan\npool=1\n").ok());
+  // Floating-point pool sizes are not integers.
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=1.5\n").ok());
+}
+
+TEST(RecommendationIoTest, RejectsEmptyListItemsAndNegativePools) {
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=1,,2\n").ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=1,2,\n").ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=3,-1\n").ok());
+  EXPECT_FALSE(ParseRecommendation(
+                   "v1\nstart=0\ninterval=30\npool=1\ndemand=1.0,,2.0\n")
+                   .ok());
+}
+
+TEST(RecommendationIoTest, RejectsUnknownPipelineAndFields) {
+  EXPECT_FALSE(ParseRecommendation(
+                   "v1\npipeline=3-step\nstart=0\ninterval=30\npool=1\n")
+                   .ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=30\npool=1\nbogus=1\n").ok());
+  EXPECT_FALSE(
+      ParseRecommendation("v1\nstart=0\ninterval=-30\npool=1\n").ok());
+}
+
 TEST(RecommendationIoTest, TruncatedSerializationRejected) {
   StoredRecommendation stored = SampleStored();
   const std::string full = SerializeRecommendation(stored);

@@ -13,6 +13,21 @@
 //   ipool_cli loop      --demand demand.csv | --profile east-medium
 //                       [--days 2] [--seed 7] [--model ssa+]
 //                       [--run-interval 1800] [--latency 90] [--threads 0]
+//   ipool_cli serve     [--port 7070] [--threads 4] [--drain-timeout 5]
+//                       [--profile east-medium | --demand demand.csv]
+//                       [--days 2] [--seed 7] [--model ssa+] [--key NAME]
+//                       [--max-seconds 0] [--max-inflight 64]
+//
+// `serve` hosts the control plane over loopback TCP (the ipool::net framed
+// binary protocol): it fits a recommendation for the given profile/demand,
+// publishes it in the document store under --key (default: the profile
+// name), and answers GetRecommendation / PublishTelemetry / Health /
+// Metrics until SIGINT/SIGTERM (or --max-seconds), then drains gracefully
+// for --drain-timeout seconds. `--threads N` sizes the handler pool (0 =
+// handle on the event loop).
+//
+// Unknown flags are rejected with an error naming the command's accepted
+// flags — a typo must not silently fall back to a default.
 //
 // `--threads N` (recommend, sweep, loop; default 0 = serial) runs the
 // command's independent work — deep-model training kernels, per-alpha'
@@ -31,23 +46,32 @@
 // span per line, `--obs-summary 1` prints a human-readable latency table.
 // FILE may be "-" for stdout.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
 #include "exec/thread_pool.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/control_loop.h"
+#include "service/document_store.h"
 #include "service/monitoring.h"
+#include "service/recommendation_io.h"
+#include "service/telemetry_store.h"
 #include "sim/pool_simulator.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/csv.h"
@@ -70,15 +94,53 @@ T DieOnError(Result<T> result, const char* what) {
   return std::move(result).value();
 }
 
-// "--key value" pairs into a map; bare tokens are rejected.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int begin) {
+// Every flag a command accepts; ParseFlags rejects anything else so a
+// typo'd flag errors out instead of silently meaning its default.
+const std::map<std::string, std::vector<std::string>>& CommandFlags() {
+  static const std::map<std::string, std::vector<std::string>> kFlags = {
+      {"generate", {"profile", "days", "seed", "out"}},
+      {"recommend",
+       {"demand", "model", "window", "horizon", "loss-alpha", "alpha",
+        "tau-bins", "max-pool", "bins", "smooth-sf", "threads", "out",
+        "metrics-out", "trace-out", "obs-summary"}},
+      {"evaluate", {"demand", "schedule", "tau-bins"}},
+      {"simulate",
+       {"demand", "schedule", "latency", "latency-cv", "seed", "metrics-out",
+        "trace-out", "obs-summary"}},
+      {"sweep", {"demand", "tau-bins", "max-pool", "threads"}},
+      {"loop",
+       {"demand", "profile", "days", "seed", "model", "window", "horizon",
+        "loss-alpha", "alpha", "tau-bins", "max-pool", "history-bins",
+        "run-interval", "latency", "latency-cv", "threads", "metrics-out",
+        "trace-out", "obs-summary"}},
+      {"serve",
+       {"port", "threads", "drain-timeout", "profile", "demand", "days",
+        "seed", "model", "key", "max-seconds", "max-inflight", "window",
+        "horizon", "loss-alpha", "alpha", "tau-bins", "max-pool", "bins"}},
+      {"get", {"host", "port", "key", "timeout", "retries"}},
+      {"scrape", {"host", "port", "timeout", "retries"}},
+  };
+  return kFlags;
+}
+
+// "--key value" pairs into a map; bare tokens and flags the command does
+// not define are rejected.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv, int begin,
+                                              const std::string& command) {
+  const auto allowed_it = CommandFlags().find(command);
+  if (allowed_it == CommandFlags().end()) Die("unknown command: " + command);
+  const std::vector<std::string>& allowed = allowed_it->second;
   std::map<std::string, std::string> flags;
   for (int i = begin; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) Die("unexpected argument: " + key);
+    std::string name = key.substr(2);
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      Die("unknown flag --" + name + " for command '" + command +
+          "' (accepted: --" + Join(allowed, ", --") + ")");
+    }
     if (i + 1 >= argc) Die("flag needs a value: " + key);
-    flags[key.substr(2)] = argv[++i];
+    flags[std::move(name)] = argv[++i];
   }
   return flags;
 }
@@ -440,22 +502,168 @@ int CmdLoop(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleStopSignal(int) { g_serve_stop = 1; }
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed = static_cast<uint64_t>(NumFlag(flags, "seed", 7));
+  const std::string profile = FlagOr(flags, "profile", "east-medium");
+
+  // Fit a recommendation for the profile (or a supplied trace) and publish
+  // it as the document GetRecommendation serves.
+  TimeSeries demand = [&] {
+    if (flags.count("demand") != 0) {
+      return DieOnError(LoadTimeSeriesCsv(flags.at("demand")), "load demand");
+    }
+    WorkloadConfig workload = ProfileByName(profile, seed);
+    workload.duration_days = NumFlag(flags, "days", 1.0);
+    auto generator = DieOnError(DemandGenerator::Create(workload), "generate");
+    return generator.GenerateBinned();
+  }();
+  PipelineConfig pipeline;
+  pipeline.model = ModelByName(FlagOr(flags, "model", "ssa+"));
+  pipeline.forecast.window = static_cast<size_t>(NumFlag(flags, "window", 96));
+  pipeline.forecast.horizon =
+      static_cast<size_t>(NumFlag(flags, "horizon", 48));
+  pipeline.forecast.alpha_prime = NumFlag(flags, "loss-alpha", 0.9);
+  pipeline.saa.alpha_prime = NumFlag(flags, "alpha", 0.3);
+  pipeline.saa.pool.tau_bins =
+      static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
+  pipeline.saa.pool.max_pool_size =
+      static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
+  pipeline.recommendation_bins =
+      static_cast<size_t>(NumFlag(flags, "bins", 120));
+  obs::MetricsRegistry registry;
+  pipeline.obs = ObsContext{&registry, nullptr};
+  auto engine = DieOnError(RecommendationEngine::Create(pipeline), "config");
+  auto rec = DieOnError(engine.Run(demand), "pipeline");
+
+  StoredRecommendation stored;
+  stored.recommendation = rec;
+  stored.start_time = demand.TimeAt(demand.size() - 1) + demand.interval();
+  stored.interval_seconds = demand.interval();
+  const std::string key = FlagOr(flags, "key", profile);
+  DocumentStore documents;
+  documents.Put(key, SerializeRecommendation(stored), stored.start_time);
+  TelemetryStore telemetry;
+
+  const size_t threads = static_cast<size_t>(NumFlag(flags, "threads", 4));
+  std::unique_ptr<exec::ThreadPool> pool =
+      threads > 0 ? std::make_unique<exec::ThreadPool>(threads) : nullptr;
+
+  net::Router router(
+      net::RouterConfig{&documents, &telemetry, &registry});
+  net::ServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(NumFlag(flags, "port", 7070));
+  server_config.pool = pool.get();
+  server_config.max_inflight_per_conn =
+      static_cast<size_t>(NumFlag(flags, "max-inflight", 64));
+  server_config.metrics = &registry;
+  const double drain_timeout = NumFlag(flags, "drain-timeout", 5.0);
+  server_config.default_drain_timeout_seconds = drain_timeout;
+  auto server = DieOnError(
+      net::Server::Start(server_config,
+                         [&router](const net::Frame& request) {
+                           return router.Handle(request);
+                         }),
+      "serve");
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("serving %s (document '%s', %zu bins) on 127.0.0.1:%u\n",
+              profile.c_str(), key.c_str(), rec.pool_size_per_bin.size(),
+              server->port());
+  std::printf("methods: GetRecommendation PublishTelemetry Health Metrics; "
+              "%zu handler threads; ctrl-c to drain\n",
+              threads);
+  std::fflush(stdout);
+
+  const double max_seconds = NumFlag(flags, "max-seconds", 0.0);
+  const auto started = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (max_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= max_seconds) {
+      break;
+    }
+  }
+  std::printf("draining (up to %.1fs)...\n", drain_timeout);
+  std::fflush(stdout);
+  server->Shutdown(drain_timeout);
+  if (pool != nullptr) pool->PublishTo(&registry);
+  std::printf(
+      "served %llu requests (%llu shed, %llu protocol errors) on %llu "
+      "connections\n",
+      static_cast<unsigned long long>(server->requests_handled()),
+      static_cast<unsigned long long>(server->requests_shed()),
+      static_cast<unsigned long long>(server->protocol_errors()),
+      static_cast<unsigned long long>(server->connections_accepted()));
+  return 0;
+}
+
+net::ClientConfig ClientFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  net::ClientConfig config;
+  config.host = FlagOr(flags, "host", "127.0.0.1");
+  config.port = static_cast<uint16_t>(NumFlag(flags, "port", 7070));
+  config.request_timeout_seconds = NumFlag(flags, "timeout", 2.0);
+  config.max_attempts = static_cast<int>(NumFlag(flags, "retries", 3)) + 1;
+  return config;
+}
+
+int CmdGet(const std::map<std::string, std::string>& flags) {
+  net::Client client(ClientFromFlags(flags));
+  const std::string key = FlagOr(flags, "key", "east-medium");
+  auto document = client.GetRecommendation(key);
+  if (!document.ok()) Die("get: " + document.status().ToString());
+  auto stored = DieOnError(ParseRecommendation(*document), "parse");
+  const auto& schedule = stored.recommendation.pool_size_per_bin;
+  double mean = 0;
+  for (int64_t n : schedule) mean += static_cast<double>(n);
+  std::printf("document '%s': model %s, %zu bins from t=%.0f (avg pool %.1f, "
+              "now->target %ld)\n",
+              key.c_str(), stored.recommendation.model_name.c_str(),
+              schedule.size(), stored.start_time,
+              mean / static_cast<double>(schedule.size()),
+              static_cast<long>(stored.TargetAt(stored.start_time)));
+  return 0;
+}
+
+int CmdScrape(const std::map<std::string, std::string>& flags) {
+  net::Client client(ClientFromFlags(flags));
+  auto text = client.ScrapeMetrics();
+  if (!text.ok()) Die("scrape: " + text.status().ToString());
+  std::fwrite(text->data(), 1, text->size(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ipool_cli <generate|recommend|evaluate|simulate|"
-                 "sweep|loop> [--flag value ...]\n");
+                 "sweep|loop|serve|get|scrape> [--flag value ...]\n"
+                 "  serve:  --port 7070 --threads 4 --drain-timeout 5\n"
+                 "          (plus --profile/--demand/--model/--key/"
+                 "--max-seconds)\n"
+                 "  get:    --port 7070 [--host 127.0.0.1] --key east-medium\n"
+                 "  scrape: --port 7070 [--host 127.0.0.1]\n");
     return 1;
   }
   const std::string command = argv[1];
-  const auto flags = ParseFlags(argc, argv, 2);
+  const auto flags = ParseFlags(argc, argv, 2, command);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "recommend") return CmdRecommend(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "sweep") return CmdSweep(flags);
   if (command == "loop") return CmdLoop(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "get") return CmdGet(flags);
+  if (command == "scrape") return CmdScrape(flags);
   Die("unknown command: " + command);
 }
