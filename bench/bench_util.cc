@@ -60,7 +60,9 @@ std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
     }
   }
   std::vector<CurvePoint> points(grid.size());
-  exec::ParallelFor(exec, 0, grid.size(), [&](size_t lo, size_t hi) {
+  exec::ParallelFor(
+      exec, 0, grid.size(),
+      [&](size_t lo, size_t hi) {
     for (size_t idx = lo; idx < hi; ++idx) {
       const auto [loss_alpha, saa_alpha] = grid[idx];
       PipelineConfig config;
@@ -89,7 +91,8 @@ std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
           "evaluate");
       points[idx] = {loss_alpha, saa_alpha, metrics};
     }
-  });
+      },
+      {.label = "bench.tradeoff_grid"});
   return ParetoFront(std::move(points));
 }
 

@@ -1,0 +1,86 @@
+#include "exec/task_profiler.h"
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace ipool::exec {
+
+const char* TaskKindToString(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kTask:
+      return "task";
+    case TaskKind::kChunk:
+      return "chunk";
+  }
+  return "unknown";
+}
+
+TaskProfiler::TaskProfiler(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+double TaskProfiler::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void TaskProfiler::Record(TaskRecord record) {
+  const size_t kind = static_cast<size_t>(record.kind);
+  if (obs::Histogram* h = queue_hist_[kind].load(std::memory_order_relaxed)) {
+    h->Observe(record.queue_seconds());
+  }
+  if (obs::Histogram* h = run_hist_[kind].load(std::memory_order_relaxed)) {
+    h->Observe(record.run_seconds());
+  }
+  record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(record);
+}
+
+std::vector<TaskRecord> TaskProfiler::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void TaskProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TaskProfiler::AttachMetrics(obs::MetricsRegistry* metrics) {
+  for (TaskKind kind : {TaskKind::kTask, TaskKind::kChunk}) {
+    const size_t i = static_cast<size_t>(kind);
+    obs::Histogram* queue = nullptr;
+    obs::Histogram* run = nullptr;
+    if (metrics != nullptr) {
+      const obs::LabelSet labels = {{"kind", TaskKindToString(kind)}};
+      queue = metrics->GetHistogram("ipool_exec_task_queue_seconds", labels);
+      run = metrics->GetHistogram("ipool_exec_task_run_seconds", labels);
+    }
+    queue_hist_[i].store(queue, std::memory_order_relaxed);
+    run_hist_[i].store(run, std::memory_order_relaxed);
+  }
+}
+
+std::string TaskTimelineJsonl(const TaskProfiler& profiler) {
+  std::string out;
+  for (const TaskRecord& r : profiler.Records()) {
+    out += StrFormat(
+        "{\"id\":%llu,\"label\":\"%s\",\"kind\":\"%s\",\"enqueue_s\":%.9f,"
+        "\"start_s\":%.9f,\"end_s\":%.9f,\"queue_s\":%.9f,\"run_s\":%.9f,"
+        "\"slot\":%u,\"thread\":%d,\"stolen\":%s}\n",
+        static_cast<unsigned long long>(r.id), r.label,
+        TaskKindToString(r.kind), r.enqueue_seconds, r.start_seconds,
+        r.end_seconds, r.queue_seconds(), r.run_seconds(), r.submit_slot,
+        r.run_thread, r.stolen ? "true" : "false");
+  }
+  return out;
+}
+
+}  // namespace ipool::exec

@@ -1,0 +1,110 @@
+// Per-task timeline profiler for the work-stealing pool: when attached to a
+// ThreadPool it records, for every submitted task and every ParallelFor
+// chunk, the enqueue-to-start queue wait, the run time, the executing thread
+// and whether the task was stolen from another worker's deque. This is the
+// substrate for diagnosing the parallel-speedup question (ROADMAP item 1):
+// a slowdown decomposes into queue wait (dispatch latency / oversubscription),
+// task body time (too-cheap tasks) and serial sections (wall clock no record
+// covers).
+//
+// Records are timestamped on the profiler's own monotonic clock and kept in a
+// bounded in-memory buffer (overflow is counted, newest records dropped).
+// Recording takes one short mutex per finished task, which is negligible at
+// the >= microsecond task granularity the pool targets; detached pools pay a
+// single relaxed atomic load per task.
+//
+// Exports: TaskTimelineJsonl (one JSON object per record, for offline
+// analysis) and, when a MetricsRegistry is attached, live
+// ipool_exec_task_queue_seconds / ipool_exec_task_run_seconds histograms
+// labelled by record kind.
+#ifndef IPOOL_EXEC_TASK_PROFILER_H_
+#define IPOOL_EXEC_TASK_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ipool::obs {
+class MetricsRegistry;
+class Histogram;
+}  // namespace ipool::obs
+
+namespace ipool::exec {
+
+enum class TaskKind : uint8_t {
+  kTask,   // a whole Submit()ed task (including ParallelFor drivers)
+  kChunk,  // one contiguous ParallelFor chunk executed by some driver/caller
+};
+
+const char* TaskKindToString(TaskKind kind);
+
+struct TaskRecord {
+  uint64_t id = 0;         // assigned by the profiler, in completion order
+  const char* label = "";  // static label supplied at the submit site
+  TaskKind kind = TaskKind::kTask;
+  // Seconds on the profiler's clock. For chunks, enqueue is the owning
+  // ParallelFor's entry time, so queue_seconds() is the wait for an executor.
+  double enqueue_seconds = 0.0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  uint32_t submit_slot = 0;  // worker deque the task was pushed to
+  int run_thread = -1;       // pool worker index; -1 = the calling thread
+  bool stolen = false;       // popped from another worker's deque
+
+  double queue_seconds() const { return start_seconds - enqueue_seconds; }
+  double run_seconds() const { return end_seconds - start_seconds; }
+};
+
+/// Thread-safe. Attach to a pool with ThreadPool::AttachProfiler at a
+/// quiescent point; tasks submitted while detached produce no records.
+class TaskProfiler {
+ public:
+  /// `capacity` bounds the record buffer; once full, further records are
+  /// counted in dropped() and discarded (the oldest records are kept so the
+  /// timeline's origin stays intact).
+  explicit TaskProfiler(size_t capacity = 1u << 20);
+  TaskProfiler(const TaskProfiler&) = delete;
+  TaskProfiler& operator=(const TaskProfiler&) = delete;
+
+  /// Seconds since the profiler was constructed (monotonic clock).
+  double Now() const;
+
+  /// Appends a finished-task record (id is assigned here) and feeds the
+  /// attached histograms, if any.
+  void Record(TaskRecord record);
+
+  std::vector<TaskRecord> Records() const;
+  size_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Forgets all records (not the attached registry).
+  void Clear();
+
+  /// Routes every subsequent record into ipool_exec_task_queue_seconds /
+  /// ipool_exec_task_run_seconds histograms labelled {kind="task"|"chunk"}
+  /// in `metrics`. Null detaches. The registry must outlive the profiler's
+  /// use of it.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TaskRecord> records_;
+  std::atomic<size_t> dropped_{0};
+  std::atomic<uint64_t> next_id_{1};
+  // Indexed by TaskKind; null when no registry is attached.
+  std::atomic<obs::Histogram*> queue_hist_[2] = {nullptr, nullptr};
+  std::atomic<obs::Histogram*> run_hist_[2] = {nullptr, nullptr};
+};
+
+/// One JSON object per record:
+/// {"id":1,"label":"solver.sweep_pareto","kind":"chunk","enqueue_s":...,
+///  "start_s":...,"end_s":...,"queue_s":...,"run_s":...,"slot":0,
+///  "thread":2,"stolen":false}
+std::string TaskTimelineJsonl(const TaskProfiler& profiler);
+
+}  // namespace ipool::exec
+
+#endif  // IPOOL_EXEC_TASK_PROFILER_H_

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "exec/task_profiler.h"
 #include "obs/metrics.h"
 
 namespace ipool::exec {
@@ -14,6 +15,10 @@ namespace {
 // nested ParallelFor inline: the outer fan-out already owns the hardware,
 // and workers must never block on a task group.
 thread_local ThreadPool* t_worker_of = nullptr;
+
+// Worker index within its owning pool; -1 on non-worker threads. Profiler
+// records use it to attribute chunks to executors.
+thread_local int t_worker_index = -1;
 
 // Innermost ScopedPool installation for this thread.
 thread_local ThreadPool* t_current = nullptr;
@@ -44,13 +49,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, const char* label) {
   const size_t slot =
       next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+  TaskItem item;
+  item.fn = std::move(task);
+  item.label = label;
+  item.submit_slot = static_cast<uint32_t>(slot);
+  if (TaskProfiler* profiler = profiler_.load(std::memory_order_acquire)) {
+    item.enqueue_seconds = profiler->Now();
+  }
   pending_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(slots_[slot]->mu);
-    slots_[slot]->deque.push_back(std::move(task));
+    slots_[slot]->deque.push_back(std::move(item));
   }
   {
     // queued_ is the workers' sleep predicate; updating it under wake_mu_
@@ -61,15 +73,15 @@ void ThreadPool::Submit(std::function<void()> task) {
   wake_cv_.notify_one();
 }
 
-std::function<void()> ThreadPool::TakeTask(size_t self) {
+ThreadPool::TaskItem ThreadPool::TakeTask(size_t self) {
   {
     Worker& own = *slots_[self];
     std::lock_guard<std::mutex> lock(own.mu);
     if (!own.deque.empty()) {
-      std::function<void()> task = std::move(own.deque.front());
+      TaskItem item = std::move(own.deque.front());
       own.deque.pop_front();
       queued_.fetch_sub(1, std::memory_order_relaxed);
-      return task;
+      return item;
     }
   }
   // Steal from the back of a peer's deque (classic Chase-Lev orientation:
@@ -78,21 +90,23 @@ std::function<void()> ThreadPool::TakeTask(size_t self) {
     Worker& victim = *slots_[(self + off) % slots_.size()];
     std::lock_guard<std::mutex> lock(victim.mu);
     if (!victim.deque.empty()) {
-      std::function<void()> task = std::move(victim.deque.back());
+      TaskItem item = std::move(victim.deque.back());
       victim.deque.pop_back();
+      item.stolen = true;
       queued_.fetch_sub(1, std::memory_order_relaxed);
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
-      return task;
+      return item;
     }
   }
-  return nullptr;
+  return {};
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
   t_worker_of = this;
+  t_worker_index = static_cast<int>(index);
   for (;;) {
-    std::function<void()> task = TakeTask(index);
-    if (task == nullptr) {
+    TaskItem item = TakeTask(index);
+    if (item.fn == nullptr) {
       std::unique_lock<std::mutex> lock(wake_mu_);
       wake_cv_.wait(lock, [this] {
         return stop_.load(std::memory_order_acquire) ||
@@ -101,7 +115,24 @@ void ThreadPool::WorkerLoop(size_t index) {
       if (stop_.load(std::memory_order_acquire)) return;
       continue;
     }
-    task();
+    TaskProfiler* profiler = profiler_.load(std::memory_order_acquire);
+    // Record only tasks that were stamped at submit time (a profiler attached
+    // mid-flight would otherwise report garbage queue waits).
+    if (profiler != nullptr && item.enqueue_seconds >= 0.0) {
+      TaskRecord record;
+      record.label = item.label;
+      record.kind = TaskKind::kTask;
+      record.enqueue_seconds = item.enqueue_seconds;
+      record.start_seconds = profiler->Now();
+      item.fn();
+      record.end_seconds = profiler->Now();
+      record.submit_slot = item.submit_slot;
+      record.run_thread = static_cast<int>(index);
+      record.stolen = item.stolen;
+      profiler->Record(record);
+    } else {
+      item.fn();
+    }
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       { std::lock_guard<std::mutex> lock(wake_mu_); }
@@ -176,13 +207,31 @@ struct ForGroup {
   std::atomic<size_t> completed{0};
   std::mutex mu;
   std::condition_variable done_cv;
+  // Chunk profiling (null when the pool has no profiler attached). Chunks
+  // share the fan-out's enqueue time, so a chunk's queue wait measures how
+  // long the range sat before an executor reached it.
+  TaskProfiler* profiler = nullptr;
+  const char* label = "parallel_for";
+  double enqueue_seconds = 0.0;
 
   // Claims and runs chunks until the cursor is exhausted.
   void Drain() {
     for (;;) {
       const size_t idx = cursor.fetch_add(1, std::memory_order_relaxed);
       if (idx >= chunks.size()) return;
-      (*body)(chunks[idx].first, chunks[idx].second);
+      if (profiler != nullptr) {
+        TaskRecord record;
+        record.label = label;
+        record.kind = TaskKind::kChunk;
+        record.enqueue_seconds = enqueue_seconds;
+        record.start_seconds = profiler->Now();
+        (*body)(chunks[idx].first, chunks[idx].second);
+        record.end_seconds = profiler->Now();
+        record.run_thread = t_worker_index;
+        profiler->Record(record);
+      } else {
+        (*body)(chunks[idx].first, chunks[idx].second);
+      }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           chunks.size()) {
         { std::lock_guard<std::mutex> lock(mu); }
@@ -222,12 +271,17 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
     body(begin, end);
     return;
   }
+  if (TaskProfiler* profiler = pool->profiler()) {
+    group->profiler = profiler;
+    group->label = options.label;
+    group->enqueue_seconds = profiler->Now();
+  }
   // Drivers, not per-chunk tasks: each submitted task drains the shared
   // cursor, so a late-starting worker costs nothing and an idle one steals a
   // whole driver.
   const size_t drivers = std::min(pool->num_threads(), group->chunks.size() - 1);
   for (size_t d = 0; d < drivers; ++d) {
-    pool->Submit([group] { group->Drain(); });
+    pool->Submit([group] { group->Drain(); }, options.label);
   }
   group->Drain();  // caller participates
   std::unique_lock<std::mutex> lock(group->mu);

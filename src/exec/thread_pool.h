@@ -46,6 +46,8 @@ class MetricsRegistry;
 
 namespace ipool::exec {
 
+class TaskProfiler;
+
 /// Fixed-size work-stealing thread pool. Construction spawns the workers;
 /// destruction drains outstanding tasks and joins them. Thread-safe.
 class ThreadPool {
@@ -59,7 +61,9 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a fire-and-forget task (round-robin across worker deques).
-  void Submit(std::function<void()> task);
+  /// `label` names the task in profiler timelines; it must point at storage
+  /// outliving the task (string literals in practice).
+  void Submit(std::function<void()> task, const char* label = "task");
 
   /// Blocks until every task submitted so far has finished. The caller does
   /// not execute tasks; prefer ParallelFor for caller participation.
@@ -83,15 +87,37 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool InWorkerThread() const;
 
+  /// Routes per-task timing records (queue wait, run time, executing thread,
+  /// steal provenance) into `profiler`; null detaches. Attach and detach at
+  /// quiescent points (no tasks in flight) — tasks submitted while detached
+  /// carry no enqueue timestamp and are never recorded. Note ParallelFor
+  /// returns once its chunks are done while its driver tasks may still be
+  /// winding down (and recording): call Wait() before detaching, and never
+  /// destroy the profiler or its registry while the pool has tasks in
+  /// flight.
+  void AttachProfiler(TaskProfiler* profiler) {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+  TaskProfiler* profiler() const {
+    return profiler_.load(std::memory_order_acquire);
+  }
+
  private:
+  struct TaskItem {
+    std::function<void()> fn;
+    const char* label = "task";
+    double enqueue_seconds = -1.0;  // < 0: no profiler attached at submit
+    uint32_t submit_slot = 0;
+    bool stolen = false;
+  };
   struct Worker {
-    std::deque<std::function<void()>> deque;
+    std::deque<TaskItem> deque;
     std::mutex mu;
   };
 
   void WorkerLoop(size_t index);
-  /// Pops own work or steals; returns an empty function when idle.
-  std::function<void()> TakeTask(size_t self);
+  /// Pops own work or steals; returns an item with a null fn when idle.
+  TaskItem TakeTask(size_t self);
 
   std::vector<std::unique_ptr<Worker>> slots_;
   std::vector<std::thread> workers_;
@@ -104,6 +130,7 @@ class ThreadPool {
   std::atomic<size_t> next_slot_{0};
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> tasks_stolen_{0};
+  std::atomic<TaskProfiler*> profiler_{nullptr};
 };
 
 /// The execution handle threaded through configs, mirroring ObsContext: a
@@ -158,6 +185,9 @@ struct ParallelForOptions {
   Chunking chunking = Chunking::kDynamic;
   /// Minimum indices per chunk; ranges smaller than 2*grain run inline.
   size_t grain = 1;
+  /// Names this fan-out's chunks and drivers in profiler timelines; must
+  /// point at storage outliving the call (string literals in practice).
+  const char* label = "parallel_for";
 };
 
 /// Runs body(begin, end) over disjoint contiguous sub-ranges of
@@ -178,19 +208,24 @@ inline void ParallelFor(const ExecContext& exec, size_t begin, size_t end,
 /// parallel schedule never reorders outputs). fn must be copyable and
 /// thread-compatible.
 template <typename Fn>
-auto ParallelMap(ThreadPool* pool, size_t n, Fn fn)
+auto ParallelMap(ThreadPool* pool, size_t n, Fn fn,
+                 const ParallelForOptions& options = {})
     -> std::vector<decltype(fn(size_t{0}))> {
   std::vector<decltype(fn(size_t{0}))> out(n);
-  ParallelFor(pool, 0, n, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) out[i] = fn(i);
-  });
+  ParallelFor(
+      pool, 0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) out[i] = fn(i);
+      },
+      options);
   return out;
 }
 
 template <typename Fn>
-auto ParallelMap(const ExecContext& exec, size_t n, Fn fn)
+auto ParallelMap(const ExecContext& exec, size_t n, Fn fn,
+                 const ParallelForOptions& options = {})
     -> std::vector<decltype(fn(size_t{0}))> {
-  return ParallelMap(exec.pool, n, std::move(fn));
+  return ParallelMap(exec.pool, n, std::move(fn), options);
 }
 
 /// Deterministic per-task RNG seed: a SplitMix64 mix of (base_seed,

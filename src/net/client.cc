@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace ipool::net {
 
@@ -54,7 +55,16 @@ bool DefaultIdempotent(Method method) {
 Client::Client(ClientConfig config)
     : config_(std::move(config)),
       jitter_(config_.jitter_seed),
+      // Decorrelated from the jitter stream so adding tracing never shifts
+      // the backoff schedule tests pin down.
+      trace_ids_(config_.jitter_seed ^ 0x9E3779B97F4A7C15ULL),
       decoder_(config_.max_payload_bytes) {}
+
+uint64_t Client::NextTraceId() {
+  uint64_t id = 0;
+  while (id == 0) id = trace_ids_.Next();
+  return id;
+}
 
 Client::~Client() { Disconnect(); }
 
@@ -154,18 +164,31 @@ Result<Frame> Client::Call(Method method, std::string payload,
           ? DefaultIdempotent(method)
           : options.idempotency == RequestOptions::Idempotency::kIdempotent;
 
+  // One trace id per logical Call, shared by every retry attempt, so the
+  // whole exchange — backoffs, reconnects, the server's handler — reads as a
+  // single tree. Stamped even with no tracer wired: the id is what links the
+  // server's spans and exemplars back to this request.
+  const uint64_t trace_id = NextTraceId();
+  stats_.last_trace_id = trace_id;
+  obs::ScopedSpan call_span(config_.tracer, "client.call",
+                            obs::SpanContext{trace_id, 0});
+
   double backoff = config_.backoff_initial_seconds;
   Status last = Status::Unavailable("no attempts made");
   for (int attempt = 0; attempt < std::max(1, config_.max_attempts);
        ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
-      const double sleep = backoff * jitter_.Uniform(0.5, 1.5);
-      std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+      {
+        obs::ScopedSpan backoff_span(config_.tracer, "client.backoff");
+        const double sleep = backoff * jitter_.Uniform(0.5, 1.5);
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+      }
       backoff = std::min(backoff * config_.backoff_multiplier,
                          config_.backoff_max_seconds);
     }
     ++stats_.attempts;
+    obs::ScopedSpan attempt_span(config_.tracer, "client.attempt");
 
     if (Status st = EnsureConnected(); !st.ok()) {
       // Nothing reached the server; always safe to retry.
@@ -175,6 +198,7 @@ Result<Frame> Client::Call(Method method, std::string payload,
     Frame request;
     request.type = FrameType::kRequest;
     request.method = method;
+    request.trace_id = trace_id;
     request.request_id = next_request_id_++;
     request.payload = payload;
     const double deadline = NowSeconds() + config_.request_timeout_seconds;
@@ -201,6 +225,18 @@ Result<Frame> Client::Call(Method method, std::string payload,
       last = Status::Internal(
           StrFormat("response id %u does not match request %u",
                     response->request_id, request.request_id));
+      if (!idempotent) return last;
+      continue;
+    }
+    if (response->trace_id != request.trace_id) {
+      // A mismatched echo means the stream delivered someone else's frame;
+      // treat it exactly like a request-id mismatch.
+      ++stats_.protocol_errors;
+      Disconnect();
+      last = Status::Internal(
+          StrFormat("response trace %llu does not match request %llu",
+                    static_cast<unsigned long long>(response->trace_id),
+                    static_cast<unsigned long long>(request.trace_id)));
       if (!idempotent) return last;
       continue;
     }
@@ -243,6 +279,14 @@ Result<std::string> Client::Health() {
 
 Result<std::string> Client::ScrapeMetrics() {
   IPOOL_ASSIGN_OR_RETURN(auto frame, Call(Method::kMetrics, ""));
+  if (frame.status != WireStatus::kOk) return FrameError(frame);
+  return std::move(frame.payload);
+}
+
+Result<std::string> Client::FetchTrace(size_t limit) {
+  IPOOL_ASSIGN_OR_RETURN(
+      auto frame,
+      Call(Method::kTrace, limit == 0 ? std::string() : StrFormat("%zu", limit)));
   if (frame.status != WireStatus::kOk) return FrameError(frame);
   return std::move(frame.payload);
 }

@@ -22,6 +22,10 @@
 #include "common/status.h"
 #include "net/frame.h"
 
+namespace ipool::obs {
+class Tracer;
+}  // namespace ipool::obs
+
 namespace ipool::net {
 
 struct ClientConfig {
@@ -35,9 +39,16 @@ struct ClientConfig {
   double backoff_initial_seconds = 0.002;
   double backoff_multiplier = 2.0;
   double backoff_max_seconds = 0.25;
-  /// Jitter stream seed; attempts sleep backoff * U[0.5, 1.5).
+  /// Jitter stream seed; attempts sleep backoff * U[0.5, 1.5). Also seeds
+  /// the trace-id stream, so clients with distinct seeds stamp distinct
+  /// trace ids.
   uint64_t jitter_seed = 1;
   size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Client-side spans (client.call / client.attempt / client.backoff),
+  /// rooted at the trace id stamped into each request, so client timing and
+  /// the server's spans for the same request share one trace. Null disables
+  /// spans; trace ids are stamped either way.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ClientStats {
@@ -47,6 +58,7 @@ struct ClientStats {
   uint64_t reconnects = 0;       ///< sockets re-established
   uint64_t shed_responses = 0;   ///< RETRY_AFTER answers seen
   uint64_t protocol_errors = 0;  ///< bad magic / CRC / id mismatches
+  uint64_t last_trace_id = 0;    ///< trace id stamped by the latest Call
 };
 
 struct RequestOptions {
@@ -76,6 +88,9 @@ class Client {
                           double value);
   Result<std::string> Health();
   Result<std::string> ScrapeMetrics();
+  /// Recent finished server spans as JSONL (newest last); `limit` caps the
+  /// span count, 0 uses the server default.
+  Result<std::string> FetchTrace(size_t limit = 0);
 
   const ClientStats& stats() const { return stats_; }
   bool connected() const { return fd_ >= 0; }
@@ -89,9 +104,12 @@ class Client {
   Result<Frame> ReadResponse(double deadline);
   /// Turns a non-OK wire response into the equivalent Status.
   static Status FrameError(const Frame& frame);
+  /// Next nonzero trace id from the deterministic per-client stream.
+  uint64_t NextTraceId();
 
   ClientConfig config_;
   Rng jitter_;
+  SplitMix64 trace_ids_;
   int fd_ = -1;
   FrameDecoder decoder_;
   uint32_t next_request_id_ = 1;

@@ -28,11 +28,39 @@ void PutU32(std::string& out, uint32_t v) {
   out.push_back(static_cast<char>((v >> 24) & 0xff));
 }
 
+void PutU64(std::string& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
 uint32_t GetU32(const char* p) {
   return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
          static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
          static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
          static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+// The frame CRC covers header bytes [4, 24) — everything mutable except the
+// magic and the CRC itself — followed by the payload.
+constexpr size_t kCrcHeaderBegin = 4;
+constexpr size_t kCrcHeaderEnd = 24;
+
+uint32_t FrameCrc(const char* header, const char* payload,
+                  size_t payload_len) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = kCrcHeaderBegin; i < kCrcHeaderEnd; ++i) {
+    crc = table[(crc ^ static_cast<uint8_t>(header[i])) & 0xff] ^ (crc >> 8);
+  }
+  for (size_t i = 0; i < payload_len; ++i) {
+    crc = table[(crc ^ static_cast<uint8_t>(payload[i])) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
 }
 
 }  // namespace
@@ -57,6 +85,8 @@ const char* MethodToString(Method method) {
       return "Health";
     case Method::kMetrics:
       return "Metrics";
+    case Method::kTrace:
+      return "Trace";
   }
   return "Unknown";
 }
@@ -129,9 +159,11 @@ std::string EncodeFrame(const Frame& frame) {
   out.push_back(static_cast<char>(frame.method));
   out.push_back(static_cast<char>(frame.status));
   out.push_back(0);  // reserved
+  PutU64(out, frame.trace_id);
   PutU32(out, frame.request_id);
   PutU32(out, static_cast<uint32_t>(frame.payload.size()));
-  PutU32(out, Crc32(frame.payload.data(), frame.payload.size()));
+  PutU32(out, FrameCrc(out.data(), frame.payload.data(),
+                       frame.payload.size()));
   out.append(frame.payload);
   return out;
 }
@@ -159,7 +191,7 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
       poisoned_ = true;
       return Status::InvalidArgument("reserved frame byte is non-zero");
     }
-    const uint32_t payload_len = GetU32(head + 12);
+    const uint32_t payload_len = GetU32(head + 20);
     if (payload_len > max_payload_bytes_) {
       poisoned_ = true;
       return Status::InvalidArgument(
@@ -167,8 +199,9 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
                     max_payload_bytes_));
     }
     if (buffer_.size() < kFrameHeaderBytes + payload_len) break;
-    const uint32_t want_crc = GetU32(head + 16);
-    const uint32_t got_crc = Crc32(head + kFrameHeaderBytes, payload_len);
+    const uint32_t want_crc = GetU32(head + 24);
+    const uint32_t got_crc = FrameCrc(head, head + kFrameHeaderBytes,
+                                      payload_len);
     if (want_crc != got_crc) {
       poisoned_ = true;
       return Status::InvalidArgument(
@@ -179,7 +212,8 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
     frame.type = static_cast<FrameType>(type);
     frame.method = static_cast<Method>(static_cast<uint8_t>(head[5]));
     frame.status = static_cast<WireStatus>(static_cast<uint8_t>(head[6]));
-    frame.request_id = GetU32(head + 8);
+    frame.trace_id = GetU64(head + 8);
+    frame.request_id = GetU32(head + 16);
     frame.payload.assign(head + kFrameHeaderBytes, payload_len);
     ready_.push_back(std::move(frame));
     buffer_.erase(0, kFrameHeaderBytes + payload_len);

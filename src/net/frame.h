@@ -1,16 +1,21 @@
-// Wire framing for the ipool serving layer: a fixed 20-byte little-endian
+// Wire framing for the ipool serving layer: a fixed 28-byte little-endian
 // header followed by an opaque payload, integrity-checked end to end.
 //
 //   offset  size  field
-//        0     4  magic "IPL1"
+//        0     4  magic "IPL2"
 //        4     1  frame type (request / response)
 //        5     1  method (Method enum)
 //        6     1  wire status (WireStatus enum; 0 in requests)
 //        7     1  reserved, must be 0
-//        8     4  request id (echoed verbatim in the response)
-//       12     4  payload length in bytes
-//       16     4  CRC-32 (IEEE) of the payload bytes
-//       20   len  payload
+//        8     8  trace id (stamped by the client, echoed in the response)
+//       16     4  request id (echoed verbatim in the response)
+//       20     4  payload length in bytes
+//       24     4  CRC-32 (IEEE) of header bytes [4, 24) + the payload
+//       28   len  payload
+//
+// The CRC covers every mutable header field, not just the payload, so a
+// corrupted trace or request id cannot silently re-route a response — it
+// poisons the connection like any other integrity failure.
 //
 // The decoder is incremental: feed it whatever the socket produced and it
 // yields zero or more complete frames. Any malformed input (bad magic, a
@@ -42,6 +47,9 @@ enum class Method : uint8_t {
   kPublishTelemetry = 2,
   kHealth = 3,
   kMetrics = 4,
+  /// Fetches recent finished server spans as JSONL; the request payload is
+  /// an optional decimal span limit.
+  kTrace = 5,
 };
 
 const char* MethodToString(Method method);
@@ -67,8 +75,8 @@ Status WireStatusToStatus(WireStatus status, const std::string& message);
 /// kInternal).
 WireStatus StatusToWireStatus(const Status& status);
 
-inline constexpr size_t kFrameHeaderBytes = 20;
-inline constexpr uint32_t kFrameMagic = 0x314c5049;  // "IPL1" little-endian
+inline constexpr size_t kFrameHeaderBytes = 28;
+inline constexpr uint32_t kFrameMagic = 0x324c5049;  // "IPL2" little-endian
 /// Default cap on a single frame's payload. Large enough for a /metrics
 /// scrape of a busy registry, small enough that a hostile length field
 /// cannot balloon a connection buffer.
@@ -78,6 +86,9 @@ struct Frame {
   FrameType type = FrameType::kRequest;
   Method method = Method::kHealth;
   WireStatus status = WireStatus::kOk;
+  /// Names the end-to-end trace this request belongs to (0 = untraced).
+  /// Servers adopt it for their spans and echo it in the response.
+  uint64_t trace_id = 0;
   uint32_t request_id = 0;
   std::string payload;
 };

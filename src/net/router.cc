@@ -17,6 +17,9 @@ namespace {
 /// than this is a malformed client, not a workload.
 constexpr size_t kMaxTelemetryLines = 4096;
 
+/// Spans returned by a Trace request with an empty payload.
+constexpr size_t kDefaultTraceSpanLimit = 256;
+
 }  // namespace
 
 Result<std::string> ParseTelemetryLine(const std::string& line, double* time,
@@ -47,6 +50,7 @@ Result<std::string> Router::Dispatch(Method method,
                                      const std::string& payload) {
   switch (method) {
     case Method::kGetRecommendation: {
+      obs::ScopedSpan span(config_.tracer, "router.GetRecommendation");
       if (config_.documents == nullptr) {
         return Status::Unavailable("no document store wired");
       }
@@ -58,6 +62,7 @@ Result<std::string> Router::Dispatch(Method method,
       return std::move(doc.value);
     }
     case Method::kPublishTelemetry: {
+      obs::ScopedSpan span(config_.tracer, "router.PublishTelemetry");
       if (config_.telemetry == nullptr) {
         return Status::Unavailable("no telemetry store wired");
       }
@@ -91,13 +96,40 @@ Result<std::string> Router::Dispatch(Method method,
     case Method::kHealth:
       return std::string("ok");
     case Method::kMetrics: {
+      obs::ScopedSpan span(config_.tracer, "router.Metrics");
       if (config_.metrics == nullptr) {
         return Status::Unavailable("no metrics registry wired");
+      }
+      // Fold tracer health (dropped/finished span gauges) into the scrape so
+      // the loopback tests — and dashboards — can assert dropped == 0.
+      if (config_.tracer != nullptr) {
+        config_.tracer->PublishTo(config_.metrics);
       }
       // PrometheusText reads instruments via atomics; the shared lock only
       // keeps a scrape consistent with concurrent telemetry appends.
       std::shared_lock<std::shared_mutex> lock(mu_);
       return obs::PrometheusText(*config_.metrics);
+    }
+    case Method::kTrace: {
+      if (config_.tracer == nullptr) {
+        return Status::Unavailable("no tracer wired");
+      }
+      size_t limit = kDefaultTraceSpanLimit;
+      if (!payload.empty()) {
+        IPOOL_ASSIGN_OR_RETURN(const double parsed, ParseDouble(payload));
+        if (parsed < 1.0) {
+          return Status::InvalidArgument("trace span limit must be >= 1");
+        }
+        limit = static_cast<size_t>(parsed);
+      }
+      // The request's own span is still open, so it never shows up in its
+      // own answer; newest spans last, truncated from the front.
+      std::vector<obs::SpanRecord> spans = config_.tracer->FinishedSpans();
+      if (spans.size() > limit) {
+        spans.erase(spans.begin(),
+                    spans.end() - static_cast<ptrdiff_t>(limit));
+      }
+      return obs::SpansJsonl(spans);
     }
   }
   return Status::InvalidArgument(
@@ -108,6 +140,7 @@ Frame Router::Handle(const Frame& request) {
   Frame response;
   response.type = FrameType::kResponse;
   response.method = request.method;
+  response.trace_id = request.trace_id;
   response.request_id = request.request_id;
   auto result = Dispatch(request.method, request.payload);
   if (result.ok()) {

@@ -15,6 +15,9 @@
 //   * Health             — response: "ok".
 //   * Metrics            — response: Prometheus text exposition of the
 //                          wired registry (obs::PrometheusText).
+//   * Trace              — request: optional decimal span limit; response:
+//                          the most recent finished server spans as JSONL
+//                          (obs::SpansJsonl), newest last.
 //
 // Handle() is thread-safe (an internal mutex serializes store access), so
 // the server may dispatch it from every worker of an exec::ThreadPool.
@@ -32,6 +35,7 @@ class DocumentStore;
 class TelemetryStore;
 namespace obs {
 class MetricsRegistry;
+class Tracer;
 }  // namespace obs
 }  // namespace ipool
 
@@ -45,6 +49,11 @@ struct RouterConfig {
   TelemetryStore* telemetry = nullptr;
   /// Scrape target for Metrics. May be null (scrapes answer UNAVAILABLE).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Source for Trace and for per-method handler child spans. May be null
+  /// (traces answer UNAVAILABLE, no spans are recorded). Typically the same
+  /// tracer wired into ServerConfig so handler spans nest under the server's
+  /// request span.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Parses one `metric,time,value` telemetry line. Exposed for tests.

@@ -20,6 +20,7 @@
 #include "common/strings.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ipool::net {
 
@@ -48,8 +49,25 @@ size_t MethodIndex(Method method) {
   return static_cast<size_t>(method) - 1;
 }
 
-constexpr size_t kNumMethods = 4;
+constexpr size_t kNumMethods = 5;
 constexpr size_t kNumStatuses = 7;
+
+// Static span names so ScopedSpan costs no allocation for the label itself.
+const char* MethodSpanName(Method method) {
+  switch (method) {
+    case Method::kGetRecommendation:
+      return "net.GetRecommendation";
+    case Method::kPublishTelemetry:
+      return "net.PublishTelemetry";
+    case Method::kHealth:
+      return "net.Health";
+    case Method::kMetrics:
+      return "net.Metrics";
+    case Method::kTrace:
+      return "net.Trace";
+  }
+  return "net.Unknown";
+}
 
 }  // namespace
 
@@ -73,6 +91,7 @@ struct Server::Conn {
 struct NetInstruments {
   obs::Counter* requests[kNumMethods][kNumStatuses] = {};
   obs::Histogram* latency[kNumMethods] = {};
+  obs::Histogram* dispatch_queue[kNumMethods] = {};
 };
 namespace {
 NetInstruments MakeInstruments(obs::MetricsRegistry* metrics) {
@@ -87,6 +106,9 @@ NetInstruments MakeInstruments(obs::MetricsRegistry* metrics) {
     }
     out.latency[m] = metrics->GetHistogram(
         "ipool_net_request_seconds", {{"method", MethodToString(method)}});
+    out.dispatch_queue[m] = metrics->GetHistogram(
+        "ipool_net_dispatch_queue_seconds",
+        {{"method", MethodToString(method)}});
   }
   return out;
 }
@@ -299,6 +321,7 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
   Frame reject;
   reject.type = FrameType::kResponse;
   reject.method = frame.method;
+  reject.trace_id = frame.trace_id;
   reject.request_id = frame.request_id;
   if (draining_.load(std::memory_order_acquire)) {
     reject.status = WireStatus::kUnavailable;
@@ -322,8 +345,24 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
   inflight_tasks_.fetch_add(1, std::memory_order_acq_rel);
   const double start = NowSeconds();
   auto task = [this, conn, request = std::move(frame), start]() {
-    Frame response = handler_(request);
+    // Epoll-accept-to-worker-start latency: separates dispatch/queueing
+    // pressure from handler cost. Measured for the inline path too, where it
+    // reads ~0 and anchors the histogram's floor.
+    const size_t mi = MethodIndex(request.method);
+    if (instruments_ != nullptr && mi < kNumMethods) {
+      instruments_->dispatch_queue[mi]->Observe(NowSeconds() - start,
+                                                request.trace_id);
+    }
+    Frame response;
+    {
+      // The server-side request span adopts the client's trace id, so one
+      // trace covers both processes; handler child spans nest under it.
+      obs::ScopedSpan span(config_.tracer, MethodSpanName(request.method),
+                           obs::SpanContext{request.trace_id, 0});
+      response = handler_(request);
+    }
     response.type = FrameType::kResponse;
+    response.trace_id = request.trace_id;
     response.request_id = request.request_id;
     response.method = request.method;
     {
@@ -337,7 +376,7 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
     }
   };
   if (config_.pool != nullptr) {
-    config_.pool->Submit(std::move(task));
+    config_.pool->Submit(std::move(task), "net.request");
   } else {
     task();
   }
@@ -358,7 +397,9 @@ void Server::FinishRequestLocked(const std::shared_ptr<Conn>& conn,
   if (instruments_ != nullptr && m < kNumMethods && s < kNumStatuses) {
     instruments_->requests[m][s]->Add();
     if (elapsed_seconds >= 0.0) {
-      instruments_->latency[m]->Observe(elapsed_seconds);
+      // The trace id doubles as the bucket exemplar, so a slow bucket in a
+      // scrape points straight at a trace to pull via the Trace method.
+      instruments_->latency[m]->Observe(elapsed_seconds, response.trace_id);
     }
   }
   if (conn->closed) return;  // peer went away while we worked

@@ -46,6 +46,7 @@ class MetricsRegistry;
 class Counter;
 class Gauge;
 class Histogram;
+class Tracer;
 }  // namespace obs
 }  // namespace ipool
 
@@ -71,8 +72,13 @@ struct ServerConfig {
   /// Drain budget used by the destructor.
   double default_drain_timeout_seconds = 5.0;
   /// Server-side instruments (request/shed/error counters, connection
-  /// gauge, per-method latency). Null disables.
+  /// gauge, per-method latency, dispatch queue wait). Null disables.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Request spans: each handled request records a per-method span adopting
+  /// the trace id stamped in the frame header, so server-side timing joins
+  /// the client's trace. Null disables. The tracer must be thread-safe for
+  /// the wired pool (obs::Tracer is).
+  obs::Tracer* tracer = nullptr;
 };
 
 struct NetInstruments;

@@ -59,6 +59,16 @@ std::string FormatDouble(double v) {
   return s;
 }
 
+// OpenMetrics-style exemplar suffix for a bucket sample line; buckets with no
+// recorded exemplar render nothing, so exemplar-free output is byte-identical
+// to the classic exposition format.
+std::string RenderExemplar(const Histogram::Exemplar& exemplar) {
+  if (exemplar.trace_id == 0) return "";
+  return StrFormat(" # {trace_id=\"%llu\"} %s",
+                   static_cast<unsigned long long>(exemplar.trace_id),
+                   FormatDouble(exemplar.value).c_str());
+}
+
 std::string JsonLabels(const LabelSet& labels) {
   std::string out = "{";
   for (size_t i = 0; i < labels.size(); ++i) {
@@ -106,12 +116,12 @@ std::string PrometheusText(const MetricsRegistry& registry) {
              RenderBucketLabels(entry.labels,
                                 FormatDouble(h.upper_bounds()[i])) +
              " " + StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
-             "\n";
+             RenderExemplar(h.bucket_exemplar(i)) + "\n";
     }
     cumulative += h.bucket_count(h.upper_bounds().size());
     out += entry.name + "_bucket" + RenderBucketLabels(entry.labels, "+Inf") +
            " " + StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
-           "\n";
+           RenderExemplar(h.bucket_exemplar(h.upper_bounds().size())) + "\n";
     out += entry.name + "_sum" + RenderLabels(entry.labels) + " " +
            FormatDouble(h.sum()) + "\n";
     out += entry.name + "_count" + RenderLabels(entry.labels) + " " +
@@ -120,18 +130,23 @@ std::string PrometheusText(const MetricsRegistry& registry) {
   return out;
 }
 
-std::string SpansJsonl(const Tracer& tracer) {
+std::string SpansJsonl(const std::vector<SpanRecord>& spans) {
   std::string out;
-  for (const SpanRecord& span : tracer.FinishedSpans()) {
+  for (const SpanRecord& span : spans) {
     out += StrFormat(
-        "{\"id\":%llu,\"parent\":%llu,\"name\":\"%s\",\"start_s\":%.9f,"
-        "\"dur_s\":%.9f}\n",
+        "{\"id\":%llu,\"parent\":%llu,\"trace\":%llu,\"name\":\"%s\","
+        "\"start_s\":%.9f,\"dur_s\":%.9f}\n",
         static_cast<unsigned long long>(span.id),
         static_cast<unsigned long long>(span.parent_id),
+        static_cast<unsigned long long>(span.trace_id),
         EscapeValue(span.name).c_str(), span.start_seconds,
         span.duration_seconds);
   }
   return out;
+}
+
+std::string SpansJsonl(const Tracer& tracer) {
+  return SpansJsonl(tracer.FinishedSpans());
 }
 
 std::string MetricsJsonl(const MetricsRegistry& registry) {

@@ -10,6 +10,7 @@
 #define IPOOL_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,8 +19,11 @@ namespace ipool::obs {
 
 std::string PrometheusText(const MetricsRegistry& registry);
 
-/// {"id":3,"parent":1,"name":"solve","start_s":0.120,"dur_s":0.034}
+/// {"id":3,"parent":1,"trace":1,"name":"solve","start_s":0.120,"dur_s":0.034}
 std::string SpansJsonl(const Tracer& tracer);
+/// Same format over an explicit span list (e.g. a filtered or truncated view
+/// served by the net layer's Trace method).
+std::string SpansJsonl(const std::vector<SpanRecord>& spans);
 
 /// {"type":"counter","name":"ipool_pipeline_runs_total","labels":{},"value":4}
 std::string MetricsJsonl(const MetricsRegistry& registry);

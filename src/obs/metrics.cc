@@ -15,14 +15,21 @@ void Gauge::Add(double delta) {
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      exemplar_trace_(bounds_.size() + 1),
+      exemplar_value_(bounds_.size() + 1) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value, uint64_t exemplar_trace_id) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
-      1, std::memory_order_relaxed);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplar_value_[bucket].store(value, std::memory_order_relaxed);
+    exemplar_trace_[bucket].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   double sum = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(sum, sum + value,

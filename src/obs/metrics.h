@@ -8,8 +8,9 @@
 // lock-free atomics; only registration (GetCounter/GetGauge/GetHistogram)
 // takes a mutex, so call sites fetch handles once and hold the raw pointer
 // (handles are stable for the registry's lifetime). All instruments accept
-// concurrent writers; the tracer in obs/trace.h is the single-threaded
-// counterpart.
+// concurrent writers, as does the tracer in obs/trace.h; histograms can
+// additionally carry per-bucket exemplars linking a bucket to the trace id
+// of one observation that landed in it.
 #ifndef IPOOL_OBS_METRICS_H_
 #define IPOOL_OBS_METRICS_H_
 
@@ -55,7 +56,21 @@ class Histogram {
   /// bucket is always appended.
   explicit Histogram(std::vector<double> upper_bounds);
 
-  void Observe(double value);
+  /// A nonzero `exemplar_trace_id` additionally records (value, trace id) as
+  /// the winning bucket's exemplar (last writer wins), linking the latency
+  /// distribution back to a concrete trace. Zero adds no cost.
+  void Observe(double value, uint64_t exemplar_trace_id = 0);
+
+  /// One representative observation for a bucket; trace_id == 0 means none
+  /// has been recorded yet.
+  struct Exemplar {
+    uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+  Exemplar bucket_exemplar(size_t i) const {
+    return {exemplar_trace_[i].load(std::memory_order_relaxed),
+            exemplar_value_[i].load(std::memory_order_relaxed)};
+  }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -74,6 +89,11 @@ class Histogram {
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  // Parallel per-bucket exemplar slots; the (trace, value) pair is not read
+  // atomically as a unit — a torn pair still names a real trace, which is all
+  // an exemplar promises.
+  std::vector<std::atomic<uint64_t>> exemplar_trace_;
+  std::vector<std::atomic<double>> exemplar_value_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};

@@ -2,13 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ipool::obs {
+namespace {
+
+// Tracer generations are globally unique, so a thread-local cache entry can
+// only hit the tracer instance that created it — never a dead tracer whose
+// address (or whose slot's address) was reused.
+std::atomic<uint64_t> g_next_tracer_generation{1};
+
+struct SlotCacheEntry {
+  uint64_t generation = 0;
+  void* slot = nullptr;
+};
+
+// Small direct-mapped cache so a thread touching a handful of tracers (e.g. a
+// client tracer and a server tracer in loopback tests) stays on the fast path.
+constexpr size_t kSlotCacheEntries = 4;
+thread_local SlotCacheEntry t_slot_cache[kSlotCacheEntries];
+thread_local size_t t_slot_cache_next = 0;
+
+}  // namespace
 
 Tracer::Tracer(size_t capacity)
-    : epoch_(std::chrono::steady_clock::now()),
+    : generation_(g_next_tracer_generation.fetch_add(
+          1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
       capacity_(std::max<size_t>(1, capacity)) {
   ring_.reserve(capacity_);
 }
+
+Tracer::~Tracer() = default;
 
 double Tracer::Now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -16,48 +41,167 @@ double Tracer::Now() const {
       .count();
 }
 
-uint64_t Tracer::BeginSpan(const std::string& name) {
-  const uint64_t id = next_id_++;
-  const uint64_t parent = stack_.empty() ? 0 : stack_.back().id;
-  stack_.push_back({id, parent, name, Now()});
+Tracer::ThreadSlot* Tracer::Slot() const {
+  for (const SlotCacheEntry& entry : t_slot_cache) {
+    if (entry.generation == generation_) {
+      return static_cast<ThreadSlot*>(entry.slot);
+    }
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadSlot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (const auto& [tid, owned] : slots_) {
+      if (tid == self) {
+        slot = owned.get();
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      slots_.emplace_back(self, std::make_unique<ThreadSlot>());
+      slot = slots_.back().second.get();
+    }
+  }
+  t_slot_cache[t_slot_cache_next] = {generation_, slot};
+  t_slot_cache_next = (t_slot_cache_next + 1) % kSlotCacheEntries;
+  return slot;
+}
+
+Tracer::ThreadSlot* Tracer::SlotIfExists() const {
+  for (const SlotCacheEntry& entry : t_slot_cache) {
+    if (entry.generation == generation_) {
+      return static_cast<ThreadSlot*>(entry.slot);
+    }
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  for (const auto& [tid, owned] : slots_) {
+    if (tid == self) return owned.get();
+  }
+  return nullptr;
+}
+
+uint64_t Tracer::BeginSpanInternal(const std::string& name, uint64_t parent_id,
+                                   uint64_t trace_id) {
+  ThreadSlot* slot = Slot();
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  slot->stack.push_back(
+      {id, parent_id, trace_id == 0 ? id : trace_id, name, Now()});
   return id;
 }
 
+uint64_t Tracer::BeginSpan(const std::string& name) {
+  ThreadSlot* slot = Slot();
+  uint64_t parent_id = 0;
+  uint64_t trace_id = 0;
+  if (!slot->stack.empty()) {
+    parent_id = slot->stack.back().id;
+    trace_id = slot->stack.back().trace_id;
+  }
+  return BeginSpanInternal(name, parent_id, trace_id);
+}
+
+uint64_t Tracer::BeginSpan(const std::string& name, const SpanContext& parent) {
+  return BeginSpanInternal(name, parent.span_id, parent.trace_id);
+}
+
 void Tracer::EndSpan(uint64_t id) {
+  ThreadSlot* slot = SlotIfExists();
+  if (slot == nullptr) return;
+  // Only unwind if `id` is actually open on this thread; an unknown id (e.g.
+  // an EndSpan raced from the wrong thread) must not wipe the caller's stack.
+  bool found = false;
+  for (const ActiveSpan& span : slot->stack) {
+    if (span.id == id) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
   const double now = Now();
+  std::lock_guard<std::mutex> lock(slot->mu);
   // Close the target span and anything opened after it that was never
   // explicitly closed (early-return leak tolerance).
-  while (!stack_.empty()) {
-    ActiveSpan span = std::move(stack_.back());
-    stack_.pop_back();
-    Record({span.id, span.parent_id, std::move(span.name), span.start_seconds,
-            now - span.start_seconds});
-    if (span.id == id) return;
+  while (!slot->stack.empty()) {
+    ActiveSpan span = std::move(slot->stack.back());
+    slot->stack.pop_back();
+    const bool target = span.id == id;
+    slot->pending.push_back(
+        {{span.id, span.parent_id, span.trace_id, std::move(span.name),
+          span.start_seconds, now - span.start_seconds},
+         next_finish_seq_.fetch_add(1, std::memory_order_relaxed)});
+    if (target) return;
   }
 }
 
-void Tracer::Record(SpanRecord record) {
-  if (ring_.size() < capacity_ && !ring_full_) {
-    ring_.push_back(std::move(record));
-    if (ring_.size() == capacity_) ring_full_ = true;
-    return;
+SpanContext Tracer::CurrentContext() const {
+  ThreadSlot* slot = SlotIfExists();
+  if (slot == nullptr || slot->stack.empty()) return {};
+  return {slot->stack.back().trace_id, slot->stack.back().id};
+}
+
+void Tracer::FlushPending() const {
+  std::vector<ThreadSlot*> slots;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    slots.reserve(slots_.size());
+    for (const auto& [tid, owned] : slots_) slots.push_back(owned.get());
   }
-  ring_[ring_next_] = std::move(record);
-  ring_next_ = (ring_next_ + 1) % capacity_;
-  ++dropped_;
+  std::vector<PendingSpan> staged;
+  for (ThreadSlot* slot : slots) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->pending.empty()) continue;
+    staged.insert(staged.end(),
+                  std::make_move_iterator(slot->pending.begin()),
+                  std::make_move_iterator(slot->pending.end()));
+    slot->pending.clear();
+  }
+  if (staged.empty()) return;
+  std::sort(staged.begin(), staged.end(),
+            [](const PendingSpan& a, const PendingSpan& b) {
+              return a.finish_seq < b.finish_seq;
+            });
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  for (PendingSpan& span : staged) ring_.push_back(std::move(span.record));
+  if (ring_.size() > capacity_) {
+    const size_t excess = ring_.size() - capacity_;
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<ptrdiff_t>(excess));
+    dropped_ += excess;
+  }
 }
 
 std::vector<SpanRecord> Tracer::FinishedSpans() const {
-  std::vector<SpanRecord> out;
-  out.reserve(ring_.size());
-  if (!ring_full_) {
-    out = ring_;
-    return out;
+  FlushPending();
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_;
+}
+
+size_t Tracer::dropped() const {
+  FlushPending();
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return dropped_;
+}
+
+size_t Tracer::active_depth() const {
+  ThreadSlot* slot = SlotIfExists();
+  return slot == nullptr ? 0 : slot->stack.size();
+}
+
+void Tracer::PublishTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  FlushPending();
+  size_t retained = 0;
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    retained = ring_.size();
+    dropped = dropped_;
   }
-  for (size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
-  }
-  return out;
+  metrics->GetGauge("ipool_obs_finished_spans")
+      ->Set(static_cast<double>(retained));
+  metrics->GetGauge("ipool_obs_dropped_spans")
+      ->Set(static_cast<double>(dropped));
 }
 
 }  // namespace ipool::obs

@@ -1,30 +1,53 @@
-// Span-based phase tracing for the control plane: a Tracer hands out RAII
-// ScopedSpans, nests them through an explicit active-span stack (child spans
-// opened while a parent is active record its id), and retains the most
-// recent finished spans in a bounded ring buffer.
+// Span-based phase tracing for the control plane and the serving stack: a
+// Tracer hands out RAII ScopedSpans, nests them through a per-thread
+// active-span stack (child spans opened while a parent is active record its
+// id), and retains the most recent finished spans in a bounded ring buffer.
 //
 // This answers "where did the last pipeline run spend its time?" — the §7.6
 // end-to-end latency question — without a log pipeline: the JSONL exporter
 // (obs/export.h) dumps the ring for offline analysis.
 //
-// The tracer is intentionally single-threaded (the control loop is a single
-// logical thread); use one Tracer per thread if that ever changes. A null
-// Tracer* makes ScopedSpan a no-op costing one branch per end.
+// Thread-safety model: every thread that touches a Tracer lazily gets its own
+// slot holding (a) that thread's active-span stack and (b) a buffer of spans
+// it finished but has not yet flushed into the shared ring. Begin/End touch
+// only thread-private state plus one uncontended slot mutex on End, so hot
+// paths never serialize across threads. Readers (FinishedSpans, dropped,
+// PublishTo) sweep all slots and merge pending spans into the shared ring in
+// global finish order. A span must be ended on the thread that began it; to
+// link work across threads (e.g. a server worker continuing a client's
+// request), pass an explicit SpanContext parent instead of sharing a span.
+// A null Tracer* makes ScopedSpan a no-op costing one branch per end.
 #ifndef IPOOL_OBS_TRACE_H_
 #define IPOOL_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace ipool::obs {
+
+class MetricsRegistry;
+
+/// Identifies a position in a trace tree so causality can cross threads and
+/// processes: `trace_id` names the whole request tree, `span_id` the specific
+/// parent (0 = adopt the trace with no in-process parent, as when a server
+/// span continues a trace begun in the client process).
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
 
 /// One finished span. Times are wall-clock seconds relative to the tracer's
 /// construction (monotonic clock).
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent_id = 0;  // 0 = root span
+  uint64_t trace_id = 0;   // root span's id, shared by the whole tree
   std::string name;
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
@@ -37,40 +60,82 @@ class Tracer {
   explicit Tracer(size_t capacity = 4096);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
 
-  /// Opens a span as a child of the currently active one. Prefer ScopedSpan.
+  /// Opens a span as a child of the calling thread's currently active one.
+  /// Prefer ScopedSpan.
   uint64_t BeginSpan(const std::string& name);
-  /// Closes `id` and any spans opened after it that were left open (leak
-  /// tolerance for early returns that bypass inner scopes).
+  /// Opens a span adopting an explicit parent context: the span joins
+  /// `parent.trace_id`'s tree (falling back to a fresh trace when the context
+  /// is empty) regardless of what is active on the calling thread.
+  uint64_t BeginSpan(const std::string& name, const SpanContext& parent);
+  /// Closes `id` and any spans opened after it on the calling thread that
+  /// were left open (leak tolerance for early returns that bypass inner
+  /// scopes). Must run on the thread that called BeginSpan.
   void EndSpan(uint64_t id);
 
+  /// The calling thread's innermost active span (trace_id + span_id), or an
+  /// empty context when no span is open on this thread.
+  SpanContext CurrentContext() const;
+
   /// Finished spans, oldest first. Children complete before their parent, so
-  /// a parent appears after its children.
+  /// a parent appears after its children. Flushes every thread's pending
+  /// spans into the shared ring; spans still open elsewhere are excluded.
   std::vector<SpanRecord> FinishedSpans() const;
 
-  size_t dropped() const { return dropped_; }
-  size_t active_depth() const { return stack_.size(); }
+  /// Spans evicted from the bounded ring (flushes pending spans first).
+  size_t dropped() const;
+  /// Open spans on the calling thread.
+  size_t active_depth() const;
   /// Seconds since the tracer was constructed.
   double Now() const;
+
+  /// Exports tracer health into `metrics` (ipool_obs_dropped_spans and
+  /// ipool_obs_finished_spans gauges). Null registry is a no-op.
+  void PublishTo(MetricsRegistry* metrics) const;
 
  private:
   struct ActiveSpan {
     uint64_t id;
     uint64_t parent_id;
+    uint64_t trace_id;
     std::string name;
     double start_seconds;
   };
+  struct PendingSpan {
+    SpanRecord record;
+    uint64_t finish_seq;  // global completion order across threads
+  };
+  struct ThreadSlot {
+    // The owning thread alone touches `stack`; `pending` is shared with
+    // reader threads and guarded by `mu`.
+    std::vector<ActiveSpan> stack;
+    std::mutex mu;
+    std::vector<PendingSpan> pending;
+  };
 
-  void Record(SpanRecord record);
+  ThreadSlot* Slot() const;
+  ThreadSlot* SlotIfExists() const;
+  uint64_t BeginSpanInternal(const std::string& name, uint64_t parent_id,
+                             uint64_t trace_id);
+  // Moves every slot's pending spans into ring_, in finish order. Caller must
+  // not hold any tracer lock.
+  void FlushPending() const;
 
+  const uint64_t generation_;  // distinguishes tracers in thread-local caches
   std::chrono::steady_clock::time_point epoch_;
-  std::vector<ActiveSpan> stack_;
-  std::vector<SpanRecord> ring_;
   size_t capacity_;
-  size_t ring_next_ = 0;  // insertion cursor once the ring is full
-  bool ring_full_ = false;
-  size_t dropped_ = 0;
-  uint64_t next_id_ = 1;
+
+  mutable std::mutex slots_mu_;
+  mutable std::vector<std::pair<std::thread::id, std::unique_ptr<ThreadSlot>>>
+      slots_;
+
+  mutable std::mutex ring_mu_;
+  mutable std::vector<SpanRecord> ring_;  // oldest first, size <= capacity_
+  mutable size_t dropped_ = 0;
+
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::atomic<uint64_t> next_finish_seq_{1};
 };
 
 /// RAII span handle; a null tracer disables it.
@@ -78,6 +143,10 @@ class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, const char* name)
       : tracer_(tracer), id_(tracer ? tracer->BeginSpan(name) : 0) {}
+  /// Adopts `parent` (e.g. a trace id received over the wire) instead of the
+  /// calling thread's active span.
+  ScopedSpan(Tracer* tracer, const char* name, const SpanContext& parent)
+      : tracer_(tracer), id_(tracer ? tracer->BeginSpan(name, parent) : 0) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {

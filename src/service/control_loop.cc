@@ -114,28 +114,23 @@ Result<std::vector<ControlLoopResult>> ControlLoop::RunFleet(
     const exec::ExecContext& exec) {
   // Every loop owns its stores and simulator and only ever reads the shared
   // engine, so the fleet fans out over the pool with results still returned
-  // in spec order. Tracers are stripped when the loops actually run
-  // concurrently (obs::Tracer is single-threaded); metrics ride along.
-  const bool concurrent = exec.enabled() && pools.size() > 1;
+  // in spec order. The whole obs context rides along — obs::Tracer keeps
+  // per-thread span buffers, so concurrent loops record spans too.
   std::vector<ControlLoopResult> results(pools.size());
   std::vector<Status> statuses(pools.size());
-  exec::ParallelFor(exec, 0, pools.size(), [&](size_t lo, size_t hi) {
+  exec::ParallelFor(
+      exec, 0, pools.size(),
+      [&](size_t lo, size_t hi) {
     for (size_t idx = lo; idx < hi; ++idx) {
       statuses[idx] = [&]() -> Status {
-        ControlLoopConfig config = pools[idx].config;
-        if (concurrent) {
-          config.obs.tracer = nullptr;
-          config.worker.obs.tracer = nullptr;
-          config.pooling.obs.tracer = nullptr;
-          config.sim.obs.tracer = nullptr;
-        }
         IPOOL_ASSIGN_OR_RETURN(
-            results[idx], Run(engine, config, pools[idx].demand,
+            results[idx], Run(engine, pools[idx].config, pools[idx].demand,
                               pools[idx].request_events));
         return Status::OK();
       }();
     }
-  });
+      },
+      {.label = "service.run_fleet"});
   // First error by pool index wins, matching a serial left-to-right loop.
   for (const Status& s : statuses) {
     IPOOL_RETURN_NOT_OK(s);

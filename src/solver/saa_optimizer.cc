@@ -323,22 +323,21 @@ Result<std::vector<ParetoPoint>> SweepPareto(
   }
   // Per-alpha solves are independent: each writes only its own slot, so the
   // sweep fans out over the pool and still returns points in alpha order,
-  // bit-identical to the serial loop. The caller's obs is propagated into
-  // every solve (it used to be dropped entirely); MetricsRegistry instruments
-  // are lock-free atomics and safe to share, but obs::Tracer is
-  // single-threaded by design, so the tracer rides along only when the sweep
-  // actually runs serial.
-  ObsContext task_obs = obs;
-  if (exec.enabled() && alphas.size() > 1) task_obs.tracer = nullptr;
+  // bit-identical to the serial loop. The caller's obs rides along whole:
+  // MetricsRegistry instruments are lock-free atomics and obs::Tracer keeps
+  // per-thread span buffers, so every solve records spans even when the
+  // sweep fans out.
   std::vector<ParetoPoint> points(alphas.size());
   std::vector<Status> statuses(alphas.size());
-  exec::ParallelFor(exec, 0, alphas.size(), [&](size_t lo, size_t hi) {
+  exec::ParallelFor(
+      exec, 0, alphas.size(),
+      [&](size_t lo, size_t hi) {
     for (size_t idx = lo; idx < hi; ++idx) {
       statuses[idx] = [&]() -> Status {
         SaaConfig config;
         config.pool = pool_config;
         config.alpha_prime = alphas[idx];
-        config.obs = task_obs;
+        config.obs = obs;
         IPOOL_ASSIGN_OR_RETURN(SaaOptimizer optimizer,
                                SaaOptimizer::Create(config));
         IPOOL_ASSIGN_OR_RETURN(PoolSchedule schedule,
@@ -351,7 +350,8 @@ Result<std::vector<ParetoPoint>> SweepPareto(
         return Status::OK();
       }();
     }
-  });
+      },
+      {.label = "solver.sweep_pareto"});
   // First error by alpha index wins, matching what the serial loop reports.
   for (const Status& s : statuses) {
     IPOOL_RETURN_NOT_OK(s);

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/task_profiler.h"
+
 #include <atomic>
 #include <chrono>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -259,6 +262,143 @@ TEST(ExecOverheadTest, SerialInlineDispatchUnder2Microseconds) {
   EXPECT_EQ(sink, static_cast<size_t>(kIters) * 4);
   const double us_per_call = 1e6 * elapsed / kIters;
   EXPECT_LT(us_per_call, 2.0);
+}
+
+TEST(TaskProfilerTest, RecordsSubmittedTasksWithLabelsAndTimings) {
+  ThreadPool pool(2);
+  TaskProfiler profiler;
+  pool.AttachProfiler(&profiler);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); },
+                "test.work");
+  }
+  pool.Wait();
+  pool.AttachProfiler(nullptr);
+  const auto records = profiler.Records();
+  ASSERT_EQ(records.size(), 10u);
+  EXPECT_EQ(profiler.dropped(), 0u);
+  for (const auto& rec : records) {
+    EXPECT_STREQ(rec.label, "test.work");
+    EXPECT_EQ(rec.kind, TaskKind::kTask);
+    EXPECT_GE(rec.queue_seconds(), 0.0);
+    EXPECT_GE(rec.run_seconds(), 0.0);
+    EXPECT_GE(rec.run_thread, 0);  // Submit()ed tasks only run on workers
+    EXPECT_LT(rec.run_thread, 2);
+  }
+}
+
+TEST(TaskProfilerTest, TasksSubmittedWhileDetachedAreNeverRecorded) {
+  ThreadPool pool(2);
+  TaskProfiler profiler;
+  pool.Submit([] {});  // no profiler attached at submit: no record
+  pool.Wait();
+  pool.AttachProfiler(&profiler);
+  pool.Submit([] {});
+  pool.Wait();
+  pool.AttachProfiler(nullptr);
+  EXPECT_EQ(profiler.Records().size(), 1u);
+}
+
+TEST(TaskProfilerTest, ParallelForRecordsChunksUnderTheOptionsLabel) {
+  ThreadPool pool(2);
+  TaskProfiler profiler;
+  pool.AttachProfiler(&profiler);
+  std::atomic<size_t> covered{0};
+  ParallelFor(
+      &pool, 0, 64,
+      [&](size_t lo, size_t hi) {
+        covered.fetch_add(hi - lo, std::memory_order_relaxed);
+      },
+      {.label = "test.fanout"});
+  // ParallelFor returns when the chunks are done; the driver tasks may
+  // still be winding down — drain them before detaching so every driver
+  // record lands.
+  pool.Wait();
+  pool.AttachProfiler(nullptr);
+  EXPECT_EQ(covered.load(), 64u);
+  size_t chunks = 0;
+  size_t drivers = 0;
+  size_t caller_chunks = 0;
+  for (const auto& rec : profiler.Records()) {
+    EXPECT_STREQ(rec.label, "test.fanout");
+    if (rec.kind == TaskKind::kChunk) {
+      ++chunks;
+      if (rec.run_thread < 0) ++caller_chunks;
+    } else {
+      ++drivers;
+    }
+  }
+  // Dynamic chunking: every claimed chunk is one kChunk record; each pool
+  // worker driving the fan-out is one kTask record. The caller participates
+  // too (run_thread == -1), so chunks outnumber driver tasks.
+  EXPECT_GT(chunks, 0u);
+  EXPECT_GT(drivers, 0u);
+  EXPECT_GT(chunks, drivers);
+  (void)caller_chunks;  // caller participation is scheduling-dependent
+}
+
+TEST(TaskProfilerTest, BoundedBufferKeepsOldestAndCountsDrops) {
+  TaskProfiler profiler(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TaskRecord rec;
+    rec.label = "overflow";
+    rec.enqueue_seconds = static_cast<double>(i);
+    rec.start_seconds = rec.enqueue_seconds;
+    rec.end_seconds = rec.enqueue_seconds;
+    profiler.Record(rec);
+  }
+  const auto records = profiler.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(profiler.dropped(), 6u);
+  // Oldest kept: the timeline origin survives overflow.
+  EXPECT_DOUBLE_EQ(records[0].enqueue_seconds, 0.0);
+  profiler.Clear();
+  EXPECT_TRUE(profiler.Records().empty());
+}
+
+TEST(TaskProfilerTest, AttachMetricsFeedsKindLabelledHistograms) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(2);
+  TaskProfiler profiler;
+  profiler.AttachMetrics(&registry);
+  pool.AttachProfiler(&profiler);
+  pool.Submit([] {}, "test.metrics");
+  pool.Wait();
+  ParallelFor(&pool, 0, 32, [](size_t, size_t) {});
+  pool.AttachProfiler(nullptr);
+  EXPECT_GE(registry
+                .GetHistogram("ipool_exec_task_queue_seconds",
+                              {{"kind", "task"}})
+                ->count(),
+            1u);
+  EXPECT_GE(registry
+                .GetHistogram("ipool_exec_task_run_seconds",
+                              {{"kind", "chunk"}})
+                ->count(),
+            1u);
+  profiler.AttachMetrics(nullptr);
+}
+
+TEST(TaskProfilerTest, TimelineJsonlRendersEveryField) {
+  TaskProfiler profiler;
+  TaskRecord rec;
+  rec.label = "solver.sweep_pareto";
+  rec.kind = TaskKind::kChunk;
+  rec.enqueue_seconds = 1.0;
+  rec.start_seconds = 1.5;
+  rec.end_seconds = 2.0;
+  rec.submit_slot = 3;
+  rec.run_thread = 2;
+  rec.stolen = true;
+  profiler.Record(rec);
+  const std::string jsonl = TaskTimelineJsonl(profiler);
+  EXPECT_NE(jsonl.find("\"label\":\"solver.sweep_pareto\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"chunk\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"queue_s\":0.5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"run_s\":0.5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"thread\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"stolen\":true"), std::string::npos);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -18,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/strings.h"
 #include "exec/thread_pool.h"
 #include "net/client.h"
 #include "net/frame.h"
@@ -25,6 +27,7 @@
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/document_store.h"
 #include "service/telemetry_store.h"
 
@@ -95,6 +98,43 @@ TEST(FrameTest, RejectsCorruptPayloadByCrc) {
   // The decoder is poisoned: even a pristine frame is refused now.
   const std::string good = EncodeFrame(Frame{});
   EXPECT_FALSE(decoder.Feed(good.data(), good.size()).ok());
+}
+
+TEST(FrameTest, TraceIdRoundTripsThroughDecoder) {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.method = Method::kTrace;
+  frame.trace_id = 0xDEADBEEFCAFEF00DULL;
+  frame.request_id = 7;
+  frame.payload = "32";
+  const std::string wire = EncodeFrame(frame);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(decoder.HasFrame());
+  Frame out = decoder.Next();
+  EXPECT_EQ(out.method, Method::kTrace);
+  EXPECT_EQ(out.trace_id, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(out.request_id, 7u);
+}
+
+TEST(FrameTest, CorruptTraceIdPoisonsDecoderByCrc) {
+  // The CRC covers the trace-id field: a flipped bit anywhere in the id must
+  // poison the stream, never deliver a frame attributed to the wrong trace.
+  Frame frame;
+  frame.trace_id = 0x0123456789ABCDEFULL;
+  frame.payload = "payload";
+  for (size_t byte = 8; byte < 16; ++byte) {  // the 8 trace-id header bytes
+    std::string wire = EncodeFrame(frame);
+    wire[byte] ^= 0x01;
+    FrameDecoder decoder;
+    Status fed = decoder.Feed(wire.data(), wire.size());
+    EXPECT_FALSE(fed.ok()) << "trace-id byte " << byte << " not covered";
+    EXPECT_TRUE(Contains(fed.message(), "CRC"));
+    // Poisoned: a pristine follow-up frame is refused too.
+    const std::string good = EncodeFrame(Frame{});
+    EXPECT_FALSE(decoder.Feed(good.data(), good.size()).ok());
+  }
 }
 
 TEST(FrameTest, RejectsBadMagicAndReservedByte) {
@@ -224,6 +264,7 @@ struct TestService {
   DocumentStore documents;
   TelemetryStore telemetry;
   obs::MetricsRegistry registry;
+  obs::Tracer tracer;
   std::unique_ptr<Router> router;
   std::unique_ptr<exec::ThreadPool> pool;
   std::unique_ptr<Server> server;
@@ -231,10 +272,11 @@ struct TestService {
   explicit TestService(size_t threads = 2, ServerConfig config = {}) {
     documents.Put("east-medium", "v1\npool=4,5,6\n", 0.0);
     router = std::make_unique<Router>(
-        RouterConfig{&documents, &telemetry, &registry});
+        RouterConfig{&documents, &telemetry, &registry, &tracer});
     if (threads > 0) pool = std::make_unique<exec::ThreadPool>(threads);
     config.pool = pool.get();
     config.metrics = &registry;
+    config.tracer = &tracer;
     auto started = Server::Start(config, [this](const Frame& request) {
       return router->Handle(request);
     });
@@ -313,6 +355,89 @@ TEST(ServerTest, InlineHandlersWorkWithoutPool) {
   Client client(service.ClientCfg());
   auto health = client.Health();
   ASSERT_TRUE(health.ok()) << health.status().ToString();
+}
+
+// Tentpole acceptance: one client Call produces a coherent cross-process
+// trace — the client's spans and the server's spans share the trace id the
+// client stamped into the frame, and nothing is dropped on either side.
+TEST(ServerTest, TraceIdPropagatesEndToEndThroughLoopback) {
+  TestService service;
+  obs::Tracer client_tracer;
+  ClientConfig config = service.ClientCfg();
+  config.tracer = &client_tracer;
+  Client client(config);
+
+  auto doc = client.GetRecommendation("east-medium");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const uint64_t trace_id = client.stats().last_trace_id;
+  ASSERT_NE(trace_id, 0u);
+
+  // Client half: call + attempt spans rooted at the stamped trace id.
+  const auto client_spans = client_tracer.FinishedSpans();
+  EXPECT_EQ(client_tracer.dropped(), 0u);
+  bool saw_call = false;
+  for (const auto& span : client_spans) {
+    EXPECT_EQ(span.trace_id, trace_id);
+    if (span.name == std::string("client.call")) saw_call = true;
+  }
+  EXPECT_TRUE(saw_call);
+
+  // Server half: the request's handler + router spans carry the same id.
+  // Poll briefly — FinishRequest runs on the event loop after the response.
+  bool saw_net = false;
+  bool saw_router = false;
+  for (int attempt = 0; attempt < 100 && !(saw_net && saw_router);
+       ++attempt) {
+    saw_net = saw_router = false;
+    for (const auto& span : service.tracer.FinishedSpans()) {
+      if (span.trace_id != trace_id) continue;
+      if (span.name == std::string("net.GetRecommendation")) saw_net = true;
+      if (span.name == std::string("router.GetRecommendation")) {
+        saw_router = true;
+      }
+    }
+    if (!(saw_net && saw_router)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(saw_net) << "server request span missing for trace";
+  EXPECT_TRUE(saw_router) << "router child span missing for trace";
+  EXPECT_EQ(service.tracer.dropped(), 0u);
+
+  // The Trace method serves those spans over the wire, JSONL-encoded.
+  auto fetched = client.FetchTrace();
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_TRUE(Contains(*fetched, StrFormat("\"trace\":%llu,",
+                                           static_cast<unsigned long long>(
+                                               trace_id))));
+
+  // Metrics half: the dispatch-queue histogram saw the request and the
+  // request-latency histogram carries a trace-id exemplar linking a bucket
+  // back to a trace.
+  auto scrape = client.ScrapeMetrics();
+  ASSERT_TRUE(scrape.ok());
+  EXPECT_TRUE(
+      Contains(*scrape, "ipool_net_dispatch_queue_seconds_count{"
+                        "method=\"GetRecommendation\"} 1"));
+  EXPECT_TRUE(Contains(*scrape, "# {trace_id=\""));
+  // The satellite-1 gauge: zero dropped spans over the whole exchange.
+  EXPECT_TRUE(Contains(*scrape, "ipool_obs_dropped_spans 0\n"));
+
+  service.server->Shutdown(1.0);
+}
+
+TEST(ServerTest, TraceMethodHonorsSpanLimit) {
+  TestService service;
+  Client client(service.ClientCfg());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.Health().ok());
+  }
+  auto limited = client.FetchTrace(/*limit=*/2);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  // 2 spans per line-pair: each Health request leaves net.Health +
+  // router.Health; a limit of 2 returns exactly 2 JSONL lines.
+  EXPECT_EQ(std::count(limited->begin(), limited->end(), '\n'), 2);
+  service.server->Shutdown(1.0);
 }
 
 // A handler that fails the first N requests with UNAVAILABLE, then

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/export.h"
@@ -307,6 +308,94 @@ TEST(ObsOverheadTest, DisabledInstrumentationSiteUnder50ns) {
           .count();
   const double ns_per_site = 1e9 * elapsed / kIters;
   EXPECT_LT(ns_per_site, 50.0);
+}
+
+TEST(TracerTest, AdoptedContextThreadsTraceIdThroughChildren) {
+  Tracer tracer;
+  const SpanContext remote{/*trace_id=*/777, /*span_id=*/0};
+  {
+    ScopedSpan handler(&tracer, "net.GetRecommendation", remote);
+    { ScopedSpan child(&tracer, "router.GetRecommendation"); }
+  }
+  const auto spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Both the adopted root and its child carry the remote trace id.
+  EXPECT_EQ(spans[0].name, "router.GetRecommendation");
+  EXPECT_EQ(spans[0].trace_id, 777u);
+  EXPECT_EQ(spans[1].trace_id, 777u);
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+}
+
+TEST(TracerTest, RootSpanTraceIdIsItsOwnId) {
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "root"); }
+  const auto spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, spans[0].id);
+}
+
+// Tentpole invariant: N threads tracing concurrently lose nothing and never
+// duplicate ids. Run under TSan in CI (the tsan job builds obs_test).
+TEST(TracerTest, ConcurrentThreadsLoseNoSpans) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kSpansPerThread = 500;
+  // Outers plus the ~half-rate inners must all fit: size for both.
+  Tracer tracer(/*capacity=*/2 * kThreads * kSpansPerThread);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (size_t i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan outer(&tracer, "outer");
+        if ((t + i) % 2 == 0) {
+          ScopedSpan inner(&tracer, "inner");
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto spans = tracer.FinishedSpans();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  size_t outers = 0;
+  std::vector<uint64_t> ids;
+  for (const auto& span : spans) {
+    if (span.name == std::string("outer")) ++outers;
+    ids.push_back(span.id);
+  }
+  EXPECT_EQ(outers, kThreads * kSpansPerThread);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "duplicate span ids across threads";
+  // Each thread's own nesting is preserved: every inner has an outer parent.
+  for (const auto& span : spans) {
+    if (span.name == std::string("inner")) {
+      EXPECT_NE(span.parent_id, 0u);
+    }
+  }
+}
+
+TEST(TracerTest, PublishToExportsFinishedAndDroppedGauges) {
+  Tracer tracer(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span(&tracer, "s");
+  }
+  MetricsRegistry registry;
+  tracer.PublishTo(&registry);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ipool_obs_finished_spans")->value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ipool_obs_dropped_spans")->value(), 3.0);
+  tracer.PublishTo(nullptr);  // null-safe
+}
+
+TEST(PrometheusTextTest, HistogramExemplarLinksBucketToTrace) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("ipool_net_request_seconds", {},
+                                       {0.1, 1.0});
+  h->Observe(0.05);                           // no exemplar
+  h->Observe(0.5, /*exemplar_trace_id=*/42);  // lands in le="1"
+  const std::string text = PrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "le=\"1\"} 2 # {trace_id=\"42\"} 0.5\n"));
+  // Buckets without an exemplar render the plain count only.
+  EXPECT_TRUE(Contains(text, "le=\"0.1\"} 1\n"));
 }
 
 TEST(HumanSummaryTest, ListsHistogramsCountersGaugesAndSpanLine) {

@@ -17,14 +17,36 @@
 //                       [--profile east-medium | --demand demand.csv]
 //                       [--days 2] [--seed 7] [--model ssa+] [--key NAME]
 //                       [--max-seconds 0] [--max-inflight 64]
+//   ipool_cli get       --port 7070 [--key NAME] [--trace 1]
+//   ipool_cli trace     --port 7070 [--limit 256]
+//   ipool_cli profile   --bench table1|fig5 [--threads 4] [--repeat 3]
+//                       [--days 1] [--epochs 2] [--max-overhead-pct 3]
+//                       [--overhead-out BENCH_obs_overhead.json]
+//                       [--tasks-out tasks.jsonl] [--trace-out FILE]
+//                       [--metrics-out FILE]
 //
 // `serve` hosts the control plane over loopback TCP (the ipool::net framed
 // binary protocol): it fits a recommendation for the given profile/demand,
 // publishes it in the document store under --key (default: the profile
 // name), and answers GetRecommendation / PublishTelemetry / Health /
-// Metrics until SIGINT/SIGTERM (or --max-seconds), then drains gracefully
-// for --drain-timeout seconds. `--threads N` sizes the handler pool (0 =
-// handle on the event loop).
+// Metrics / Trace until SIGINT/SIGTERM (or --max-seconds), then drains
+// gracefully for --drain-timeout seconds. `--threads N` sizes the handler
+// pool (0 = handle on the event loop). The server keeps a Tracer: every
+// request's spans are recorded under the client-stamped trace id.
+//
+// `get --trace 1` runs the fetch with client-side tracing, then pulls the
+// server's recent spans and prints both halves of the request's trace —
+// the cross-process view of one GetRecommendation. `trace` dumps the
+// server's recent spans (JSONL) without issuing any other request.
+//
+// `profile` replays a bench workload (table1: 6 datasets x 5 forecast
+// models; fig5: tradeoff-grid pipeline sweeps) on an N-thread pool,
+// alternating untraced and traced+profiled parallel passes (min over
+// --repeat repeats of each), prints the per-task-label utilization
+// breakdown from the exec-pool TaskProfiler, reconciles the task timeline
+// against wall clock, and gates on the tracing+profiling overhead
+// (--max-overhead-pct, <= 0 disables; the verdict lands in
+// --overhead-out as JSON).
 //
 // Unknown flags are rejected with an error naming the command's accepted
 // flags — a typo must not silently fall back to a default.
@@ -45,6 +67,8 @@
 // writes Prometheus text exposition, `--trace-out FILE` writes one JSON
 // span per line, `--obs-summary 1` prints a human-readable latency table.
 // FILE may be "-" for stdout.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -60,7 +84,9 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "exec/task_profiler.h"
 #include "exec/thread_pool.h"
+#include "forecast/forecaster.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/server.h"
@@ -75,6 +101,7 @@
 #include "sim/pool_simulator.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/csv.h"
+#include "tsdata/metrics.h"
 #include "workload/demand_generator.h"
 
 namespace {
@@ -117,8 +144,12 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
        {"port", "threads", "drain-timeout", "profile", "demand", "days",
         "seed", "model", "key", "max-seconds", "max-inflight", "window",
         "horizon", "loss-alpha", "alpha", "tau-bins", "max-pool", "bins"}},
-      {"get", {"host", "port", "key", "timeout", "retries"}},
+      {"get", {"host", "port", "key", "timeout", "retries", "trace"}},
       {"scrape", {"host", "port", "timeout", "retries"}},
+      {"trace", {"host", "port", "timeout", "retries", "limit"}},
+      {"profile",
+       {"bench", "threads", "repeat", "days", "epochs", "max-overhead-pct",
+        "overhead-out", "tasks-out", "trace-out", "metrics-out"}},
   };
   return kFlags;
 }
@@ -552,14 +583,20 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   std::unique_ptr<exec::ThreadPool> pool =
       threads > 0 ? std::make_unique<exec::ThreadPool>(threads) : nullptr;
 
+  // One tracer spans the whole serving stack: the server's per-request
+  // spans, the router's per-method children and the store accesses all land
+  // here, keyed by the trace id each client stamps into its frames.
+  // `ipool_cli trace` (the Trace method) reads them back.
+  obs::Tracer tracer;
   net::Router router(
-      net::RouterConfig{&documents, &telemetry, &registry});
+      net::RouterConfig{&documents, &telemetry, &registry, &tracer});
   net::ServerConfig server_config;
   server_config.port = static_cast<uint16_t>(NumFlag(flags, "port", 7070));
   server_config.pool = pool.get();
   server_config.max_inflight_per_conn =
       static_cast<size_t>(NumFlag(flags, "max-inflight", 64));
   server_config.metrics = &registry;
+  server_config.tracer = &tracer;
   const double drain_timeout = NumFlag(flags, "drain-timeout", 5.0);
   server_config.default_drain_timeout_seconds = drain_timeout;
   auto server = DieOnError(
@@ -574,8 +611,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   std::printf("serving %s (document '%s', %zu bins) on 127.0.0.1:%u\n",
               profile.c_str(), key.c_str(), rec.pool_size_per_bin.size(),
               server->port());
-  std::printf("methods: GetRecommendation PublishTelemetry Health Metrics; "
-              "%zu handler threads; ctrl-c to drain\n",
+  std::printf("methods: GetRecommendation PublishTelemetry Health Metrics "
+              "Trace; %zu handler threads; ctrl-c to drain\n",
               threads);
   std::fflush(stdout);
 
@@ -611,14 +648,48 @@ net::ClientConfig ClientFromFlags(
   config.port = static_cast<uint16_t>(NumFlag(flags, "port", 7070));
   config.request_timeout_seconds = NumFlag(flags, "timeout", 2.0);
   config.max_attempts = static_cast<int>(NumFlag(flags, "retries", 3)) + 1;
+  // The library default seed is deterministic (tests reproduce
+  // byte-for-byte), but each CLI one-shot is a distinct caller and must
+  // stamp distinct trace ids — otherwise every `get` in a script lands its
+  // spans under the same trace in the server's ring.
+  config.jitter_seed =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (static_cast<uint64_t>(getpid()) << 32);
   return config;
 }
 
+// Keeps only the JSONL lines belonging to `trace_id` (the exported span
+// format carries an exact `"trace":N,` field).
+std::string FilterSpansByTrace(const std::string& jsonl, uint64_t trace_id) {
+  const std::string needle = StrFormat(
+      "\"trace\":%llu,", static_cast<unsigned long long>(trace_id));
+  std::string out;
+  size_t begin = 0;
+  while (begin < jsonl.size()) {
+    size_t end = jsonl.find('\n', begin);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(begin, end - begin);
+    if (line.find(needle) != std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
 int CmdGet(const std::map<std::string, std::string>& flags) {
-  net::Client client(ClientFromFlags(flags));
+  const bool want_trace = NumFlag(flags, "trace", 0) != 0;
+  obs::Tracer tracer;
+  net::ClientConfig config = ClientFromFlags(flags);
+  if (want_trace) config.tracer = &tracer;
+  net::Client client(config);
   const std::string key = FlagOr(flags, "key", "east-medium");
   auto document = client.GetRecommendation(key);
   if (!document.ok()) Die("get: " + document.status().ToString());
+  // The id this Call stamped links the client spans below to the server's.
+  const uint64_t trace_id = client.stats().last_trace_id;
   auto stored = DieOnError(ParseRecommendation(*document), "parse");
   const auto& schedule = stored.recommendation.pool_size_per_bin;
   double mean = 0;
@@ -629,6 +700,33 @@ int CmdGet(const std::map<std::string, std::string>& flags) {
               schedule.size(), stored.start_time,
               mean / static_cast<double>(schedule.size()),
               static_cast<long>(stored.TargetAt(stored.start_time)));
+  if (want_trace) {
+    // Both halves of the exchange, joined by the trace id: our spans from
+    // the local tracer, the server's via the Trace method (that fetch gets
+    // its own trace id, so it never pollutes the one we filter on).
+    auto server_spans = client.FetchTrace();
+    if (!server_spans.ok()) Die("trace: " + server_spans.status().ToString());
+    std::printf("\ntrace %llu\n-- client spans --\n",
+                static_cast<unsigned long long>(trace_id));
+    std::fputs(FilterSpansByTrace(obs::SpansJsonl(tracer), trace_id).c_str(),
+               stdout);
+    std::printf("-- server spans --\n");
+    const std::string matched = FilterSpansByTrace(*server_spans, trace_id);
+    if (matched.empty()) {
+      std::printf("(none — is the server running with tracing enabled?)\n");
+    } else {
+      std::fputs(matched.c_str(), stdout);
+    }
+  }
+  return 0;
+}
+
+int CmdTrace(const std::map<std::string, std::string>& flags) {
+  net::Client client(ClientFromFlags(flags));
+  auto text =
+      client.FetchTrace(static_cast<size_t>(NumFlag(flags, "limit", 0)));
+  if (!text.ok()) Die("trace: " + text.status().ToString());
+  std::fwrite(text->data(), 1, text->size(), stdout);
   return 0;
 }
 
@@ -640,18 +738,345 @@ int CmdScrape(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One bench workload as a pure function of (exec, obs): returns a checksum
+// over its outputs so every pass's result can be compared bit-for-bit
+// against the serial reference (the determinism contract).
+using ProfilePass =
+    std::function<double(const exec::ExecContext&, const ObsContext&)>;
+
+// table1: the 6-dataset x 5-model forecast-accuracy matrix, one cell per
+// pool task (mirrors bench/table1_model_comparison.cpp at reduced scale).
+ProfilePass MakeTable1Pass(double days, size_t epochs) {
+  struct Dataset {
+    TimeSeries train;
+    std::vector<double> truth;
+  };
+  auto prepared = std::make_shared<std::vector<Dataset>>();
+  const std::vector<std::pair<Region, NodeSize>> datasets = {
+      {Region::kWestUs2, NodeSize::kSmall},
+      {Region::kEastUs2, NodeSize::kSmall},
+      {Region::kWestUs2, NodeSize::kMedium},
+      {Region::kEastUs2, NodeSize::kMedium},
+      {Region::kWestUs2, NodeSize::kLarge},
+      {Region::kEastUs2, NodeSize::kLarge},
+  };
+  uint64_t seed = 100;
+  for (const auto& [region, size] : datasets) {
+    WorkloadConfig workload = RegionNodeProfile(region, size, seed++);
+    workload.duration_days = days;
+    auto generator = DieOnError(DemandGenerator::Create(workload), "workload");
+    TimeSeries all = generator.GenerateBinned();
+    auto [train, test] = all.Split(0.8);
+    const size_t horizon = std::min<size_t>(120, test.size());
+    std::vector<double> truth(
+        test.values().begin(),
+        test.values().begin() + static_cast<ptrdiff_t>(horizon));
+    prepared->push_back({std::move(train), std::move(truth)});
+  }
+  auto models = std::make_shared<std::vector<ModelKind>>(
+      std::vector<ModelKind>{ModelKind::kSsaPlus, ModelKind::kSsa,
+                             ModelKind::kMwdn, ModelKind::kTst,
+                             ModelKind::kInceptionTime});
+  ForecastParams params;
+  params.window = 96;
+  params.horizon = 48;
+  params.epochs = epochs;
+  params.stride = 32;
+  params.batch_size = 8;
+  params.alpha_prime = 0.5;
+  params.seed = 7;
+  return [prepared, models, params](const exec::ExecContext& exec,
+                                    const ObsContext& obs) {
+    const auto maes = exec::ParallelMap(
+        exec, prepared->size() * models->size(),
+        [&](size_t cell) {
+          const Dataset& d = (*prepared)[cell / models->size()];
+          ForecastParams p = params;
+          p.obs = obs;
+          auto forecaster = DieOnError(
+              CreateForecaster((*models)[cell % models->size()], p), "create");
+          if (Status s = forecaster->Fit(d.train); !s.ok()) {
+            Die("fit: " + s.ToString());
+          }
+          auto prediction =
+              DieOnError(forecaster->Forecast(d.truth.size()), "forecast");
+          return DieOnError(Mae(d.truth, prediction), "mae");
+        },
+        {.label = "profile.table1_cell"});
+    double sum = 0;
+    for (double v : maes) sum += v;
+    return sum;
+  };
+}
+
+// fig5: tradeoff-grid sweeps — per model a grid of (loss alpha', SAA
+// alpha') full pipeline runs, each grid point one pool task (mirrors
+// bench/fig5_pareto.cpp's quick grid).
+ProfilePass MakeFig5Pass(double days, size_t epochs) {
+  WorkloadConfig workload =
+      RegionNodeProfile(Region::kEastUs2, NodeSize::kMedium, 21);
+  workload.hourly_spike_requests = 25.0;
+  workload.duration_days = days;
+  auto generator = DieOnError(DemandGenerator::Create(workload), "workload");
+  TimeSeries all = generator.GenerateBinned();
+  auto [train_ts, eval_full] = all.Split(0.8);
+  const size_t eval_bins = std::min<size_t>(240, eval_full.size());
+  auto eval = std::make_shared<TimeSeries>(
+      eval_full.Slice(eval_full.size() - eval_bins, eval_full.size()));
+  // Training prefix extends to the eval window's edge (no lookahead).
+  std::vector<double> pre(train_ts.values());
+  for (size_t i = 0; i + eval_bins < eval_full.size(); ++i) {
+    pre.push_back(eval_full.value(i));
+  }
+  auto train = std::make_shared<TimeSeries>(
+      train_ts.start(), train_ts.interval(), std::move(pre));
+
+  return [train, eval, epochs](const exec::ExecContext& exec,
+                               const ObsContext& obs) {
+    double sum = 0;
+    for (ModelKind model :
+         {ModelKind::kBaseline, ModelKind::kSsa, ModelKind::kSsaPlus}) {
+      const std::vector<double> loss_alphas =
+          model == ModelKind::kBaseline ? std::vector<double>{0.5, 1.0}
+                                        : std::vector<double>{0.5, 0.9};
+      const std::vector<double> saa_alphas = {0.5, 0.1};
+      std::vector<std::pair<double, double>> grid;
+      for (double loss_alpha : loss_alphas) {
+        for (double saa_alpha : saa_alphas) {
+          grid.emplace_back(loss_alpha, saa_alpha);
+        }
+      }
+      std::vector<double> scores(grid.size());
+      exec::ParallelFor(
+          exec, 0, grid.size(),
+          [&](size_t lo, size_t hi) {
+            for (size_t idx = lo; idx < hi; ++idx) {
+              const auto [loss_alpha, saa_alpha] = grid[idx];
+              PipelineConfig config;
+              config.kind = PipelineKind::k2Step;
+              config.model = model;
+              config.obs = obs;
+              config.forecast.window = 144;
+              config.forecast.horizon = 120;
+              config.forecast.epochs = epochs;
+              config.forecast.stride = 48;
+              config.forecast.batch_size = 8;
+              config.recommendation_bins = eval->size();
+              config.saa.pool.tau_bins = 3;
+              config.saa.pool.stableness_bins = 10;
+              config.saa.pool.max_pool_size = 500;
+              config.saa.alpha_prime = saa_alpha;
+              if (model == ModelKind::kBaseline) {
+                config.forecast.gamma = loss_alpha;
+              } else {
+                config.forecast.alpha_prime = loss_alpha;
+              }
+              auto engine = DieOnError(RecommendationEngine::Create(config),
+                                       "engine");
+              auto rec = DieOnError(engine.Run(*train), "pipeline");
+              auto metrics = DieOnError(
+                  EvaluateSchedule(*eval, rec.pool_size_per_bin,
+                                   config.saa.pool),
+                  "evaluate");
+              scores[idx] = metrics.avg_wait_seconds_capped +
+                            metrics.idle_cluster_seconds * 1e-6;
+            }
+          },
+          {.label = "profile.tradeoff_grid"});
+      for (double s : scores) sum += s;
+    }
+    return sum;
+  };
+}
+
+int CmdProfile(const std::map<std::string, std::string>& flags) {
+  const std::string bench = FlagOr(flags, "bench", "table1");
+  const size_t threads = static_cast<size_t>(NumFlag(flags, "threads", 4));
+  if (threads == 0) Die("profile needs --threads >= 1 (the pool under test)");
+  const int repeat = std::max(1, static_cast<int>(NumFlag(flags, "repeat", 3)));
+  const double days = NumFlag(flags, "days", 1.0);
+  const size_t epochs =
+      std::max<size_t>(1, static_cast<size_t>(NumFlag(flags, "epochs", 2)));
+  const double gate_pct = NumFlag(flags, "max-overhead-pct", 3.0);
+
+  ProfilePass run_pass;
+  if (bench == "table1") {
+    run_pass = MakeTable1Pass(days, epochs);
+  } else if (bench == "fig5") {
+    run_pass = MakeFig5Pass(days, epochs);
+  } else {
+    Die("unknown --bench '" + bench + "' (use table1 or fig5)");
+  }
+
+  // Serial reference: no pool, no observability.
+  const double serial_begin = MonotonicSeconds();
+  const double serial_checksum = run_pass({}, {});
+  const double serial_seconds = MonotonicSeconds() - serial_begin;
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  exec::TaskProfiler profiler;
+  profiler.AttachMetrics(&registry);
+  // The pool is declared after the instruments so it is destroyed first: a
+  // ParallelFor returns when its chunks are done, but its driver tasks can
+  // still be winding down, and a straggler must never outlive the profiler
+  // and registry it records into.
+  exec::ThreadPool pool(threads);
+  const exec::ExecContext exec{&pool};
+
+  // Alternating untraced / traced+profiled parallel passes; min over the
+  // repeats absorbs scheduler noise, interleaving absorbs thermal drift.
+  double untraced_min = 1e300;
+  double traced_min = 1e300;
+  double traced_wall_last = 0.0;
+  bool outputs_match = true;
+  for (int r = 0; r < repeat; ++r) {
+    double begin = MonotonicSeconds();
+    const double untraced_checksum = run_pass(exec, {});
+    untraced_min = std::min(untraced_min, MonotonicSeconds() - begin);
+    pool.Wait();  // drain driver stragglers before attaching the profiler
+
+    profiler.Clear();  // keep only the final pass's timeline
+    pool.AttachProfiler(&profiler);
+    begin = MonotonicSeconds();
+    const double traced_checksum =
+        run_pass(exec, ObsContext{&registry, &tracer});
+    traced_wall_last = MonotonicSeconds() - begin;
+    traced_min = std::min(traced_min, traced_wall_last);
+    // Quiesce before detaching: driver tasks submitted by the traced pass
+    // may still be winding down, and they record into the profiler.
+    pool.Wait();
+    pool.AttachProfiler(nullptr);
+
+    outputs_match = outputs_match && untraced_checksum == serial_checksum &&
+                    traced_checksum == serial_checksum;
+  }
+
+  std::printf("profile %s: %zu threads, %d repeats\n", bench.c_str(), threads,
+              repeat);
+  std::printf("serial %.3fs | parallel untraced %.3fs (%.2fx) | "
+              "traced+profiled %.3fs (%.2fx)\n",
+              serial_seconds, untraced_min, serial_seconds / untraced_min,
+              traced_min, serial_seconds / traced_min);
+  std::printf("outputs %s\n", outputs_match
+                                  ? "bit-identical across all passes"
+                                  : "DIFFER ACROSS PASSES (bug!)");
+
+  // Per-(label, kind) utilization breakdown of the last traced pass.
+  const auto records = profiler.Records();
+  struct Agg {
+    size_t count = 0;
+    size_t stolen = 0;
+    double queue_seconds = 0;
+    double run_seconds = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> by_label;
+  double min_enqueue = 1e300;
+  double max_end = 0;
+  double chunk_run_seconds = 0;
+  for (const auto& rec : records) {
+    Agg& agg = by_label[{rec.label, exec::TaskKindToString(rec.kind)}];
+    ++agg.count;
+    agg.stolen += rec.stolen ? 1 : 0;
+    agg.queue_seconds += rec.queue_seconds();
+    agg.run_seconds += rec.run_seconds();
+    min_enqueue = std::min(min_enqueue, rec.enqueue_seconds);
+    max_end = std::max(max_end, rec.end_seconds);
+    if (rec.kind == exec::TaskKind::kChunk) {
+      chunk_run_seconds += rec.run_seconds();
+    }
+  }
+  std::printf("\n%-24s %-6s %6s %7s %12s %12s\n", "label", "kind", "tasks",
+              "stolen", "queue(ms)", "run(ms)");
+  for (const auto& [key, agg] : by_label) {
+    std::printf("%-24s %-6s %6zu %7zu %12.2f %12.2f\n", key.first.c_str(),
+                key.second.c_str(), agg.count, agg.stolen,
+                agg.queue_seconds * 1e3, agg.run_seconds * 1e3);
+  }
+  if (profiler.dropped() > 0) {
+    std::printf("(%zu task records dropped: buffer full)\n",
+                profiler.dropped());
+  }
+
+  // Reconcile the timeline against the wall clock: the records of the last
+  // traced pass must span (enqueue of the first task .. end of the last)
+  // within 5% of the measured wall, and the chunk run-time sum bounds the
+  // executors' busy fraction.
+  double coverage = 0.0;
+  if (!records.empty() && traced_wall_last > 0.0) {
+    coverage = (max_end - min_enqueue) / traced_wall_last;
+    const double busy =
+        chunk_run_seconds /
+        (static_cast<double>(threads + 1) * traced_wall_last);
+    std::printf("\ntimeline covers %.1f%% of the traced wall clock "
+                "(%s within 5%%); executors %.1f%% busy on chunk bodies\n",
+                100.0 * coverage, std::abs(coverage - 1.0) <= 0.05 ? "OK:" :
+                "NOT", 100.0 * busy);
+  } else {
+    std::printf("\nno task records captured — is the pool idle?\n");
+  }
+
+  // The overhead gate: tracing + profiling must stay within --max-overhead-
+  // pct of the untraced pass (<= 0 disables). Written as JSON either way so
+  // CI keeps a history.
+  const double overhead_pct =
+      untraced_min > 0.0 ? 100.0 * (traced_min - untraced_min) / untraced_min
+                         : 0.0;
+  const bool gate_enabled = gate_pct > 0.0;
+  const bool gate_pass = !gate_enabled || overhead_pct <= gate_pct;
+  std::printf("\nobs overhead: %+.2f%% (gate %s%.1f%%): %s\n", overhead_pct,
+              gate_enabled ? "<= " : "disabled at ", gate_pct,
+              gate_pass ? "PASS" : "FAIL");
+  WriteTextTo(
+      FlagOr(flags, "overhead-out", "BENCH_obs_overhead.json"),
+      StrFormat("{\"benchmark\":\"profile_%s\",\"threads\":%zu,"
+                "\"repeat\":%d,\"serial_seconds\":%.6f,"
+                "\"untraced_seconds\":%.6f,\"traced_seconds\":%.6f,"
+                "\"overhead_pct\":%.3f,\"gate_pct\":%.3f,"
+                "\"timeline_coverage\":%.4f,\"outputs_match\":%s,"
+                "\"pass\":%s}\n",
+                bench.c_str(), threads, repeat, serial_seconds, untraced_min,
+                traced_min, overhead_pct, gate_pct, coverage,
+                outputs_match ? "true" : "false",
+                gate_pass ? "true" : "false"));
+
+  if (auto it = flags.find("tasks-out"); it != flags.end()) {
+    WriteTextTo(it->second, exec::TaskTimelineJsonl(profiler));
+  }
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    WriteTextTo(it->second, obs::SpansJsonl(tracer));
+  }
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    pool.PublishTo(&registry);
+    tracer.PublishTo(&registry);
+    WriteTextTo(it->second, obs::PrometheusText(registry));
+  }
+  return gate_pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ipool_cli <generate|recommend|evaluate|simulate|"
-                 "sweep|loop|serve|get|scrape> [--flag value ...]\n"
-                 "  serve:  --port 7070 --threads 4 --drain-timeout 5\n"
-                 "          (plus --profile/--demand/--model/--key/"
+                 "sweep|loop|serve|get|scrape|trace|profile> "
+                 "[--flag value ...]\n"
+                 "  serve:   --port 7070 --threads 4 --drain-timeout 5\n"
+                 "           (plus --profile/--demand/--model/--key/"
                  "--max-seconds)\n"
-                 "  get:    --port 7070 [--host 127.0.0.1] --key east-medium\n"
-                 "  scrape: --port 7070 [--host 127.0.0.1]\n");
+                 "  get:     --port 7070 [--host 127.0.0.1] --key east-medium"
+                 " [--trace 1]\n"
+                 "  scrape:  --port 7070 [--host 127.0.0.1]\n"
+                 "  trace:   --port 7070 [--limit 256]\n"
+                 "  profile: --bench table1|fig5 --threads 4 [--repeat 3]"
+                 " [--max-overhead-pct 3]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -665,5 +1090,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(flags);
   if (command == "get") return CmdGet(flags);
   if (command == "scrape") return CmdScrape(flags);
+  if (command == "trace") return CmdTrace(flags);
+  if (command == "profile") return CmdProfile(flags);
   Die("unknown command: " + command);
 }
