@@ -9,7 +9,15 @@
 //
 //   loadgen [--clients 4] [--server-threads 4] [--seconds 5]
 //           [--port 0] [--host 127.0.0.1] [--key east-medium]
-//           [--publish-every 64] [--inflight 64]
+//           [--publish-every 64] [--publish-pct 0] [--inflight 64]
+//
+// `--publish-pct P` (0 < P < 100) switches to the mixed read/write
+// scenario: P percent of each client's requests are PublishTelemetry
+// appends to its own `demand.loadgen-<client>` stream (30 s virtual bins —
+// the streams a `serve --loop-interval` live loop consumes as pools), the
+// rest GetRecommendation reads. Records append to BENCH_serving.json with a
+// `scenario` field, so mixed runs sit alongside the read-mostly baseline
+// instead of replacing it.
 //
 // Every completed run appends a JSON record (throughput, latency quantiles,
 // shed/error counts) to BENCH_serving.json (IPOOL_BENCH_SERVING_JSON
@@ -102,6 +110,13 @@ int Run(int argc, char** argv) {
   // write path stays warm without dominating the read benchmark.
   const uint64_t publish_every =
       static_cast<uint64_t>(ArgOr(argc, argv, "publish-every", 64));
+  // Mixed read/write scenario: this percentage of requests publish (takes
+  // precedence over --publish-every when set).
+  const double publish_pct = ArgOr(argc, argv, "publish-pct", 0.0);
+  if (publish_pct < 0.0 || publish_pct >= 100.0) {
+    std::fprintf(stderr, "--publish-pct must be in [0, 100)\n");
+    return 1;
+  }
 
   PrintHeader("Serving-layer load generator (ipool::net)",
               "Sustained loopback GetRecommendation throughput; the paper's "
@@ -169,15 +184,32 @@ int Run(int argc, char** argv) {
       }
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::duration<double>(seconds);
-      const std::string metric = StrFormat("loadgen_client_%zu", c);
+      // The mixed scenario appends to `demand.*` streams (what a live loop
+      // treats as pools); the read-mostly side channel keeps its own name.
+      const std::string metric =
+          publish_pct > 0.0 ? StrFormat("demand.loadgen-%zu", c)
+                            : StrFormat("loadgen_client_%zu", c);
       uint64_t i = 0;
       double publish_time = 0.0;
+      // Accumulator for the publish mix: adds pct/100 per request and
+      // publishes each time it crosses 1, so the ratio holds exactly
+      // without randomness.
+      double publish_credit = 0.0;
       while (std::chrono::steady_clock::now() < deadline) {
         const auto start = std::chrono::steady_clock::now();
         Status status = Status::OK();
-        if (publish_every != 0 && ++i % publish_every == 0) {
+        bool publish = false;
+        if (publish_pct > 0.0) {
+          publish_credit += publish_pct / 100.0;
+          publish = publish_credit >= 1.0;
+          if (publish) publish_credit -= 1.0;
+        } else {
+          publish = publish_every != 0 && (i + 1) % publish_every == 0;
+        }
+        ++i;
+        if (publish) {
           status = client.PublishTelemetry(metric, publish_time, 1.0);
-          publish_time += 1.0;
+          publish_time += publish_pct > 0.0 ? 30.0 : 1.0;
         } else {
           auto doc = client.GetRecommendation(key);
           status = doc.ok() ? Status::OK() : doc.status();
@@ -265,12 +297,14 @@ int Run(int argc, char** argv) {
   if (FILE* f = std::fopen(path.c_str(), "a"); f != nullptr) {
     std::fprintf(
         f,
-        "{\"benchmark\":\"loadgen\",\"mode\":\"%s\",\"clients\":%zu,"
+        "{\"benchmark\":\"loadgen\",\"mode\":\"%s\",\"scenario\":\"%s\","
+        "\"publish_pct\":%.1f,\"clients\":%zu,"
         "\"server_threads\":%zu,\"seconds\":%.2f,\"requests_ok\":%llu,"
         "\"requests_failed\":%llu,\"throughput_rps\":%.1f,\"p50_ms\":%.4f,"
         "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"retries\":%llu,\"shed\":%llu,"
         "\"client_protocol_errors\":%llu,\"server_protocol_errors\":%.0f}\n",
-        external_port == 0 ? "in-process" : "external", clients,
+        external_port == 0 ? "in-process" : "external",
+        publish_pct > 0.0 ? "mixed" : "read-mostly", publish_pct, clients,
         server_threads, elapsed, static_cast<unsigned long long>(ok),
         static_cast<unsigned long long>(failed), throughput, p50_ms, p95_ms,
         p99_ms, static_cast<unsigned long long>(retries),

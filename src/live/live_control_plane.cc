@@ -1,0 +1,318 @@
+#include "live/live_control_plane.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/document_store.h"
+#include "service/recommendation_io.h"
+#include "service/telemetry_store.h"
+#include "tsdata/time_series.h"
+
+namespace ipool::live {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* TickStatusName(TickStatus status) {
+  switch (status) {
+    case TickStatus::kIdle:
+      return "idle";
+    case TickStatus::kOk:
+      return "ok";
+    case TickStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Status LiveControlPlaneConfig::Validate() const {
+  if (tick_interval_seconds <= 0.0) {
+    return Status::InvalidArgument("tick interval must be positive");
+  }
+  if (demand_metric_prefix.empty()) {
+    return Status::InvalidArgument("demand metric prefix must be non-empty");
+  }
+  if (bin_interval_seconds <= 0.0) {
+    return Status::InvalidArgument("bin interval must be positive");
+  }
+  if (history_bins < 8) {
+    return Status::InvalidArgument("history_bins must be >= 8");
+  }
+  if (min_history_points == 0) {
+    return Status::InvalidArgument("min_history_points must be >= 1");
+  }
+  return Status::OK();
+}
+
+struct LiveControlPlane::PoolWork {
+  std::string key;
+  TimeSeries history;
+  /// Virtual time of the newest telemetry point (the recommendation starts
+  /// one bin later).
+  double last_time = 0.0;
+  Result<Recommendation> result = Status::Internal("not computed");
+};
+
+Result<std::unique_ptr<LiveControlPlane>> LiveControlPlane::Create(
+    const RecommendationEngine* engine, TelemetryStore* telemetry,
+    DocumentStore* documents, std::shared_mutex* store_mu,
+    const LiveControlPlaneConfig& config) {
+  IPOOL_RETURN_NOT_OK(config.Validate());
+  if (engine == nullptr || telemetry == nullptr || documents == nullptr) {
+    return Status::InvalidArgument("null dependency");
+  }
+  return std::unique_ptr<LiveControlPlane>(
+      new LiveControlPlane(engine, telemetry, documents, store_mu, config));
+}
+
+LiveControlPlane::LiveControlPlane(const RecommendationEngine* engine,
+                                   TelemetryStore* telemetry,
+                                   DocumentStore* documents,
+                                   std::shared_mutex* store_mu,
+                                   const LiveControlPlaneConfig& config)
+    : engine_(engine),
+      telemetry_(telemetry),
+      documents_(documents),
+      store_mu_(store_mu != nullptr ? store_mu : &own_store_mu_),
+      config_(config) {
+  if (!config_.clock) config_.clock = SteadySeconds;
+  if (obs::MetricsRegistry* metrics = config_.obs.metrics;
+      metrics != nullptr) {
+    // Pre-register every status series so a scrape can assert
+    // {status="failed"} == 0 before any tick has failed.
+    ticks_ok_ = metrics->GetCounter("ipool_live_ticks_total",
+                                    {{"status", "ok"}});
+    ticks_failed_ = metrics->GetCounter("ipool_live_ticks_total",
+                                        {{"status", "failed"}});
+    ticks_idle_ = metrics->GetCounter("ipool_live_ticks_total",
+                                      {{"status", "idle"}});
+    pool_failures_ = metrics->GetCounter("ipool_live_pool_failures_total");
+    pools_skipped_ = metrics->GetCounter("ipool_live_pools_skipped_total");
+    pools_published_gauge_ = metrics->GetGauge("ipool_live_pools_published");
+    tick_seconds_ = metrics->GetHistogram("ipool_live_tick_seconds");
+  }
+}
+
+LiveControlPlane::~LiveControlPlane() { Stop(); }
+
+void LiveControlPlane::Start() {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  if (ticker_.joinable()) return;
+  stop_requested_ = false;
+  ticker_ = std::thread([this] { ThreadMain(); });
+}
+
+void LiveControlPlane::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    stop_requested_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void LiveControlPlane::ThreadMain() {
+  std::unique_lock<std::mutex> lock(ticker_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+    ticker_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(config_.tick_interval_seconds),
+        [this] { return stop_requested_; });
+  }
+}
+
+TickStatus LiveControlPlane::TickOnce() {
+  obs::ScopedSpan tick_span(config_.obs.tracer, "live.tick");
+  obs::ScopedTimer tick_timer(tick_seconds_);
+
+  // Stage 1: snapshot. A shared lock suffices — discovery and QueryBinned
+  // only read, and PublishTelemetry writers hold the unique lock.
+  std::vector<PoolWork> work;
+  size_t skipped = 0;
+  {
+    obs::ScopedSpan span(config_.obs.tracer, "live.snapshot");
+    std::shared_lock<std::shared_mutex> lock(*store_mu_);
+    for (const std::string& metric : telemetry_->Metrics()) {
+      if (metric.rfind(config_.demand_metric_prefix, 0) != 0) continue;
+      std::string key = metric.substr(config_.demand_metric_prefix.size());
+      if (key.empty()) continue;
+      if (telemetry_->PointCount(metric) < config_.min_history_points) {
+        ++skipped;
+        continue;
+      }
+      PoolWork item;
+      item.key = std::move(key);
+      item.last_time = telemetry_->LastTime(metric);
+      // `history_bins` bins ending with (and including) the newest point.
+      const double start =
+          item.last_time + config_.bin_interval_seconds -
+          config_.bin_interval_seconds *
+              static_cast<double>(config_.history_bins);
+      auto history = telemetry_->QueryBinned(
+          metric, start, config_.bin_interval_seconds, config_.history_bins);
+      if (history.ok()) {
+        item.history = std::move(*history);
+      } else {
+        item.result = history.status();  // pipeline failure for this pool
+      }
+      work.push_back(std::move(item));
+    }
+  }
+  if (pools_skipped_ != nullptr && skipped > 0) pools_skipped_->Add(skipped);
+
+  // Stage 2: compute, store lock released. Warm-state map nodes are created
+  // serially here so the parallel bodies only touch their own pool's entry.
+  if (!work.empty()) {
+    obs::ScopedSpan span(config_.obs.tracer, "live.refit_solve");
+    std::vector<ForecastWarmState*> warm(work.size(), nullptr);
+    if (config_.warm_refit) {
+      for (size_t i = 0; i < work.size(); ++i) {
+        warm[i] = &warm_[work[i].key];
+      }
+    }
+    exec::ParallelForOptions options;
+    options.label = "live.pool";
+    exec::ParallelFor(
+        config_.exec, 0, work.size(),
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            PoolWork& item = work[i];
+            if (item.history.empty()) continue;  // snapshot already failed
+            size_t budget =
+                injected_failures_.load(std::memory_order_relaxed);
+            bool inject = false;
+            while (budget > 0 && !inject) {
+              inject = injected_failures_.compare_exchange_weak(
+                  budget, budget - 1, std::memory_order_relaxed);
+            }
+            if (inject) {
+              item.result = Status::Internal("injected live-tick failure");
+              continue;
+            }
+            obs::ScopedSpan pool_span(config_.obs.tracer, "live.pool");
+            item.result = engine_->Run(item.history, warm[i]);
+          }
+        },
+        options);
+  }
+
+  // Stage 3: publish every fresh recommendation in one unique-lock critical
+  // section — the snapshot-consistent atomic swap. Failed pools are not
+  // touched: their previous document keeps serving (§7.6).
+  const double wall = Now();
+  size_t published = 0;
+  size_t failed = 0;
+  std::string last_error;
+  {
+    obs::ScopedSpan span(config_.obs.tracer, "live.publish");
+    std::unique_lock<std::shared_mutex> lock(*store_mu_);
+    for (PoolWork& item : work) {
+      if (!item.result.ok()) continue;
+      StoredRecommendation stored;
+      stored.recommendation = std::move(*item.result);
+      stored.start_time = item.last_time + config_.bin_interval_seconds;
+      stored.interval_seconds = config_.bin_interval_seconds;
+      documents_->Put(item.key, SerializeRecommendation(stored),
+                      stored.start_time);
+      ++published;
+    }
+  }
+  for (const PoolWork& item : work) {
+    if (item.result.ok()) continue;
+    ++failed;
+    last_error = StrFormat("pool %s: %s", item.key.c_str(),
+                           item.result.status().ToString().c_str());
+  }
+  if (pool_failures_ != nullptr && failed > 0) pool_failures_->Add(failed);
+
+  const TickStatus status = failed > 0   ? TickStatus::kFailed
+                            : published > 0 ? TickStatus::kOk
+                                            : TickStatus::kIdle;
+  switch (status) {
+    case TickStatus::kOk:
+      if (ticks_ok_ != nullptr) ticks_ok_->Add(1);
+      break;
+    case TickStatus::kFailed:
+      if (ticks_failed_ != nullptr) ticks_failed_->Add(1);
+      break;
+    case TickStatus::kIdle:
+      if (ticks_idle_ != nullptr) ticks_idle_->Add(1);
+      break;
+  }
+
+  // Status + per-pool bookkeeping, then the age gauges (ages refresh once
+  // per tick; between ticks the scrape sees the last tick's view).
+  double max_age = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++status_.ticks_total;
+    status_.ticks_ok += status == TickStatus::kOk ? 1 : 0;
+    status_.ticks_failed += status == TickStatus::kFailed ? 1 : 0;
+    status_.ticks_idle += status == TickStatus::kIdle ? 1 : 0;
+    status_.last_tick_status = status;
+    if (!last_error.empty()) status_.last_error = last_error;
+    for (const PoolWork& item : work) {
+      PoolState& state = pool_states_[item.key];
+      if (item.result.ok()) {
+        state.last_published = wall;
+        ++state.publishes;
+        state.consecutive_failures = 0;
+      } else {
+        ++state.consecutive_failures;
+      }
+    }
+    for (const auto& [key, state] : pool_states_) {
+      if (state.publishes == 0) continue;
+      const double age = std::max(0.0, wall - state.last_published);
+      max_age = std::max(max_age, age);
+      if (config_.obs.metrics != nullptr) {
+        config_.obs.metrics
+            ->GetGauge("ipool_live_recommendation_age_seconds",
+                       {{"pool", key}})
+            ->Set(age);
+      }
+    }
+    status_.pools_published = 0;
+    for (const auto& [key, state] : pool_states_) {
+      if (state.publishes > 0) ++status_.pools_published;
+    }
+    status_.max_recommendation_age_seconds = max_age;
+    if (pools_published_gauge_ != nullptr) {
+      pools_published_gauge_->Set(
+          static_cast<double>(status_.pools_published));
+    }
+  }
+  return status;
+}
+
+LiveStatus LiveControlPlane::Snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  LiveStatus out = status_;
+  // Recompute ages against "now" so Health reports staleness that keeps
+  // rising while ticks fail, not the age frozen at the last tick.
+  const double wall = Now();
+  double max_age = 0.0;
+  for (const auto& [key, state] : pool_states_) {
+    if (state.publishes == 0) continue;
+    max_age = std::max(max_age, std::max(0.0, wall - state.last_published));
+  }
+  out.max_recommendation_age_seconds = max_age;
+  return out;
+}
+
+}  // namespace ipool::live

@@ -1,0 +1,220 @@
+// The in-process streaming control plane: the paper's production shape
+// (§7, Fabric's Intelligent Pooling Worker) where telemetry streams in,
+// the forecaster + SAA loop periodically republishes pool-size
+// recommendations, and serving falls back to the last good recommendation
+// when a pipeline run fails (§7.6).
+//
+// A LiveControlPlane runs inside the serving process on a periodic tick
+// (own thread, condition-variable timed wait, clean shutdown on Stop). Each
+// tick:
+//
+//   1. snapshot  — under a shared lock on the store mutex, discover pools
+//      from the TelemetryStore (every metric named `<prefix><pool>` is a
+//      pool) and copy out each eligible pool's recent binned demand;
+//   2. compute   — with no lock held, warm-refit the per-pool forecaster
+//      state and run the SAA solve, fanned out over the exec pool
+//      (RunFleet-style: one task per pool, per-pool warm state owned here);
+//   3. publish   — under a unique lock, Put every fresh recommendation into
+//      the DocumentStore in one critical section, so GetRecommendation
+//      readers observe either the whole previous fleet or the whole new one
+//      (snapshot-consistent atomic swap), never a half-published mix.
+//
+// Fault tolerance (§7.6): a pool whose pipeline fails this tick — engine
+// error, solver infeasibility, injected fault — keeps its previous document
+// (readers serve the stale recommendation) and the tick is counted under
+// ipool_live_ticks_total{status="failed"}; per-pool recommendation age keeps
+// rising (ipool_live_recommendation_age_seconds{pool=...}) until a later
+// tick succeeds. Pools with fewer than `min_history_points` telemetry
+// points are not yet pools: they are skipped without failing the tick.
+#ifndef IPOOL_LIVE_LIVE_CONTROL_PLANE_H_
+#define IPOOL_LIVE_LIVE_CONTROL_PLANE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
+#include "obs/obs_context.h"
+
+namespace ipool {
+class DocumentStore;
+class TelemetryStore;
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+}  // namespace ipool
+
+namespace ipool::live {
+
+struct LiveControlPlaneConfig {
+  /// Wall-clock cadence of the tick thread started by Start().
+  double tick_interval_seconds = 5.0;
+  /// Telemetry metrics named `<prefix><pool>` define the fleet; the
+  /// recommendation for `<pool>` is published under document key `<pool>`.
+  std::string demand_metric_prefix = "demand.";
+  /// Binning of raw telemetry points into the model's history series. Times
+  /// in telemetry are virtual (the store never reads a wall clock), so this
+  /// is the virtual bin width, normally the recommendation interval.
+  double bin_interval_seconds = 30.0;
+  /// History window fed to the engine, in bins ending at the pool's newest
+  /// telemetry point. Bins before the first point are zero.
+  size_t history_bins = 480;
+  /// A pool must have at least this many telemetry points before it is
+  /// forecast at all; below the floor it is skipped, not failed.
+  size_t min_history_points = 64;
+  /// Carry per-pool ForecastWarmState across ticks (the SSA training fast
+  /// path). Disable to force every tick cold.
+  bool warm_refit = true;
+  /// Fan-out for the per-pool compute stage; null runs pools serially.
+  exec::ExecContext exec;
+  /// Metrics + spans sink (optional): ipool_live_ticks_total{status},
+  /// ipool_live_tick_seconds, ipool_live_recommendation_age_seconds{pool},
+  /// and live.tick > live.snapshot / live.refit_solve / live.publish spans.
+  ObsContext obs;
+  /// Wall clock in seconds used for recommendation ages and document
+  /// timestamps; null uses std::chrono::steady_clock. Tests inject a
+  /// virtual clock to make staleness deterministic.
+  std::function<double()> clock;
+
+  Status Validate() const;
+};
+
+enum class TickStatus {
+  /// No pool had enough telemetry (or none exists yet); nothing changed.
+  kIdle,
+  /// Every eligible pool published a fresh recommendation.
+  kOk,
+  /// At least one pool's pipeline failed; its stale document kept serving.
+  kFailed,
+};
+
+const char* TickStatusName(TickStatus status);
+
+/// Point-in-time view of the loop, served through net::Router::Health.
+struct LiveStatus {
+  uint64_t ticks_total = 0;
+  uint64_t ticks_ok = 0;
+  uint64_t ticks_failed = 0;
+  uint64_t ticks_idle = 0;
+  TickStatus last_tick_status = TickStatus::kIdle;
+  /// Message of the most recent per-pool pipeline failure ("" when none).
+  std::string last_error;
+  /// Pools that have ever published a live recommendation.
+  size_t pools_published = 0;
+  /// Oldest live recommendation across pools, in clock seconds; 0 before
+  /// the first publish.
+  double max_recommendation_age_seconds = 0.0;
+};
+
+class LiveControlPlane {
+ public:
+  /// `store_mu` is the mutex serializing all TelemetryStore/DocumentStore
+  /// access — pass net::Router::store_mutex() so the loop coordinates with
+  /// concurrently served requests. Null makes the plane own a private mutex
+  /// (fine when nothing else touches the stores). `engine` and the stores
+  /// must outlive the plane.
+  static Result<std::unique_ptr<LiveControlPlane>> Create(
+      const RecommendationEngine* engine, TelemetryStore* telemetry,
+      DocumentStore* documents, std::shared_mutex* store_mu,
+      const LiveControlPlaneConfig& config);
+
+  /// Stops the tick thread if running.
+  ~LiveControlPlane();
+  LiveControlPlane(const LiveControlPlane&) = delete;
+  LiveControlPlane& operator=(const LiveControlPlane&) = delete;
+
+  /// Starts the periodic tick thread. Idempotent.
+  void Start();
+
+  /// Signals the tick thread (condition variable, no polling) and joins it.
+  /// The in-flight tick, if any, completes first. Idempotent; safe when
+  /// Start was never called.
+  void Stop();
+
+  /// Runs one tick synchronously on the calling thread and returns its
+  /// status. Ticks never run concurrently with each other: callers must not
+  /// race TickOnce against a Start()ed thread — drive the loop one way or
+  /// the other (tests call TickOnce for determinism).
+  TickStatus TickOnce();
+
+  /// §7.6 fault injection: the next `count` per-pool pipeline runs fail
+  /// before reaching the engine. Thread-safe.
+  void InjectFailures(size_t count) {
+    injected_failures_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Thread-safe status snapshot (ages computed against the config clock).
+  LiveStatus Snapshot() const;
+
+  const LiveControlPlaneConfig& config() const { return config_; }
+
+ private:
+  /// A pool discovered in the snapshot stage, history copied out so the
+  /// compute stage runs without the store lock.
+  struct PoolWork;
+  /// Publication bookkeeping for one pool.
+  struct PoolState {
+    double last_published = 0.0;  ///< clock seconds of the last good Put
+    uint64_t publishes = 0;
+    uint64_t consecutive_failures = 0;
+  };
+
+  LiveControlPlane(const RecommendationEngine* engine,
+                   TelemetryStore* telemetry, DocumentStore* documents,
+                   std::shared_mutex* store_mu,
+                   const LiveControlPlaneConfig& config);
+
+  void ThreadMain();
+  double Now() const { return config_.clock(); }
+
+  const RecommendationEngine* engine_;
+  TelemetryStore* telemetry_;
+  DocumentStore* documents_;
+  /// Points at own_store_mu_ unless an external mutex was wired in.
+  std::shared_mutex* store_mu_;
+  std::shared_mutex own_store_mu_;
+  LiveControlPlaneConfig config_;
+
+  /// Per-pool warm forecaster state; touched only inside TickOnce (map node
+  /// pointers are stable, so the parallel compute stage can write each
+  /// pool's entry concurrently).
+  std::map<std::string, ForecastWarmState> warm_;
+
+  /// Tick thread machinery.
+  std::thread ticker_;
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool stop_requested_ = false;
+
+  std::atomic<size_t> injected_failures_{0};
+
+  /// Guards the status block below (written at the end of each tick, read
+  /// by Snapshot from any thread).
+  mutable std::mutex state_mu_;
+  LiveStatus status_;
+  std::map<std::string, PoolState> pool_states_;
+
+  /// Instrument handles fetched once at Create (null when obs is unwired).
+  obs::Counter* ticks_ok_ = nullptr;
+  obs::Counter* ticks_failed_ = nullptr;
+  obs::Counter* ticks_idle_ = nullptr;
+  obs::Counter* pool_failures_ = nullptr;
+  obs::Counter* pools_skipped_ = nullptr;
+  obs::Gauge* pools_published_gauge_ = nullptr;
+  obs::Histogram* tick_seconds_ = nullptr;
+};
+
+}  // namespace ipool::live
+
+#endif  // IPOOL_LIVE_LIVE_CONTROL_PLANE_H_

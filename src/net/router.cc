@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "live/live_control_plane.h"
 #include "obs/export.h"
 #include "service/document_store.h"
 #include "service/telemetry_store.h"
@@ -93,8 +94,27 @@ Result<std::string> Router::Dispatch(Method method,
       }
       return std::string();
     }
-    case Method::kHealth:
-      return std::string("ok");
+    case Method::kHealth: {
+      // A Health probe carries no arguments; a payload means the client is
+      // confused (wrong method byte, corrupted frame) and silently serving
+      // it would mask the bug.
+      if (!payload.empty()) {
+        return Status::InvalidArgument("Health takes no payload");
+      }
+      if (config_.live == nullptr) return std::string("ok");
+      const live::LiveStatus live = config_.live->Snapshot();
+      return StrFormat(
+          "ok\n"
+          "live_ticks_total %llu\n"
+          "live_ticks_failed %llu\n"
+          "live_last_tick_status %s\n"
+          "live_pools_published %zu\n"
+          "live_max_recommendation_age_seconds %.3f\n",
+          static_cast<unsigned long long>(live.ticks_total),
+          static_cast<unsigned long long>(live.ticks_failed),
+          live::TickStatusName(live.last_tick_status), live.pools_published,
+          live.max_recommendation_age_seconds);
+    }
     case Method::kMetrics: {
       obs::ScopedSpan span(config_.tracer, "router.Metrics");
       if (config_.metrics == nullptr) {

@@ -12,7 +12,12 @@
 //                          line; response: empty. Appends must arrive in
 //                          non-decreasing time order per metric (the
 //                          TelemetryStore contract).
-//   * Health             — response: "ok".
+//   * Health             — request: must be empty (anything else is
+//                          rejected as INVALID_ARGUMENT); response: "ok",
+//                          followed by live-control-plane fields
+//                          (`live_<field> <value>` lines: tick counts, last
+//                          tick status, max recommendation age) when a
+//                          LiveControlPlane is wired in.
 //   * Metrics            — response: Prometheus text exposition of the
 //                          wired registry (obs::PrometheusText).
 //   * Trace              — request: optional decimal span limit; response:
@@ -33,6 +38,9 @@
 namespace ipool {
 class DocumentStore;
 class TelemetryStore;
+namespace live {
+class LiveControlPlane;
+}  // namespace live
 namespace obs {
 class MetricsRegistry;
 class Tracer;
@@ -54,6 +62,11 @@ struct RouterConfig {
   /// tracer wired into ServerConfig so handler spans nest under the server's
   /// request span.
   obs::Tracer* tracer = nullptr;
+  /// In-process streaming control plane (optional): Health folds its tick
+  /// counters and recommendation staleness into the payload. The plane must
+  /// share this router's store_mutex() so its publishes stay atomic with
+  /// respect to served reads.
+  const live::LiveControlPlane* live = nullptr;
 };
 
 /// Parses one `metric,time,value` telemetry line. Exposed for tests.
@@ -70,6 +83,19 @@ class Router {
   /// kResponse). Errors become wire statuses with the Status message as
   /// payload; this never fails out-of-band.
   Frame Handle(const Frame& request);
+
+  /// The mutex serializing all access to the wired stores. Anything else
+  /// that touches them while the router serves — the LiveControlPlane's
+  /// snapshot/publish stages — must lock it (shared to read, unique to
+  /// write) so telemetry appends and recommendation swaps stay atomic with
+  /// respect to served requests.
+  std::shared_mutex& store_mutex() { return mu_; }
+
+  /// Wires the live control plane after construction — the plane itself is
+  /// built against this router's store_mutex(), so it cannot exist yet when
+  /// the RouterConfig is assembled. Call before serving starts; Handle()
+  /// reads the pointer unsynchronized.
+  void set_live(const live::LiveControlPlane* live) { config_.live = live; }
 
  private:
   Result<std::string> Dispatch(Method method, const std::string& payload);

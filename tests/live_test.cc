@@ -1,0 +1,441 @@
+// Tests for the src/live streaming control plane: the end-to-end scenario
+// (telemetry spike in -> recommendation out, then decay), §7.6 fault
+// tolerance (a failed tick keeps serving the previous snapshot while
+// staleness rises), idle-vs-failed tick semantics, warm refits, the Health
+// surface, and publish-while-tick concurrency (the TSan job runs this
+// binary). All time is virtual: telemetry times are caller-supplied and the
+// staleness clock is injected, so every assertion is deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/recommendation_engine.h"
+#include "exec/thread_pool.h"
+#include "live/live_control_plane.h"
+#include "net/frame.h"
+#include "net/router.h"
+#include "obs/metrics.h"
+#include "service/document_store.h"
+#include "service/recommendation_io.h"
+#include "service/telemetry_store.h"
+
+namespace ipool {
+namespace {
+
+using live::LiveControlPlane;
+using live::LiveControlPlaneConfig;
+using live::LiveStatus;
+using live::TickStatus;
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+net::Frame MakeRequest(net::Method method, std::string payload) {
+  net::Frame frame;
+  frame.type = net::FrameType::kRequest;
+  frame.method = method;
+  frame.request_id = 11;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+/// Publishes `count` equally spaced points through the router, the same
+/// path a live client takes (so the test exercises the store mutex the
+/// plane shares with served requests).
+void PublishPoints(net::Router* router, const std::string& metric,
+                   double start, size_t count, double value,
+                   double interval = 30.0) {
+  std::string payload;
+  for (size_t i = 0; i < count; ++i) {
+    payload += StrFormat("%s,%.1f,%.1f\n", metric.c_str(),
+                         start + interval * static_cast<double>(i), value);
+  }
+  net::Frame response =
+      router->Handle(MakeRequest(net::Method::kPublishTelemetry, payload));
+  ASSERT_EQ(response.status, net::WireStatus::kOk) << response.payload;
+}
+
+/// Fetches and parses the served recommendation for `key`.
+Result<StoredRecommendation> GetServed(net::Router* router,
+                                       const std::string& key) {
+  net::Frame response =
+      router->Handle(MakeRequest(net::Method::kGetRecommendation, key));
+  if (response.status != net::WireStatus::kOk) {
+    return Status::NotFound(response.payload);
+  }
+  return ParseRecommendation(response.payload);
+}
+
+int64_t MaxPool(const StoredRecommendation& stored) {
+  int64_t max = 0;
+  for (int64_t size : stored.recommendation.pool_size_per_bin) {
+    max = std::max(max, size);
+  }
+  return max;
+}
+
+/// Small deterministic pipeline: the baseline model forecasts
+/// gamma * max(history), so served pool sizes track the window maximum and
+/// the spike/decay scenario is exactly predictable.
+PipelineConfig BaselinePipeline() {
+  PipelineConfig config;
+  config.model = ModelKind::kBaseline;
+  config.recommendation_bins = 8;
+  config.forecast.window = 16;
+  config.forecast.horizon = 8;
+  config.saa.pool.tau_bins = 1;
+  config.saa.pool.stableness_bins = 4;
+  return config;
+}
+
+LiveControlPlaneConfig SmallLiveConfig() {
+  LiveControlPlaneConfig config;
+  config.bin_interval_seconds = 30.0;
+  config.history_bins = 16;
+  config.min_history_points = 8;
+  return config;
+}
+
+TEST(LiveConfigTest, ValidateRejectsBadValues) {
+  LiveControlPlaneConfig config;
+  config.tick_interval_seconds = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = LiveControlPlaneConfig();
+  config.demand_metric_prefix = "";
+  EXPECT_FALSE(config.Validate().ok());
+  config = LiveControlPlaneConfig();
+  config.history_bins = 4;
+  EXPECT_FALSE(config.Validate().ok());
+  config = LiveControlPlaneConfig();
+  config.min_history_points = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(LiveControlPlaneConfig().Validate().ok());
+
+  TelemetryStore telemetry;
+  DocumentStore documents;
+  EXPECT_FALSE(LiveControlPlane::Create(nullptr, &telemetry, &documents,
+                                        nullptr, LiveControlPlaneConfig())
+                   .ok());
+}
+
+// The ISSUE's end-to-end scenario: a demand spike injected through
+// PublishTelemetry moves the served pool size within one tick, and once the
+// spike ages out of the history window the pool decays back.
+TEST(LiveControlPlaneTest, SpikeRaisesServedPoolThenDecays) {
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  double now = 0.0;
+  LiveControlPlaneConfig config = SmallLiveConfig();
+  config.obs.metrics = &registry;
+  config.clock = [&now] { return now; };
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        &router.store_mutex(), config);
+  ASSERT_TRUE(plane.ok()) << plane.status().ToString();
+  router.set_live(plane->get());
+
+  // No telemetry yet: the tick is idle and nothing is served.
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kIdle);
+  EXPECT_FALSE(GetServed(&router, "east").ok());
+
+  // Steady demand of 4 -> the baseline forecast is flat 4.
+  PublishPoints(&router, "demand.east", /*start=*/0.0, /*count=*/8,
+                /*value=*/4.0);
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  auto steady = GetServed(&router, "east");
+  ASSERT_TRUE(steady.ok()) << steady.status().ToString();
+  // The recommendation starts one bin after the newest telemetry point.
+  EXPECT_DOUBLE_EQ(steady->start_time, 210.0 + 30.0);
+  const int64_t steady_max = MaxPool(*steady);
+  EXPECT_GE(steady_max, 1);
+  EXPECT_LE(steady_max, 8);
+
+  // Spike to 40: the window maximum jumps, so the pool must grow.
+  PublishPoints(&router, "demand.east", /*start=*/240.0, /*count=*/8,
+                /*value=*/40.0);
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  auto spiked = GetServed(&router, "east");
+  ASSERT_TRUE(spiked.ok());
+  const int64_t spike_max = MaxPool(*spiked);
+  EXPECT_GT(spike_max, steady_max);
+
+  // 16 quiet bins push the spike out of the 16-bin window: decay.
+  PublishPoints(&router, "demand.east", /*start=*/480.0, /*count=*/16,
+                /*value=*/1.0);
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  auto decayed = GetServed(&router, "east");
+  ASSERT_TRUE(decayed.ok());
+  EXPECT_LT(MaxPool(*decayed), spike_max);
+
+  // The loop's own metrics saw three ok ticks and one idle one.
+  EXPECT_EQ(
+      registry.GetCounter("ipool_live_ticks_total", {{"status", "ok"}})
+          ->value(),
+      3u);
+  EXPECT_EQ(
+      registry.GetCounter("ipool_live_ticks_total", {{"status", "idle"}})
+          ->value(),
+      1u);
+  EXPECT_EQ(
+      registry.GetCounter("ipool_live_ticks_total", {{"status", "failed"}})
+          ->value(),
+      0u);
+}
+
+// §7.6: a pool whose pipeline fails keeps serving its previous document
+// while the staleness age keeps rising; the next good tick recovers.
+TEST(LiveControlPlaneTest, FailedTickKeepsServingPreviousSnapshot) {
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+
+  double now = 1000.0;
+  LiveControlPlaneConfig config = SmallLiveConfig();
+  config.obs.metrics = &registry;
+  config.clock = [&now] { return now; };
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        &router.store_mutex(), config);
+  ASSERT_TRUE(plane.ok());
+
+  PublishPoints(&router, "demand.east", 0.0, 8, 4.0);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  net::Frame before =
+      router.Handle(MakeRequest(net::Method::kGetRecommendation, "east"));
+  ASSERT_EQ(before.status, net::WireStatus::kOk);
+
+  // Inject a pipeline fault two minutes later: the tick fails, the served
+  // payload is byte-identical, and the age gauge reports the stale window.
+  now += 120.0;
+  (*plane)->InjectFailures(1);
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kFailed);
+  net::Frame during =
+      router.Handle(MakeRequest(net::Method::kGetRecommendation, "east"));
+  EXPECT_EQ(during.status, net::WireStatus::kOk);
+  EXPECT_EQ(during.payload, before.payload);
+
+  LiveStatus status = (*plane)->Snapshot();
+  EXPECT_EQ(status.ticks_failed, 1u);
+  EXPECT_EQ(status.last_tick_status, TickStatus::kFailed);
+  EXPECT_TRUE(Contains(status.last_error, "injected"));
+  EXPECT_DOUBLE_EQ(status.max_recommendation_age_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(
+      registry
+          .GetGauge("ipool_live_recommendation_age_seconds",
+                    {{"pool", "east"}})
+          ->value(),
+      120.0);
+  EXPECT_EQ(registry.GetCounter("ipool_live_pool_failures_total")->value(),
+            1u);
+
+  // Staleness keeps rising between ticks while the failure persists.
+  now += 60.0;
+  EXPECT_DOUBLE_EQ((*plane)->Snapshot().max_recommendation_age_seconds,
+                   180.0);
+
+  // The next tick (no fault) republishes and the age snaps back to zero.
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  status = (*plane)->Snapshot();
+  EXPECT_EQ(status.last_tick_status, TickStatus::kOk);
+  EXPECT_DOUBLE_EQ(status.max_recommendation_age_seconds, 0.0);
+}
+
+// Pools below the history floor are not yet pools: they are skipped and the
+// tick counts as idle, never failed (the CI smoke job asserts zero failed
+// ticks on a freshly started server).
+TEST(LiveControlPlaneTest, InsufficientTelemetryIsIdleNotFailed) {
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+  LiveControlPlaneConfig config = SmallLiveConfig();
+  config.obs.metrics = &registry;
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        nullptr, config);
+  ASSERT_TRUE(plane.ok());
+
+  for (size_t i = 0; i < 4; ++i) {  // below min_history_points = 8
+    ASSERT_TRUE(
+        telemetry.Record("demand.young", 30.0 * static_cast<double>(i), 2.0)
+            .ok());
+  }
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kIdle);
+  EXPECT_FALSE(documents.Get("young").ok());
+  EXPECT_EQ(registry.GetCounter("ipool_live_pools_skipped_total")->value(),
+            1u);
+  EXPECT_EQ(
+      registry.GetCounter("ipool_live_ticks_total", {{"status", "failed"}})
+          ->value(),
+      0u);
+
+  // Metrics that do not carry the demand prefix are never pools.
+  ASSERT_TRUE(telemetry.Record("latency.east", 0.0, 1.0).ok());
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kIdle);
+  EXPECT_FALSE(documents.Get("latency.east").ok());
+}
+
+// --warm-refit carries per-pool SSA training state across ticks: the second
+// tick's refit must warm-start (observable through the SSA counter).
+TEST(LiveControlPlaneTest, WarmRefitReusesForecasterState) {
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+
+  PipelineConfig pipeline;
+  pipeline.model = ModelKind::kSsa;
+  pipeline.recommendation_bins = 8;
+  pipeline.forecast.window = 16;
+  pipeline.forecast.ssa_rank = 4;
+  pipeline.saa.pool.tau_bins = 1;
+  pipeline.saa.pool.stableness_bins = 4;
+  pipeline.obs.metrics = &registry;
+  auto engine = RecommendationEngine::Create(pipeline);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  LiveControlPlaneConfig config;
+  config.bin_interval_seconds = 30.0;
+  config.history_bins = 64;
+  config.min_history_points = 32;
+  config.warm_refit = true;
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        nullptr, config);
+  ASSERT_TRUE(plane.ok());
+
+  for (size_t i = 0; i < 64; ++i) {  // a deterministic periodic series
+    const double value = 5.0 + static_cast<double>(i % 8);
+    ASSERT_TRUE(
+        telemetry.Record("demand.ssa", 30.0 * static_cast<double>(i), value)
+            .ok());
+  }
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  const uint64_t hits_after_cold =
+      registry.GetCounter("ipool_ssa_warm_start_hits_total")->value();
+
+  // One more point slides the window; the refit reuses the cached state.
+  ASSERT_TRUE(telemetry.Record("demand.ssa", 30.0 * 64.0, 5.0).ok());
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  EXPECT_GT(registry.GetCounter("ipool_ssa_warm_start_hits_total")->value(),
+            hits_after_cold);
+  EXPECT_TRUE(documents.Get("ssa").ok());
+}
+
+// Health folds the loop's tick counters and staleness into its payload once
+// a plane is wired in.
+TEST(LiveControlPlaneTest, HealthReportsLiveFields) {
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+  auto plane =
+      LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                               &router.store_mutex(), SmallLiveConfig());
+  ASSERT_TRUE(plane.ok());
+  router.set_live(plane->get());
+
+  net::Frame idle = router.Handle(MakeRequest(net::Method::kHealth, ""));
+  ASSERT_EQ(idle.status, net::WireStatus::kOk);
+  EXPECT_TRUE(Contains(idle.payload, "ok\n"));
+  EXPECT_TRUE(Contains(idle.payload, "live_ticks_total 0"));
+  EXPECT_TRUE(Contains(idle.payload, "live_last_tick_status idle"));
+
+  PublishPoints(&router, "demand.east", 0.0, 8, 4.0);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  net::Frame live = router.Handle(MakeRequest(net::Method::kHealth, ""));
+  EXPECT_TRUE(Contains(live.payload, "live_ticks_total 1"));
+  EXPECT_TRUE(Contains(live.payload, "live_last_tick_status ok"));
+  EXPECT_TRUE(Contains(live.payload, "live_pools_published 1"));
+}
+
+// Publish-while-tick: writers hammer the router while the Start()ed loop
+// snapshots and publishes against the same store mutex. The TSan job runs
+// this test; any lock-discipline slip between the three tick stages and the
+// served paths is a data-race report here.
+TEST(LiveControlPlaneTest, ConcurrentPublishWhileTicking) {
+  DocumentStore documents;
+  TelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+
+  exec::ThreadPool pool(2);
+  LiveControlPlaneConfig config = SmallLiveConfig();
+  config.tick_interval_seconds = 0.002;
+  config.min_history_points = 4;
+  config.exec.pool = &pool;
+  config.obs.metrics = &registry;
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        &router.store_mutex(), config);
+  ASSERT_TRUE(plane.ok());
+  router.set_live(plane->get());
+
+  (*plane)->Start();
+  (*plane)->Start();  // idempotent
+
+  constexpr size_t kWriters = 4;
+  constexpr size_t kBatches = 60;
+  std::atomic<size_t> write_failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::string metric = StrFormat("demand.writer-%zu", w);
+      for (size_t b = 0; b < kBatches; ++b) {
+        const std::string line = StrFormat(
+            "%s,%.1f,%.1f\n", metric.c_str(),
+            30.0 * static_cast<double>(b), 3.0);
+        net::Frame response = router.Handle(
+            MakeRequest(net::Method::kPublishTelemetry, line));
+        if (response.status != net::WireStatus::kOk) {
+          write_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread reader([&] {
+    for (size_t i = 0; i < 200; ++i) {
+      router.Handle(MakeRequest(net::Method::kGetRecommendation,
+                                "writer-0"));
+      router.Handle(MakeRequest(net::Method::kHealth, ""));
+      router.Handle(MakeRequest(net::Method::kMetrics, ""));
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  reader.join();
+  (*plane)->Stop();
+  (*plane)->Stop();  // idempotent
+
+  EXPECT_EQ(write_failures.load(), 0u);
+  LiveStatus status = (*plane)->Snapshot();
+  EXPECT_GE(status.ticks_total, 1u);
+  EXPECT_EQ(status.ticks_failed, 0u);
+
+  // A final synchronous tick after the writers drain must publish the fleet.
+  EXPECT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  for (size_t w = 0; w < kWriters; ++w) {
+    EXPECT_TRUE(documents.Get(StrFormat("writer-%zu", w)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ipool

@@ -202,6 +202,18 @@ TEST(RouterTest, ServesDocumentsAndHealth) {
   EXPECT_EQ(router.Handle(MakeRequest(Method::kHealth, "")).payload, "ok");
 }
 
+TEST(RouterTest, HealthRejectsPayload) {
+  // A Health probe carries no arguments: a payload means the client sent
+  // the wrong method byte (or a corrupted frame slipped through), and
+  // serving it anyway would mask that bug.
+  Router router(RouterConfig{});
+  Frame bad = router.Handle(MakeRequest(Method::kHealth, "x"));
+  EXPECT_EQ(bad.status, WireStatus::kInvalidArgument);
+  EXPECT_TRUE(Contains(bad.payload, "no payload"));
+  EXPECT_EQ(router.Handle(MakeRequest(Method::kHealth, "")).status,
+            WireStatus::kOk);
+}
+
 TEST(RouterTest, PublishesTelemetryAtomically) {
   TelemetryStore telemetry;
   Router router(RouterConfig{nullptr, &telemetry, nullptr});

@@ -17,7 +17,12 @@
 //                       [--profile east-medium | --demand demand.csv]
 //                       [--days 2] [--seed 7] [--model ssa+] [--key NAME]
 //                       [--max-seconds 0] [--max-inflight 64]
+//                       [--loop-interval 0] [--min-history 64]
+//                       [--warm-refit 1] [--history-bins 480]
 //   ipool_cli get       --port 7070 [--key NAME] [--trace 1]
+//   ipool_cli publish   --port 7070 --metric demand.POOL [--start 0]
+//                       [--interval 30] [--count N --value V |
+//                       --values v0,v1,...]
 //   ipool_cli trace     --port 7070 [--limit 256]
 //   ipool_cli profile   --bench table1|fig5 [--threads 4] [--repeat 3]
 //                       [--days 1] [--epochs 2] [--max-overhead-pct 3]
@@ -33,6 +38,14 @@
 // gracefully for --drain-timeout seconds. `--threads N` sizes the handler
 // pool (0 = handle on the event loop). The server keeps a Tracer: every
 // request's spans are recorded under the client-stamped trace id.
+//
+// `serve --loop-interval T` (T > 0) additionally runs the in-process
+// streaming control plane (src/live): every tick it discovers pools from
+// `demand.<pool>` telemetry metrics, warm-refits each pool's forecaster,
+// solves, and atomically republishes the fleet's recommendation documents
+// — PublishTelemetry traffic continuously reshapes what GetRecommendation
+// returns. `publish` injects synthetic telemetry into a running server
+// (the spike half of the spike -> resize demo; see README).
 //
 // `get --trace 1` runs the fetch with client-side tracing, then pulls the
 // server's recent spans and prints both halves of the request's trace —
@@ -84,6 +97,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "live/live_control_plane.h"
 #include "exec/task_profiler.h"
 #include "exec/thread_pool.h"
 #include "forecast/forecaster.h"
@@ -143,8 +157,12 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
       {"serve",
        {"port", "threads", "drain-timeout", "profile", "demand", "days",
         "seed", "model", "key", "max-seconds", "max-inflight", "window",
-        "horizon", "loss-alpha", "alpha", "tau-bins", "max-pool", "bins"}},
+        "horizon", "loss-alpha", "alpha", "tau-bins", "max-pool", "bins",
+        "loop-interval", "min-history", "warm-refit", "history-bins"}},
       {"get", {"host", "port", "key", "timeout", "retries", "trace"}},
+      {"publish",
+       {"host", "port", "metric", "start", "interval", "count", "value",
+        "values", "timeout", "retries"}},
       {"scrape", {"host", "port", "timeout", "retries"}},
       {"trace", {"host", "port", "timeout", "retries", "limit"}},
       {"profile",
@@ -588,8 +606,33 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // here, keyed by the trace id each client stamps into its frames.
   // `ipool_cli trace` (the Trace method) reads them back.
   obs::Tracer tracer;
+
+  // --loop-interval > 0 runs the streaming control plane inside the server:
+  // every `demand.<pool>` telemetry metric becomes a pool whose document is
+  // re-published each tick. It shares the router's store mutex so published
+  // fleets swap atomically under concurrent reads.
+  std::unique_ptr<live::LiveControlPlane> live_plane;
+  const double loop_interval = NumFlag(flags, "loop-interval", 0.0);
+
   net::Router router(
       net::RouterConfig{&documents, &telemetry, &registry, &tracer});
+  if (loop_interval > 0.0) {
+    live::LiveControlPlaneConfig live_config;
+    live_config.tick_interval_seconds = loop_interval;
+    live_config.bin_interval_seconds = demand.interval();
+    live_config.history_bins = static_cast<size_t>(
+        NumFlag(flags, "history-bins", 480));
+    live_config.min_history_points =
+        static_cast<size_t>(NumFlag(flags, "min-history", 64));
+    live_config.warm_refit = NumFlag(flags, "warm-refit", 1) != 0;
+    live_config.exec.pool = pool.get();
+    live_config.obs = ObsContext{&registry, &tracer};
+    live_plane = DieOnError(
+        live::LiveControlPlane::Create(&engine, &telemetry, &documents,
+                                       &router.store_mutex(), live_config),
+        "live control plane");
+    router.set_live(live_plane.get());
+  }
   net::ServerConfig server_config;
   server_config.port = static_cast<uint16_t>(NumFlag(flags, "port", 7070));
   server_config.pool = pool.get();
@@ -606,6 +649,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                          }),
       "serve");
 
+  if (live_plane != nullptr) live_plane->Start();
+
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
   std::printf("serving %s (document '%s', %zu bins) on 127.0.0.1:%u\n",
@@ -614,6 +659,14 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   std::printf("methods: GetRecommendation PublishTelemetry Health Metrics "
               "Trace; %zu handler threads; ctrl-c to drain\n",
               threads);
+  if (live_plane != nullptr) {
+    std::printf("live loop: tick every %.2fs, pools from telemetry metrics "
+                "'%s<pool>' (>= %zu points), %zu history bins\n",
+                loop_interval,
+                live_plane->config().demand_metric_prefix.c_str(),
+                live_plane->config().min_history_points,
+                live_plane->config().history_bins);
+  }
   std::fflush(stdout);
 
   const double max_seconds = NumFlag(flags, "max-seconds", 0.0);
@@ -629,6 +682,20 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   }
   std::printf("draining (up to %.1fs)...\n", drain_timeout);
   std::fflush(stdout);
+  // The live loop stops before the server so no tick publishes into a
+  // draining control plane; the in-flight tick finishes first.
+  if (live_plane != nullptr) {
+    live_plane->Stop();
+    const live::LiveStatus live_status = live_plane->Snapshot();
+    std::printf(
+        "live loop: %llu ticks (%llu ok, %llu failed, %llu idle), "
+        "%zu pools published\n",
+        static_cast<unsigned long long>(live_status.ticks_total),
+        static_cast<unsigned long long>(live_status.ticks_ok),
+        static_cast<unsigned long long>(live_status.ticks_failed),
+        static_cast<unsigned long long>(live_status.ticks_idle),
+        live_status.pools_published);
+  }
   server->Shutdown(drain_timeout);
   if (pool != nullptr) pool->PublishTo(&registry);
   std::printf(
@@ -677,6 +744,57 @@ std::string FilterSpansByTrace(const std::string& jsonl, uint64_t trace_id) {
     begin = end + 1;
   }
   return out;
+}
+
+// Publishes a synthetic telemetry series (metric,time,value lines) to a
+// running server — the injection half of the live-loop workflow: publish a
+// demand spike under `demand.<pool>`, then watch `get --key <pool>` move
+// within a few ticks.
+int CmdPublish(const std::map<std::string, std::string>& flags) {
+  net::Client client(ClientFromFlags(flags));
+  const std::string metric = RequiredFlag(flags, "metric");
+  const double start = NumFlag(flags, "start", 0.0);
+  const double interval = NumFlag(flags, "interval", 30.0);
+  std::vector<double> values;
+  if (auto it = flags.find("values"); it != flags.end()) {
+    // --values "v0,v1,..." — one point per item, `interval` apart.
+    std::string item;
+    for (size_t i = 0; i <= it->second.size(); ++i) {
+      if (i < it->second.size() && it->second[i] != ',') {
+        item += it->second[i];
+        continue;
+      }
+      values.push_back(DieOnError(ParseDouble(item), "values"));
+      item.clear();
+    }
+  } else {
+    const size_t count = static_cast<size_t>(NumFlag(flags, "count", 1));
+    values.assign(count, NumFlag(flags, "value", 1.0));
+  }
+  if (values.empty()) Die("publish: no points");
+  // Batches stay under the router's per-request telemetry-line cap.
+  size_t sent = 0;
+  while (sent < values.size()) {
+    const size_t batch = std::min<size_t>(4096, values.size() - sent);
+    std::string payload;
+    for (size_t i = 0; i < batch; ++i) {
+      payload += StrFormat("%s,%.6f,%.6f\n", metric.c_str(),
+                           start + interval * static_cast<double>(sent + i),
+                           values[sent + i]);
+    }
+    auto response =
+        client.Call(net::Method::kPublishTelemetry, std::move(payload));
+    if (!response.ok()) Die("publish: " + response.status().ToString());
+    if (response->status != net::WireStatus::kOk) {
+      Die("publish rejected: " + response->payload);
+    }
+    sent += batch;
+  }
+  std::printf("published %zu points to %s (t = [%.1f, %.1f] step %.1f)\n",
+              values.size(), metric.c_str(), start,
+              start + interval * static_cast<double>(values.size() - 1),
+              interval);
+  return 0;
 }
 
 int CmdGet(const std::map<std::string, std::string>& flags) {
@@ -1066,13 +1184,17 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ipool_cli <generate|recommend|evaluate|simulate|"
-                 "sweep|loop|serve|get|scrape|trace|profile> "
+                 "sweep|loop|serve|get|publish|scrape|trace|profile> "
                  "[--flag value ...]\n"
                  "  serve:   --port 7070 --threads 4 --drain-timeout 5\n"
                  "           (plus --profile/--demand/--model/--key/"
                  "--max-seconds)\n"
+                 "           --loop-interval 5 runs the live control plane "
+                 "(--min-history 64, --warm-refit 1, --history-bins 480)\n"
                  "  get:     --port 7070 [--host 127.0.0.1] --key east-medium"
                  " [--trace 1]\n"
+                 "  publish: --port 7070 --metric demand.POOL [--start 0]"
+                 " [--interval 30] [--count N --value V | --values v0,v1,..]\n"
                  "  scrape:  --port 7070 [--host 127.0.0.1]\n"
                  "  trace:   --port 7070 [--limit 256]\n"
                  "  profile: --bench table1|fig5 --threads 4 [--repeat 3]"
@@ -1089,6 +1211,7 @@ int main(int argc, char** argv) {
   if (command == "loop") return CmdLoop(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "get") return CmdGet(flags);
+  if (command == "publish") return CmdPublish(flags);
   if (command == "scrape") return CmdScrape(flags);
   if (command == "trace") return CmdTrace(flags);
   if (command == "profile") return CmdProfile(flags);
