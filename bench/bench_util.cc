@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "forecast/forecaster.h"
 #include "obs/export.h"
@@ -34,11 +35,7 @@ std::vector<CurvePoint> ParetoFront(std::vector<CurvePoint> points) {
   return front;
 }
 
-std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
-                                          PipelineKind pipeline,
-                                          const TimeSeries& train,
-                                          const TimeSeries& eval,
-                                          const exec::ExecContext& exec) {
+std::vector<std::pair<double, double>> TradeoffGridPoints(ModelKind model) {
   const bool quick = QuickMode();
   const std::vector<double> loss_alphas =
       model == ModelKind::kBaseline
@@ -49,47 +46,65 @@ std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
   const std::vector<double> saa_alphas =
       quick ? std::vector<double>{0.5, 0.1}
             : std::vector<double>{0.8, 0.5, 0.2, 0.05, 0.01, 0.002};
-
-  // Flattened grid, fanned out over the pool (each point is a full
-  // independent pipeline run writing only its own slot). The point order is
-  // index-fixed, so the computed front matches the serial sweep exactly.
   std::vector<std::pair<double, double>> grid;
+  grid.reserve(loss_alphas.size() * saa_alphas.size());
   for (double loss_alpha : loss_alphas) {
     for (double saa_alpha : saa_alphas) {
       grid.emplace_back(loss_alpha, saa_alpha);
     }
   }
+  return grid;
+}
+
+CurvePoint EvalTradeoffPoint(ModelKind model, PipelineKind pipeline,
+                             const TimeSeries& train, const TimeSeries& eval,
+                             double loss_alpha, double saa_alpha) {
+  const bool quick = QuickMode();
+  PipelineConfig config;
+  config.kind = pipeline;
+  config.model = model;
+  config.forecast.window = 144;  // spans > 1 hour: sees the hourly cycle
+  // Long native horizon: the paper predicts 1200 steps in one shot;
+  // iterating a short-horizon model over hundreds of steps compounds
+  // errors.
+  config.forecast.horizon = quick ? 120 : 240;
+  config.forecast.epochs = quick ? 2 : 4;
+  config.forecast.stride = quick ? 48 : 12;
+  config.forecast.batch_size = 8;
+  config.recommendation_bins = eval.size();
+  config.saa.pool = EvalPool();
+  config.saa.alpha_prime = saa_alpha;
+  if (model == ModelKind::kBaseline) {
+    config.forecast.gamma = loss_alpha;
+  } else {
+    config.forecast.alpha_prime = loss_alpha;
+  }
+  auto engine = CheckOk(RecommendationEngine::Create(config), "engine");
+  auto rec = CheckOk(engine.Run(train), "pipeline");
+  auto metrics = CheckOk(
+      EvaluateSchedule(eval, rec.pool_size_per_bin, config.saa.pool),
+      "evaluate");
+  return {loss_alpha, saa_alpha, metrics};
+}
+
+std::vector<CurvePoint> SweepTradeoffGrid(ModelKind model,
+                                          PipelineKind pipeline,
+                                          const TimeSeries& train,
+                                          const TimeSeries& eval,
+                                          const exec::ExecContext& exec) {
+  // Flattened grid, fanned out over the pool (each point is a full
+  // independent pipeline run writing only its own slot). The point order is
+  // index-fixed, so the computed front matches the serial sweep exactly.
+  const std::vector<std::pair<double, double>> grid = TradeoffGridPoints(model);
   std::vector<CurvePoint> points(grid.size());
   exec::ParallelFor(
       exec, 0, grid.size(),
       [&](size_t lo, size_t hi) {
     for (size_t idx = lo; idx < hi; ++idx) {
       const auto [loss_alpha, saa_alpha] = grid[idx];
-      PipelineConfig config;
-      config.kind = pipeline;
-      config.model = model;
-      config.forecast.window = 144;  // spans > 1 hour: sees the hourly cycle
-      // Long native horizon: the paper predicts 1200 steps in one shot;
-      // iterating a short-horizon model over hundreds of steps compounds
-      // errors.
-      config.forecast.horizon = quick ? 120 : 240;
-      config.forecast.epochs = quick ? 2 : 4;
-      config.forecast.stride = quick ? 48 : 12;
-      config.forecast.batch_size = 8;
-      config.recommendation_bins = eval.size();
-      config.saa.pool = EvalPool();
-      config.saa.alpha_prime = saa_alpha;
-      if (model == ModelKind::kBaseline) {
-        config.forecast.gamma = loss_alpha;
-      } else {
-        config.forecast.alpha_prime = loss_alpha;
-      }
-      auto engine = CheckOk(RecommendationEngine::Create(config), "engine");
-      auto rec = CheckOk(engine.Run(train), "pipeline");
-      auto metrics = CheckOk(
-          EvaluateSchedule(eval, rec.pool_size_per_bin, config.saa.pool),
-          "evaluate");
-      points[idx] = {loss_alpha, saa_alpha, metrics};
+      points[idx] =
+          EvalTradeoffPoint(model, pipeline, train, eval, loss_alpha,
+                            saa_alpha);
     }
       },
       {.label = "bench.tradeoff_grid"});
@@ -119,6 +134,17 @@ double Speedup(const ParallelBenchRecord& record) {
 }
 }  // namespace
 
+double QueueWaitOverRun(const std::vector<exec::TaskRecord>& records) {
+  double wait = 0.0;
+  double run = 0.0;
+  for (const exec::TaskRecord& r : records) {
+    if (r.kind != exec::TaskKind::kChunk) continue;
+    wait += r.queue_seconds();
+    run += r.run_seconds();
+  }
+  return run > 0.0 ? wait / run : 0.0;
+}
+
 void AppendParallelBench(const ParallelBenchRecord& record) {
   const char* env = std::getenv("IPOOL_BENCH_JSON");
   const char* path = env != nullptr ? env : "BENCH_parallel.json";
@@ -127,13 +153,21 @@ void AppendParallelBench(const ParallelBenchRecord& record) {
     std::fprintf(stderr, "cannot append to %s\n", path);
     return;
   }
+  const size_t hw = record.hw_threads != 0
+                        ? record.hw_threads
+                        : static_cast<size_t>(std::max(
+                              1u, std::thread::hardware_concurrency()));
   std::fprintf(f,
                "{\"benchmark\":\"%s\",\"threads\":%zu,"
                "\"serial_seconds\":%.6f,\"parallel_seconds\":%.6f,"
-               "\"speedup\":%.3f,\"outputs_match\":%s}\n",
+               "\"speedup\":%.3f,\"outputs_match\":%s,"
+               "\"chunking\":\"%s\",\"grain\":%zu,"
+               "\"queue_wait_over_run\":%.3f,\"hw_threads\":%zu}\n",
                record.benchmark.c_str(), record.threads,
                record.serial_seconds, record.parallel_seconds,
-               Speedup(record), record.outputs_match ? "true" : "false");
+               Speedup(record), record.outputs_match ? "true" : "false",
+               record.chunking.c_str(), record.grain,
+               record.queue_wait_over_run, hw);
   std::fclose(f);
 }
 
@@ -145,6 +179,9 @@ void PrintParallelSummary(const ParallelBenchRecord& record) {
               record.serial_seconds, record.parallel_seconds, Speedup(record),
               record.outputs_match ? "bit-identical to serial"
                                    : "DIFFER FROM SERIAL (bug!)");
+  std::printf("chunking %s, grain %zu, queue_wait/run %.2f, hw threads %u\n",
+              record.chunking.c_str(), record.grain,
+              record.queue_wait_over_run, std::thread::hardware_concurrency());
 }
 
 TradeoffDataset MakeTradeoffDataset(uint64_t seed) {

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
+#include "exec/task_profiler.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "solver/pool_model.h"
@@ -123,6 +124,17 @@ struct CurvePoint {
 /// idle.
 std::vector<CurvePoint> ParetoFront(std::vector<CurvePoint> points);
 
+/// The (Eq 12 loss alpha', SAA alpha') grid SweepTradeoffGrid evaluates for
+/// `model` (baselines sweep gamma instead of alpha'; IPOOL_QUICK shrinks the
+/// grid). Exposed so benches can flatten several sweeps into one fan-out.
+std::vector<std::pair<double, double>> TradeoffGridPoints(ModelKind model);
+
+/// Runs the full pipeline for one tradeoff grid point — fit on `train`,
+/// recommend, score against `eval` — and returns the evaluated point.
+CurvePoint EvalTradeoffPoint(ModelKind model, PipelineKind pipeline,
+                             const TimeSeries& train, const TimeSeries& eval,
+                             double loss_alpha, double saa_alpha);
+
 /// Evaluates a grid of (Eq 12 loss alpha', SAA alpha') combinations for one
 /// model and pipeline — the paper examines "various combinations of penalty
 /// values" — scoring each emitted schedule against `eval`. Returns the
@@ -142,14 +154,29 @@ size_t ThreadsOption(int argc, char** argv);
 
 /// One serial-vs-parallel comparison of a bench binary: total wall-clock of
 /// the serial and the fanned-out pass plus whether the parallel pass
-/// reproduced the serial outputs exactly (the determinism contract).
+/// reproduced the serial outputs exactly (the determinism contract). The
+/// decomposition fields make regressions diagnosable from the artifact
+/// alone: `chunking` / `grain` record how the fan-out was split,
+/// `queue_wait_over_run` is the profiler's chunk queue-wait over run-time
+/// ratio (≫1 means executors outnumber useful chunks — the PR-5 failure
+/// mode), and `hw_threads` is the machine's hardware concurrency (a
+/// `threads` > `hw_threads` run cannot exceed ~1× no matter the split).
 struct ParallelBenchRecord {
   std::string benchmark;
   size_t threads = 0;
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
   bool outputs_match = false;
+  std::string chunking = "dynamic";  // "dynamic", "static" or "cost"
+  size_t grain = 1;
+  double queue_wait_over_run = 0.0;
+  size_t hw_threads = 0;  // filled by AppendParallelBench when left 0
 };
+
+/// Sum of chunk queue-wait over sum of chunk run-time across `records`
+/// (TaskKind::kChunk only); 0 when nothing was recorded. Feed it a
+/// TaskProfiler attached around the parallel pass.
+double QueueWaitOverRun(const std::vector<exec::TaskRecord>& records);
 
 /// Appends the record (one JSON object per line, speedup included) to the
 /// file named by IPOOL_BENCH_JSON, default "BENCH_parallel.json" in the

@@ -240,25 +240,44 @@ int main(int argc, char** argv) {
   // bit-identical — training is seeded and the cells share nothing.
   const size_t threads = ThreadsOption(argc, argv);
   if (threads > 0) {
+    // The serial table already measured every cell: reuse those times as the
+    // chunker's cost model (a TST cell at 1 day costs ~100x an SSA cell at
+    // 0.25 days, the exact skew that starved the even split).
+    std::vector<double> cell_costs(days.size() * models.size());
+    for (size_t di = 0; di < days.size(); ++di) {
+      for (size_t mi = 0; mi < models.size(); ++mi) {
+        cell_costs[di * models.size() + mi] = times[di][mi];
+      }
+    }
     exec::ThreadPool pool(threads);
     const exec::ExecContext exec{&pool};
+    exec::TaskProfiler profiler;
+    pool.AttachProfiler(&profiler);
     WallTimer parallel_timer;
     std::vector<std::vector<double>> redo =
         exec::ParallelMap(
-            exec, days.size() * models.size(), [&](size_t cell) {
+            exec, days.size() * models.size(),
+            [&](size_t cell) {
               const size_t di = cell / models.size();
               const size_t mi = cell % models.size();
               auto forecaster =
                   CheckOk(CreateForecaster(models[mi], params), "create");
               CheckOk(forecaster->Fit(histories[di]), "fit");
               return CheckOk(forecaster->Forecast(48), "forecast");
-            });
+            },
+            {.label = "bench.fig6_cells", .costs = cell_costs.data()});
+    const double parallel_seconds = parallel_timer.Seconds();
+    pool.Wait();
+    pool.AttachProfiler(nullptr);
     ParallelBenchRecord record;
     record.benchmark = "fig6_training_time";
     record.threads = threads;
     record.serial_seconds = serial_seconds;
-    record.parallel_seconds = parallel_timer.Seconds();
+    record.parallel_seconds = parallel_seconds;
     record.outputs_match = redo == fingerprints;
+    record.chunking = "cost";
+    record.grain = 1;
+    record.queue_wait_over_run = QueueWaitOverRun(profiler.Records());
     PrintParallelSummary(record);
     AppendParallelBench(record);
   }

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "forecast/ssa.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "linalg/simd_kernels.h"
 #include "linalg/subspace.h"
 #include "obs/metrics.h"
 #include "obs/obs_context.h"
@@ -71,6 +74,57 @@ void BM_SaaOptimizerLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SaaOptimizerLp)->Arg(60)->Arg(120)->Unit(benchmark::kMillisecond);
 
+// ---- SIMD microkernels ----------------------------------------------------
+// Scalar vs dispatched (AVX2+FMA where the CPU has it) cost of the two
+// primitives every nn/linalg/SSA inner loop is built from. Arg 0 is the
+// vector length (96 = one SSA window row, 1024 = a deep-model GEMM tile);
+// arg 1 == 1 pins the scalar reference via ScopedForceIsa. Results are
+// bit-identical between the two rows by the simd_kernels.h contract — these
+// benches measure only the speed gap.
+
+std::vector<double> KernelOperand(size_t n, double phase) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.37 * static_cast<double>(i) + phase);
+  }
+  return v;
+}
+
+void BM_SimdDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = KernelOperand(n, 0.0);
+  const std::vector<double> b = KernelOperand(n, 1.0);
+  std::optional<simd::ScopedForceIsa> force;
+  if (state.range(1) != 0) force.emplace(simd::IsaLevel::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::Dot(a.data(), b.data(), n));
+  }
+  state.SetLabel(simd::IsaName(simd::ActiveIsa()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimdDot)
+    ->Args({96, 1})->Args({96, 0})->Args({1024, 1})->Args({1024, 0})
+    ->Unit(benchmark::kNanosecond);
+
+void BM_SimdMulAdd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> src = KernelOperand(n, 0.0);
+  std::vector<double> dst = KernelOperand(n, 2.0);
+  std::optional<simd::ScopedForceIsa> force;
+  if (state.range(1) != 0) force.emplace(simd::IsaLevel::kScalar);
+  for (auto _ : state) {
+    simd::MulAdd(dst.data(), src.data(), 1e-3, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel(simd::IsaName(simd::ActiveIsa()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimdMulAdd)
+    ->Args({96, 1})->Args({96, 0})->Args({1024, 1})->Args({1024, 0})
+    ->Unit(benchmark::kNanosecond);
+
 // Hankel-free Gram of the SSA trajectory matrix via the sliding-diagonal
 // identity: O(L*K + L^2) time, O(L^2) space, the L x K Hankel never exists.
 // This is phase 1 of every SSA fit on the control loop's hot path.
@@ -85,6 +139,44 @@ void BM_HankelGram(benchmark::State& state) {
   state.SetLabel("sliding-diagonal identity, no L x K materialization");
 }
 BENCHMARK(BM_HankelGram)->Arg(96)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+// The same build pinned to the scalar reference kernel: the gap to
+// BM_HankelGram is the SIMD win on the first-row Dot (the O(window * K)
+// term); the O(window^2) slide recurrence is scalar either way.
+void BM_HankelGramScalar(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  TimeSeries history = MakeDemand(2880);
+  const std::vector<double>& series = history.values();
+  simd::ScopedForceIsa force(simd::IsaLevel::kScalar);
+  for (auto _ : state) {
+    auto gram = HankelGram(series, window);
+    benchmark::DoNotOptimize(gram);
+  }
+  state.SetLabel("forced-scalar reference build");
+}
+BENCHMARK(BM_HankelGramScalar)->Arg(96)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+// Warm-refit path: slide an existing Gram forward by `shift` bins instead of
+// rebuilding. Each iteration pays one window^2 copy (to keep the slide from
+// compounding) plus the O(window^2 * shift) update itself.
+void BM_SlideHankelGram(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  constexpr size_t kShift = 8;
+  TimeSeries history = MakeDemand(2880);
+  const std::vector<double>& series = history.values();
+  const Matrix base = *HankelGram(
+      std::vector<double>(series.begin(),
+                          series.end() - static_cast<ptrdiff_t>(kShift)),
+      window);
+  for (auto _ : state) {
+    Matrix gram = base;
+    benchmark::DoNotOptimize(SlideHankelGram(gram, series, window, kShift));
+  }
+  state.SetLabel("shift 8: copy + incremental update");
+}
+BENCHMARK(BM_SlideHankelGram)->Arg(96)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
 namespace {

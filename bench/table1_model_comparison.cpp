@@ -85,13 +85,19 @@ int main(int argc, char** argv) {
   std::vector<std::string> row_labels;
   std::vector<std::vector<double>> mae_rows;
   std::vector<std::vector<double>> rmse_rows;
+  // Measured per-cell serial times seed the parallel pass's cost model: the
+  // deep-model cells cost ~10x the SSA cells, and cost-weighted chunks keep
+  // that skew from serializing the fan-out behind one hot chunk.
+  std::vector<double> cell_costs(prepared.size() * models.size(), 0.0);
   WallTimer serial_timer;
   for (size_t di = 0; di < prepared.size(); ++di) {
     row_labels.push_back(prepared[di].label);
     mae_rows.emplace_back();
     rmse_rows.emplace_back();
     for (size_t mi = 0; mi < models.size(); ++mi) {
+      WallTimer cell_timer;
       const auto [mae, rmse] = eval_cell(di, mi);
+      cell_costs[di * models.size() + mi] = cell_timer.Seconds();
       total_mae[models[mi]] += mae;
       total_rmse[models[mi]] += rmse;
       mae_rows.back().push_back(mae);
@@ -128,11 +134,18 @@ int main(int argc, char** argv) {
   if (threads > 0) {
     exec::ThreadPool pool(threads);
     const exec::ExecContext exec{&pool};
+    exec::TaskProfiler profiler;
+    pool.AttachProfiler(&profiler);
     WallTimer parallel_timer;
     const auto redo = exec::ParallelMap(
-        exec, prepared.size() * models.size(), [&](size_t cell) {
+        exec, prepared.size() * models.size(),
+        [&](size_t cell) {
           return eval_cell(cell / models.size(), cell % models.size());
-        });
+        },
+        {.label = "bench.table1_cells", .costs = cell_costs.data()});
+    const double parallel_seconds = parallel_timer.Seconds();
+    pool.Wait();
+    pool.AttachProfiler(nullptr);
     bool match = true;
     for (size_t cell = 0; cell < redo.size(); ++cell) {
       const size_t di = cell / models.size();
@@ -144,8 +157,11 @@ int main(int argc, char** argv) {
     record.benchmark = "table1_model_comparison";
     record.threads = threads;
     record.serial_seconds = serial_seconds;
-    record.parallel_seconds = parallel_timer.Seconds();
+    record.parallel_seconds = parallel_seconds;
     record.outputs_match = match;
+    record.chunking = "cost";
+    record.grain = 1;
+    record.queue_wait_over_run = QueueWaitOverRun(profiler.Records());
     PrintParallelSummary(record);
     AppendParallelBench(record);
   }

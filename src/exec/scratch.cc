@@ -1,0 +1,45 @@
+#include "exec/scratch.h"
+
+#include <algorithm>
+
+namespace ipool::exec {
+
+namespace {
+constexpr size_t kAlign = 64;  // cache line; SIMD loads are unaligned-safe
+constexpr size_t kMinBlock = size_t{1} << 16;
+}  // namespace
+
+ScratchArena& ScratchArena::ForThread() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+void* ScratchArena::AllocBytes(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const auto base = reinterpret_cast<uintptr_t>(b.data.get());
+      const uintptr_t aligned =
+          (base + offset_ + (kAlign - 1)) & ~uintptr_t{kAlign - 1};
+      const size_t aligned_offset = static_cast<size_t>(aligned - base);
+      if (aligned_offset + bytes <= b.size) {
+        offset_ = aligned_offset + bytes;
+        return b.data.get() + aligned_offset;
+      }
+      // This block is exhausted for the current request; fall through to the
+      // next retained block (its live bytes, if any, belong to dead inner
+      // scopes — scopes are strictly stack-ordered, so reuse is safe).
+      ++block_;
+      offset_ = 0;
+      continue;
+    }
+    const size_t last = blocks_.empty() ? 0 : blocks_.back().size;
+    const size_t size = std::max({bytes + kAlign, last * 2, kMinBlock});
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+}  // namespace ipool::exec

@@ -1,0 +1,103 @@
+// Per-thread scratch arenas for ParallelFor bodies and compute kernels that
+// otherwise re-allocate identical temporaries on every chunk iteration (the
+// PR-5 profiler showed sweep/fleet chunk bodies spending real time in the
+// allocator). A ScratchArena is a chunked bump allocator owned by one
+// thread: Alloc() hands out 64-byte-aligned uninitialized storage in O(1),
+// ScratchScope restores the high-water mark on exit so an enclosing body can
+// reuse the same bytes on its next iteration, and the underlying blocks are
+// retained for the thread's lifetime — after the first iteration of a hot
+// loop, scratch costs zero allocations.
+//
+// Rules:
+//  * Storage is valid until the enclosing ScratchScope (or the thread) dies.
+//    Never return arena pointers past the scope that allocated them.
+//  * Only trivially-destructible element types (no destructors run).
+//  * One arena per thread (ForThread()); the arena itself is not
+//    thread-safe and must not be shared across threads.
+#ifndef IPOOL_EXEC_SCRATCH_H_
+#define IPOOL_EXEC_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ipool::exec {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's arena (created on first use, lives until thread
+  /// exit). Pool workers and the ParallelFor caller each get their own.
+  static ScratchArena& ForThread();
+
+  /// n elements of uninitialized, 64-byte-aligned storage. Pointers stay
+  /// valid across later Alloc calls (blocks are never moved), until the
+  /// enclosing ScratchScope rolls the arena back.
+  template <typename T>
+  T* Alloc(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ScratchArena runs no destructors");
+    return static_cast<T*>(AllocBytes(n * sizeof(T)));
+  }
+
+  /// Total bytes currently reserved across all blocks (capacity, not use).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  friend class ScratchScope;
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+  struct Mark {
+    size_t block = 0;
+    size_t offset = 0;
+  };
+
+  void* AllocBytes(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   // current block index (== blocks_.size() when empty)
+  size_t offset_ = 0;  // bump offset within blocks_[block_]
+};
+
+/// RAII watermark: everything Alloc'd through the referenced arena after
+/// construction is released (capacity retained) on destruction. Scopes nest;
+/// destroy in reverse construction order (automatic with stack objects).
+class ScratchScope {
+ public:
+  /// Binds the calling thread's arena.
+  ScratchScope() : ScratchScope(ScratchArena::ForThread()) {}
+  explicit ScratchScope(ScratchArena& arena)
+      : arena_(arena), mark_{arena.block_, arena.offset_} {}
+  ~ScratchScope() {
+    arena_.block_ = mark_.block;
+    arena_.offset_ = mark_.offset;
+  }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  template <typename T>
+  T* Alloc(size_t n) {
+    return arena_.Alloc<T>(n);
+  }
+  double* Doubles(size_t n) { return arena_.Alloc<double>(n); }
+  size_t* Indices(size_t n) { return arena_.Alloc<size_t>(n); }
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+}  // namespace ipool::exec
+
+#endif  // IPOOL_EXEC_SCRATCH_H_

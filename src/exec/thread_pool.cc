@@ -195,6 +195,44 @@ std::vector<std::pair<size_t, size_t>> Partition(size_t n, size_t parts) {
   return ranges;
 }
 
+std::vector<std::pair<size_t, size_t>> CostAwarePartition(const double* costs,
+                                                          size_t n,
+                                                          size_t parts,
+                                                          size_t grain) {
+  parts = std::max<size_t>(1, std::min(parts, n));
+  grain = std::max<size_t>(1, grain);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0) return ranges;
+  double remaining = 0.0;
+  for (size_t i = 0; i < n; ++i) remaining += std::max(0.0, costs[i]);
+  if (remaining <= 0.0) return Partition(n, parts);  // no signal: even split
+  ranges.reserve(parts);
+  size_t begin = 0;
+  for (size_t p = 0; p < parts && begin < n; ++p) {
+    const size_t parts_left = parts - p;
+    size_t end;
+    if (parts_left == 1) {
+      end = n;
+    } else {
+      // Close the chunk once it reaches the average remaining cost; always
+      // leave one index for each later part so none comes up empty.
+      const double target = remaining / static_cast<double>(parts_left);
+      const size_t limit = n - (parts_left - 1);
+      double acc = 0.0;
+      end = begin;
+      while (end < limit && (acc < target || end - begin < grain)) {
+        acc += std::max(0.0, costs[end]);
+        ++end;
+      }
+      if (end == begin) end = begin + 1;
+      remaining = std::max(0.0, remaining - acc);
+    }
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
 namespace {
 
 // Shared state of one ParallelFor call. Chunks are claimed from an atomic
@@ -261,7 +299,11 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
       options.chunking == Chunking::kStatic ? executors : 4 * executors;
   const size_t parts = std::min(chunks_wanted, n / grain);
   auto group = std::make_shared<ForGroup>();
-  group->chunks = Partition(n, parts);
+  // With a cost model the chunks are already load-balanced, so boundaries
+  // come from the costs; without one, fall back to the even split.
+  group->chunks = options.costs != nullptr
+                      ? CostAwarePartition(options.costs, n, parts, grain)
+                      : Partition(n, parts);
   for (auto& range : group->chunks) {
     range.first += begin;
     range.second += begin;

@@ -172,6 +172,17 @@ ThreadPool* Current();
 /// them, sizes differing by at most one. parts == 0 behaves as 1.
 std::vector<std::pair<size_t, size_t>> Partition(size_t n, size_t parts);
 
+/// Cost-weighted variant: at most `parts` contiguous ranges covering [0, n)
+/// whose per-range summed costs are near-equal — a deterministic greedy walk
+/// that closes a range once it reaches the average remaining cost (and is at
+/// least `grain` wide). Negative costs clamp to zero; an all-zero cost array
+/// falls back to Partition. Boundaries depend only on (costs, n, parts,
+/// grain), never on scheduling, so fan-outs stay deterministic.
+std::vector<std::pair<size_t, size_t>> CostAwarePartition(const double* costs,
+                                                          size_t n,
+                                                          size_t parts,
+                                                          size_t grain);
+
 enum class Chunking {
   /// One chunk per executor (pool threads + caller): lowest dispatch cost,
   /// best for uniform bodies.
@@ -188,6 +199,15 @@ struct ParallelForOptions {
   /// Names this fan-out's chunks and drivers in profiler timelines; must
   /// point at storage outliving the call (string literals in practice).
   const char* label = "parallel_for";
+  /// Optional per-index relative costs: costs[i] weighs index begin + i, and
+  /// the array must cover the whole range (end - begin entries, outliving
+  /// the call). When set, chunk boundaries come from CostAwarePartition —
+  /// contiguous chunks of near-equal total cost instead of near-equal index
+  /// count — and skewed bodies (a deep-model cell next to a baseline cell)
+  /// stop serializing behind the one hot chunk. Units are irrelevant; only
+  /// ratios matter. Callers typically seed this from a measured serial pass
+  /// or a work-size proxy (rows, bins, samples).
+  const double* costs = nullptr;
 };
 
 /// Runs body(begin, end) over disjoint contiguous sub-ranges of

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "exec/scratch.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "linalg/simd_kernels.h"
 #include "linalg/subspace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -224,12 +226,14 @@ Status SsaForecaster::FitImpl(const TimeSeries& history, bool allow_warm) {
     exec::ParallelFor(
         exec::Current(), 0, rank,
         [&](size_t lo, size_t hi) {
+          // Column gather reuses per-thread scratch across chunk iterations.
+          exec::ScratchScope scratch;
+          double* u = scratch.Doubles(len);
           for (size_t r = lo; r < hi; ++r) {
-            const std::vector<double> u = eigvecs.Col(r);
+            for (size_t i = 0; i < len; ++i) u[i] = eigvecs(i, r);
+            double* wrow = w.data().data() + r * k;
             for (size_t j = 0; j < k; ++j) {
-              double acc = 0.0;
-              for (size_t i = 0; i < len; ++i) acc += y[i + j] * u[i];
-              w(r, j) = acc;
+              wrow[j] = simd::Dot(y.data() + j, u, len);
             }
           }
         },

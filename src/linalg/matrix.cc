@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "exec/thread_pool.h"
+#include "linalg/simd_kernels.h"
 
 namespace ipool {
 
@@ -69,13 +70,15 @@ Result<Matrix> MatMul(const Matrix& a, const Matrix& b) {
   exec::ParallelFor(
       exec::Current(), 0, a.rows(),
       [&](size_t lo, size_t hi) {
+        const double* bdata = b.data().data();
         for (size_t i = lo; i < hi; ++i) {
+          double* crow = c.data().data() + i * b.cols();
           for (size_t k = 0; k < a.cols(); ++k) {
             const double aik = a(i, k);
             if (aik == 0.0) continue;
-            for (size_t j = 0; j < b.cols(); ++j) {
-              c(i, j) += aik * b(k, j);
-            }
+            // axpy microkernel: one multiply + one add per element, so the
+            // vector path stays bit-identical to this loop's history.
+            simd::MulAdd(crow, bdata + k * b.cols(), aik, b.cols());
           }
         }
       },
@@ -92,19 +95,16 @@ Result<std::vector<double>> MatVec(const Matrix& a,
                   x.size()));
   }
   std::vector<double> y(a.rows(), 0.0);
+  const double* adata = a.data().data();
   for (size_t i = 0; i < a.rows(); ++i) {
-    double acc = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
-    y[i] = acc;
+    y[i] = simd::Dot(adata + i * a.cols(), x.data(), a.cols());
   }
   return y;
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
@@ -135,8 +135,7 @@ Result<Matrix> HankelGram(const std::vector<double>& series, size_t window) {
   Matrix g(window, window);
   // First row: window dot products of length K against the leading lag.
   for (size_t j = 0; j < window; ++j) {
-    double acc = 0.0;
-    for (size_t t = 0; t < k; ++t) acc += series[t] * series[j + t];
+    const double acc = simd::Dot(series.data(), series.data() + j, k);
     g(0, j) = acc;
     g(j, 0) = acc;
   }

@@ -1,0 +1,161 @@
+#include "linalg/simd_kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define IPOOL_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define IPOOL_SIMD_X86 0
+#endif
+
+namespace ipool::simd {
+
+namespace {
+
+// Test/bench override; -1 means "use the resolved default". Relaxed atomics:
+// ScopedForceIsa is documented single-threaded-setup-only, the atomic just
+// keeps concurrent readers defined.
+std::atomic<int> g_forced{-1};
+
+bool CpuHasAvx2Fma() {
+#if IPOOL_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+IsaLevel ResolveDefault() {
+  if (const char* env = std::getenv("IPOOL_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return IsaLevel::kScalar;
+    // Any other value (including "avx2") falls through to CPU detection:
+    // requesting an ISA the CPU lacks must not crash the process.
+  }
+  return CpuHasAvx2Fma() ? IsaLevel::kAvx2 : IsaLevel::kScalar;
+}
+
+// The Dot kernel's fixed semantics: eight lane accumulators striding the
+// input (lane l owns elements k with k % 8 == l), reduced as
+// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), then a sequential fused tail.
+// Eight lanes = two AVX2 vectors, enough independent FMA chains to cover the
+// ~4-cycle FMA latency on one port-rich core.
+constexpr size_t kDotLanes = 8;
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double lane[kDotLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t k = 0;
+  for (; k + kDotLanes <= n; k += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      lane[l] = std::fma(a[k + l], b[k + l], lane[l]);
+    }
+  }
+  double acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (; k < n; ++k) acc = std::fma(a[k], b[k], acc);
+  return acc;
+}
+
+void MulAddScalar(double* dst, const double* src, double scale, size_t n) {
+  for (size_t j = 0; j < n; ++j) dst[j] += scale * src[j];
+}
+
+#if IPOOL_SIMD_X86
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const double* a,
+                                                   const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + kDotLanes <= n; k += kDotLanes) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + k + 4),
+                           _mm256_loadu_pd(b + k + 4), acc1);
+  }
+  // Reduce in the exact lane order the scalar reference uses.
+  alignas(32) double lane[kDotLanes];
+  _mm256_store_pd(lane, acc0);
+  _mm256_store_pd(lane + 4, acc1);
+  double acc = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+               ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (; k < n; ++k) acc = std::fma(a[k], b[k], acc);
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) void MulAddAvx2(double* dst,
+                                                    const double* src,
+                                                    double scale, size_t n) {
+  // Deliberately mul-then-add, NOT vfmadd: each element must see exactly the
+  // two roundings of the scalar loop so MulAdd stays bit-identical to the
+  // historical plain-C++ inner loops.
+  const __m256d vs = _mm256_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256d p0 = _mm256_mul_pd(vs, _mm256_loadu_pd(src + j));
+    const __m256d p1 = _mm256_mul_pd(vs, _mm256_loadu_pd(src + j + 4));
+    _mm256_storeu_pd(dst + j, _mm256_add_pd(_mm256_loadu_pd(dst + j), p0));
+    _mm256_storeu_pd(dst + j + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(dst + j + 4), p1));
+  }
+  for (; j + 4 <= n; j += 4) {
+    const __m256d p = _mm256_mul_pd(vs, _mm256_loadu_pd(src + j));
+    _mm256_storeu_pd(dst + j, _mm256_add_pd(_mm256_loadu_pd(dst + j), p));
+  }
+  for (; j < n; ++j) dst[j] += scale * src[j];
+}
+
+#endif  // IPOOL_SIMD_X86
+
+}  // namespace
+
+bool Avx2Available() { return CpuHasAvx2Fma(); }
+
+IsaLevel ActiveIsa() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<IsaLevel>(forced);
+  static const IsaLevel resolved = ResolveDefault();
+  return resolved;
+}
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+ScopedForceIsa::ScopedForceIsa(IsaLevel level)
+    : previous_(g_forced.load(std::memory_order_relaxed)) {
+  if (level == IsaLevel::kAvx2 && !CpuHasAvx2Fma()) level = IsaLevel::kScalar;
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+ScopedForceIsa::~ScopedForceIsa() {
+  g_forced.store(previous_, std::memory_order_relaxed);
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+#if IPOOL_SIMD_X86
+  if (ActiveIsa() == IsaLevel::kAvx2) return DotAvx2(a, b, n);
+#endif
+  return DotScalar(a, b, n);
+}
+
+void MulAdd(double* dst, const double* src, double scale, size_t n) {
+#if IPOOL_SIMD_X86
+  if (ActiveIsa() == IsaLevel::kAvx2) {
+    MulAddAvx2(dst, src, scale, n);
+    return;
+  }
+#endif
+  MulAddScalar(dst, src, scale, n);
+}
+
+}  // namespace ipool::simd

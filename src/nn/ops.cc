@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "exec/scratch.h"
 #include "exec/thread_pool.h"
+#include "linalg/simd_kernels.h"
 
 namespace ipool::nn {
 
@@ -27,7 +29,11 @@ size_t RowGrain(size_t flops_per_row) {
 // to the serial loop at any thread count.
 void MatMulForward(const double* a, const double* b, double* c, size_t m,
                    size_t k, size_t n) {
-  std::vector<double> bt(n * k);
+  // The packed B^T lives in the calling thread's scratch arena: training
+  // loops call this every step, and the arena hands back the same bytes
+  // each time instead of a fresh heap allocation.
+  exec::ScratchScope scratch;
+  double* bt = scratch.Doubles(n * k);
   for (size_t kk = 0; kk < k; ++kk) {
     for (size_t j = 0; j < n; ++j) bt[j * k + kk] = b[kk * n + j];
   }
@@ -37,10 +43,7 @@ void MatMulForward(const double* a, const double* b, double* c, size_t m,
         for (size_t i = lo; i < hi; ++i) {
           const double* arow = a + i * k;
           for (size_t j = 0; j < n; ++j) {
-            const double* brow = bt.data() + j * k;
-            double acc = 0.0;
-            for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            c[i * n + j] = acc;
+            c[i * n + j] = simd::Dot(arow, bt + j * k, k);
           }
         }
       },
@@ -63,10 +66,7 @@ void MatMulBackward(const TensorImpl& self, TensorImpl& a, TensorImpl& b,
         for (size_t i = lo; i < hi; ++i) {
           const double* grow = g + i * n;
           for (size_t kk = 0; kk < k; ++kk) {
-            const double* brow = bv + kk * n;
-            double acc = 0.0;
-            for (size_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            ga[i * k + kk] += acc;
+            ga[i * k + kk] += simd::Dot(grow, bv + kk * n, n);
           }
         }
       },
@@ -79,8 +79,7 @@ void MatMulBackward(const TensorImpl& self, TensorImpl& a, TensorImpl& b,
           for (size_t i = 0; i < m; ++i) {
             const double aik = av[i * k + kk];
             if (aik == 0.0) continue;
-            const double* grow = g + i * n;
-            for (size_t j = 0; j < n; ++j) gbrow[j] += aik * grow[j];
+            simd::MulAdd(gbrow, g + i * n, aik, n);
           }
         }
       },
@@ -256,17 +255,15 @@ Tensor MatVec(const Tensor& w, const Tensor& x) {
     for (size_t i = 0; i < m; ++i) {
       const double g = self.grad[i];
       if (g == 0.0) continue;
-      for (size_t j = 0; j < n; ++j) {
-        pw->grad[i * n + j] += g * px->value[j];
-        px->grad[j] += g * pw->value[i * n + j];
-      }
+      // Two disjoint axpys; each gradient slot keeps its historical
+      // accumulation order, so this is bit-identical to the fused loop.
+      simd::MulAdd(pw->grad.data() + i * n, px->value.data(), g, n);
+      simd::MulAdd(px->grad.data(), pw->value.data() + i * n, g, n);
     }
   });
   auto& o = out.mutable_value();
   for (size_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (size_t j = 0; j < n; ++j) acc += w.value()[i * n + j] * x.value()[j];
-    o[i] = acc;
+    o[i] = simd::Dot(w.value().data() + i * n, x.value().data(), n);
   }
   return out;
 }
@@ -506,17 +503,18 @@ Tensor Conv1dSame(const Tensor& input, const Tensor& weight, size_t kernel) {
           for (size_t t = 0; t < len; ++t) {
             const double g = self.grad[o * len + t];
             if (g == 0.0) continue;
+            // Valid taps are the contiguous run k in [k0, k1): both the
+            // weight row and the (shifted) input row advance by one per tap.
+            const size_t k0 = pad > t ? pad - t : 0;
+            const size_t k1 = std::min(kernel, len + pad - t);
+            if (k0 >= k1) continue;
+            const size_t src0 = t + k0 - pad;
             for (size_t c = 0; c < c_in; ++c) {
-              for (size_t k = 0; k < kernel; ++k) {
-                const ptrdiff_t src =
-                    static_cast<ptrdiff_t>(t + k) - static_cast<ptrdiff_t>(pad);
-                if (src < 0 || src >= static_cast<ptrdiff_t>(len)) continue;
-                const size_t widx = o * (c_in * kernel) + c * kernel + k;
-                pin->grad[c * len + static_cast<size_t>(src)] +=
-                    g * pw->value[widx];
-                pw->grad[widx] +=
-                    g * pin->value[c * len + static_cast<size_t>(src)];
-              }
+              const size_t widx = o * (c_in * kernel) + c * kernel + k0;
+              simd::MulAdd(pin->grad.data() + c * len + src0,
+                           pw->value.data() + widx, g, k1 - k0);
+              simd::MulAdd(pw->grad.data() + widx,
+                           pin->value.data() + c * len + src0, g, k1 - k0);
             }
           }
         }
@@ -524,15 +522,14 @@ Tensor Conv1dSame(const Tensor& input, const Tensor& weight, size_t kernel) {
   auto& ov = out.mutable_value();
   for (size_t o = 0; o < c_out; ++o) {
     for (size_t t = 0; t < len; ++t) {
+      const size_t k0 = pad > t ? pad - t : 0;
+      const size_t k1 = std::min(kernel, len + pad - t);
+      const size_t src0 = t + k0 - pad;
       double acc = 0.0;
-      for (size_t c = 0; c < c_in; ++c) {
-        for (size_t k = 0; k < kernel; ++k) {
-          const ptrdiff_t src =
-              static_cast<ptrdiff_t>(t + k) - static_cast<ptrdiff_t>(pad);
-          if (src < 0 || src >= static_cast<ptrdiff_t>(len)) continue;
-          acc += weight.value()[o * (c_in * kernel) + c * kernel + k] *
-                 input.value()[c * len + static_cast<size_t>(src)];
-        }
+      for (size_t c = 0; c < c_in && k0 < k1; ++c) {
+        acc += simd::Dot(
+            weight.value().data() + o * (c_in * kernel) + c * kernel + k0,
+            input.value().data() + c * len + src0, k1 - k0);
       }
       ov[o * len + t] = acc;
     }

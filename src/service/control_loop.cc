@@ -118,6 +118,13 @@ Result<std::vector<ControlLoopResult>> ControlLoop::RunFleet(
   // per-thread span buffers, so concurrent loops record spans too.
   std::vector<ControlLoopResult> results(pools.size());
   std::vector<Status> statuses(pools.size());
+  // A pool's loop cost scales with its history length (forecast fit + solve
+  // + simulate are all per-bin): feed that to the chunker so one giant pool
+  // doesn't serialize a chunk of small ones behind it.
+  std::vector<double> costs(pools.size());
+  for (size_t i = 0; i < pools.size(); ++i) {
+    costs[i] = static_cast<double>(pools[i].demand.size()) + 1.0;
+  }
   exec::ParallelFor(
       exec, 0, pools.size(),
       [&](size_t lo, size_t hi) {
@@ -130,7 +137,7 @@ Result<std::vector<ControlLoopResult>> ControlLoop::RunFleet(
       }();
     }
       },
-      {.label = "service.run_fleet"});
+      {.label = "service.run_fleet", .costs = costs.data()});
   // First error by pool index wins, matching a serial left-to-right loop.
   for (const Status& s : statuses) {
     IPOOL_RETURN_NOT_OK(s);

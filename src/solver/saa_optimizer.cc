@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "exec/scratch.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -55,55 +56,67 @@ Result<SaaOptimizer> SaaOptimizer::Create(const SaaConfig& config) {
 
 std::vector<double> SaaOptimizer::InFlightDemand(
     const TimeSeries& demand) const {
-  const size_t num_bins = demand.size();
-  const size_t tau = config_.pool.tau_bins;
-  std::vector<double> cum(num_bins);
-  double running = 0.0;
-  for (size_t t = 0; t < num_bins; ++t) {
-    running += demand.value(t);
-    cum[t] = running;
-  }
-  std::vector<double> w(num_bins);
-  for (size_t t = 0; t < num_bins; ++t) {
-    // For t < tau nothing re-hydrated has landed yet, so the ready side is
-    // the initial pool N(0) and the full cumulative demand weighs on it.
-    w[t] = t < tau ? cum[t] : cum[t] - cum[t - tau];
-  }
+  std::vector<double> w(demand.size());
+  InFlightDemandInto(demand, w.data());
   return w;
 }
 
+void SaaOptimizer::InFlightDemandInto(const TimeSeries& demand,
+                                      double* out) const {
+  const size_t num_bins = demand.size();
+  const size_t tau = config_.pool.tau_bins;
+  // Cumulative sums first, then the windowed difference in place. Walking t
+  // downward keeps out[t - tau] a still-unmodified cumulative value. For
+  // t < tau nothing re-hydrated has landed yet, so the ready side is the
+  // initial pool N(0) and the full cumulative demand weighs on it.
+  double running = 0.0;
+  for (size_t t = 0; t < num_bins; ++t) {
+    running += demand.value(t);
+    out[t] = running;
+  }
+  for (size_t t = num_bins; t-- > tau;) {
+    out[t] = out[t] - out[t - tau];
+  }
+}
+
 std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
-    const std::vector<std::vector<double>>& group_w) const {
+    const double* values, const size_t* offsets, size_t num_groups) const {
   const PoolModelConfig& pool = config_.pool;
-  const size_t num_groups = group_w.size();
   const int64_t min_n = pool.min_pool_size;
   const int64_t max_n = pool.max_pool_size;
   const size_t num_sizes = static_cast<size_t>(max_n - min_n + 1);
   const double alpha = config_.alpha_prime;
 
+  // Every working buffer comes from the per-thread scratch arena: a sweep
+  // body solving thousands of candidates reuses the same bytes each
+  // iteration instead of hitting the allocator ~7 times per solve (plus
+  // once per group for the old per-group choice rows).
+  exec::ScratchScope scratch;
+  size_t max_group = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    max_group = std::max(max_group, offsets[g + 1] - offsets[g]);
+  }
+  double* cost = scratch.Doubles(num_sizes);
+  double* ws = scratch.Doubles(max_group);
+  double* prefix = scratch.Doubles(max_group + 1);
+
   // Per-group piecewise-linear convex cost over the integer pool size:
   // g(N) = sum_w alpha * max(0, N - w) + (1 - alpha) * max(0, w - N).
-  // Computed for all N via sorted w + prefix sums. The sorted-w, prefix and
-  // cost buffers are hoisted out of the per-group call and reused (their
-  // capacity stabilizes after the largest group), keeping the DP
-  // allocation-free past the first few groups.
-  std::vector<double> cost(num_sizes, 0.0);
-  std::vector<double> ws;
-  std::vector<double> prefix;
+  // Computed for all N via sorted w + prefix sums.
   auto group_cost = [&](size_t g) {
-    ws.assign(group_w[g].begin(), group_w[g].end());
-    std::sort(ws.begin(), ws.end());
-    prefix.resize(ws.size() + 1);
+    const size_t len = offsets[g + 1] - offsets[g];
+    std::copy(values + offsets[g], values + offsets[g + 1], ws);
+    std::sort(ws, ws + len);
     prefix[0] = 0.0;
-    for (size_t i = 0; i < ws.size(); ++i) prefix[i + 1] = prefix[i] + ws[i];
-    const double total = prefix[ws.size()];
+    for (size_t i = 0; i < len; ++i) prefix[i + 1] = prefix[i] + ws[i];
+    const double total = prefix[len];
     size_t below = 0;  // count of ws <= N
     for (size_t s = 0; s < num_sizes; ++s) {
       const double n = static_cast<double>(min_n + static_cast<int64_t>(s));
-      while (below < ws.size() && ws[below] <= n) ++below;
+      while (below < len && ws[below] <= n) ++below;
       const double cnt_below = static_cast<double>(below);
       const double sum_below = prefix[below];
-      const double cnt_above = static_cast<double>(ws.size()) - cnt_below;
+      const double cnt_above = static_cast<double>(len) - cnt_below;
       const double sum_above = total - sum_below;
       cost[s] = alpha * (n * cnt_below - sum_below) +
                 (1.0 - alpha) * (sum_above - n * cnt_above);
@@ -113,13 +126,15 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
   // DP over groups. f[s] = best cost through group g ending at size s.
   const int64_t ramp = pool.max_new_requests_per_bin;
   group_cost(0);
-  std::vector<double> f = cost;
-  std::vector<std::vector<size_t>> choice(num_groups);  // predecessor index
+  double* f = scratch.Doubles(num_sizes);
+  std::copy(cost, cost + num_sizes, f);
+  double* suffix_val = scratch.Doubles(num_sizes);
+  size_t* suffix_arg = scratch.Indices(num_sizes);
+  double* next = scratch.Doubles(num_sizes);
+  size_t* choice = scratch.Indices(num_groups * num_sizes);  // predecessors
   for (size_t g = 1; g < num_groups; ++g) {
     // suffix_min[s] = argmin/valmin of f over indices >= s (ties -> smallest
     // index, i.e. smallest predecessor pool size).
-    std::vector<double> suffix_val(num_sizes);
-    std::vector<size_t> suffix_arg(num_sizes);
     suffix_val[num_sizes - 1] = f[num_sizes - 1];
     suffix_arg[num_sizes - 1] = num_sizes - 1;
     for (size_t s = num_sizes - 1; s-- > 0;) {
@@ -132,17 +147,16 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
       }
     }
     group_cost(g);
-    std::vector<double> next(num_sizes);
-    choice[g].resize(num_sizes);
+    size_t* choice_g = choice + g * num_sizes;
     for (size_t s = 0; s < num_sizes; ++s) {
       // Ramp limits the *increase* N_g - N_{g-1} <= ramp, so the predecessor
       // index must be >= s - ramp.
       const int64_t lo = static_cast<int64_t>(s) - ramp;
       const size_t from = lo <= 0 ? 0 : static_cast<size_t>(lo);
       next[s] = cost[s] + suffix_val[from];
-      choice[g][s] = suffix_arg[from];
+      choice_g[s] = suffix_arg[from];
     }
-    f = std::move(next);
+    std::swap(f, next);
   }
 
   // Best terminal state (ties -> smallest pool).
@@ -156,7 +170,7 @@ std::pair<std::vector<int64_t>, double> SaaOptimizer::SolveGroupedDp(
   size_t state = best;
   for (size_t g = num_groups; g-- > 0;) {
     per_group[g] = min_n + static_cast<int64_t>(state);
-    if (g > 0) state = choice[g][state];
+    if (g > 0) state = choice[g * num_sizes + state];
   }
   return {std::move(per_group), f[best]};
 }
@@ -171,19 +185,21 @@ Result<PoolSchedule> SaaOptimizer::Optimize(const TimeSeries& demand) const {
   scope.RecordBlocks(num_blocks);
 
   // Group in-flight demand values by the block whose pool size serves them.
-  const std::vector<double> w = InFlightDemand(demand);
-  std::vector<std::vector<double>> block_w(num_blocks);
-  // Every block serves ~stableness_bins bins; block 0 additionally absorbs
-  // the first tau bins. Reserving exactly that avoids push_back regrowth.
-  for (size_t b = 0; b < num_blocks; ++b) {
-    block_w[b].reserve(pool.stableness_bins + (b == 0 ? tau : 0));
-  }
+  // The bin -> block map is nondecreasing in t (t < tau lands in block 0),
+  // so the flattened grouping is the w array itself plus block offsets —
+  // no per-block vectors, and the whole thing lives in per-thread scratch.
+  exec::ScratchScope scratch;
+  double* w = scratch.Doubles(num_bins);
+  InFlightDemandInto(demand, w);
+  size_t* offsets = scratch.Indices(num_blocks + 1);
+  std::fill(offsets, offsets + num_blocks + 1, size_t{0});
   for (size_t t = 0; t < num_bins; ++t) {
     const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
-    block_w[b].push_back(w[t]);
+    ++offsets[b + 1];
   }
+  for (size_t b = 0; b < num_blocks; ++b) offsets[b + 1] += offsets[b];
 
-  auto [per_block, objective] = SolveGroupedDp(block_w);
+  auto [per_block, objective] = SolveGroupedDp(w, offsets, num_blocks);
   PoolSchedule schedule;
   schedule.pool_size_per_bin =
       ExpandBlockSchedule(per_block, num_bins, pool.stableness_bins);
@@ -210,22 +226,26 @@ Result<PoolSchedule> SaaOptimizer::OptimizePeriodic(const TimeSeries& demand,
 
   // Fold every block onto its position within the period: the pool size at
   // 06:00 is the same on every day of the sample (§4.2's simplified
-  // "same time of day" policy).
-  const std::vector<double> w = InFlightDemand(demand);
-  std::vector<std::vector<double>> group_w(groups_per_period);
-  // Each period slot collects one stableness block per period occurrence
-  // (slot 0 also absorbs the first tau bins).
-  const size_t occurrences = (num_bins + period_bins - 1) / period_bins;
-  for (size_t g = 0; g < groups_per_period; ++g) {
-    group_w[g].reserve(occurrences * pool.stableness_bins +
-                       (g == 0 ? tau : 0));
-  }
-  for (size_t t = 0; t < num_bins; ++t) {
+  // "same time of day" policy). The slot map wraps, so flattening is a
+  // counting sort: per-slot counts -> offsets -> a scatter pass that keeps
+  // each slot's values in ascending-t order (same as the old push_back).
+  exec::ScratchScope scratch;
+  double* w = scratch.Doubles(num_bins);
+  InFlightDemandInto(demand, w);
+  size_t* offsets = scratch.Indices(groups_per_period + 1);
+  std::fill(offsets, offsets + groups_per_period + 1, size_t{0});
+  const auto slot_of = [&](size_t t) {
     const size_t b = t < tau ? 0 : pool.BlockOf(t - tau);
-    group_w[b % groups_per_period].push_back(w[t]);
-  }
+    return b % groups_per_period;
+  };
+  for (size_t t = 0; t < num_bins; ++t) ++offsets[slot_of(t) + 1];
+  for (size_t g = 0; g < groups_per_period; ++g) offsets[g + 1] += offsets[g];
+  double* values = scratch.Doubles(num_bins);
+  size_t* cursor = scratch.Indices(groups_per_period);
+  std::copy(offsets, offsets + groups_per_period, cursor);
+  for (size_t t = 0; t < num_bins; ++t) values[cursor[slot_of(t)]++] = w[t];
 
-  auto [per_group, objective] = SolveGroupedDp(group_w);
+  auto [per_group, objective] = SolveGroupedDp(values, offsets, groups_per_period);
   // Tile the template across the whole horizon. The ramp constraint is
   // enforced within the period; the wrap-around boundary is not constrained
   // (a decrease at midnight is always feasible, and increases there are rare

@@ -73,11 +73,18 @@ class SaaOptimizer {
   /// attributed to the block supplying bin t's ready clusters.
   std::vector<double> InFlightDemand(const TimeSeries& demand) const;
 
-  /// Shared exact DP over grouped in-flight demand: returns the optimal
+  /// Same computation written into caller-provided storage (demand.size()
+  /// doubles) so hot paths can point it at per-thread scratch.
+  void InFlightDemandInto(const TimeSeries& demand, double* out) const;
+
+  /// Shared exact DP over grouped in-flight demand in flattened form: group
+  /// g's values are values[offsets[g], offsets[g+1]). Returns the optimal
   /// integer pool size per group (ramp-constrained between consecutive
-  /// groups) and the objective value.
+  /// groups) and the objective value. All DP working storage lives in the
+  /// calling thread's scratch arena, so sweep bodies solving thousands of
+  /// candidates stop allocating after their first iteration.
   std::pair<std::vector<int64_t>, double> SolveGroupedDp(
-      const std::vector<std::vector<double>>& group_w) const;
+      const double* values, const size_t* offsets, size_t num_groups) const;
 
   SaaConfig config_;
 };

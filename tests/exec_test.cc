@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/scratch.h"
 #include "exec/task_profiler.h"
 
 #include <atomic>
@@ -107,6 +108,73 @@ TEST(PartitionTest, MorePartsThanItemsAndZeroParts) {
   EXPECT_EQ(one[0], (std::pair<size_t, size_t>{0, 5}));
 }
 
+TEST(CostAwarePartitionTest, CoversRangeContiguouslyAndDeterministically) {
+  std::vector<double> costs(37);
+  for (size_t i = 0; i < costs.size(); ++i) {
+    costs[i] = static_cast<double>(i % 5) + 0.25;
+  }
+  const auto parts = CostAwarePartition(costs.data(), costs.size(), 4, 2);
+  ASSERT_FALSE(parts.empty());
+  EXPECT_LE(parts.size(), 4u);
+  size_t cursor = 0;
+  for (const auto& [lo, hi] : parts) {
+    EXPECT_EQ(lo, cursor);
+    EXPECT_GT(hi, lo);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, costs.size());
+  // Pure function of (costs, n, parts, grain): repeated calls agree.
+  EXPECT_EQ(parts, CostAwarePartition(costs.data(), costs.size(), 4, 2));
+}
+
+TEST(CostAwarePartitionTest, IsolatesTheHotIndex) {
+  // Index 0 costs as much as the other fifteen combined; with near-equal
+  // per-chunk cost it must sit alone instead of dragging half the range
+  // into its chunk (the table1 deep-model-cell skew in miniature).
+  std::vector<double> costs(16, 1.0);
+  costs[0] = 15.0;
+  const auto parts = CostAwarePartition(costs.data(), costs.size(), 4, 1);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], (std::pair<size_t, size_t>{0, 1}));
+  // The remaining uniform indices split evenly.
+  EXPECT_EQ(parts[1], (std::pair<size_t, size_t>{1, 6}));
+  EXPECT_EQ(parts[2], (std::pair<size_t, size_t>{6, 11}));
+  EXPECT_EQ(parts[3], (std::pair<size_t, size_t>{11, 16}));
+}
+
+TEST(CostAwarePartitionTest, UniformCostsMatchGrainMultiples) {
+  std::vector<double> costs(12, 3.0);
+  const auto parts = CostAwarePartition(costs.data(), costs.size(), 3, 4);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::pair<size_t, size_t>{0, 4}));
+  EXPECT_EQ(parts[1], (std::pair<size_t, size_t>{4, 8}));
+  EXPECT_EQ(parts[2], (std::pair<size_t, size_t>{8, 12}));
+}
+
+TEST(CostAwarePartitionTest, DegenerateCostsFallBackToPartition) {
+  // All-zero (or all-clamped-negative) costs carry no information; the
+  // boundaries must be exactly Partition's.
+  std::vector<double> zeros(10, 0.0);
+  EXPECT_EQ(CostAwarePartition(zeros.data(), zeros.size(), 3, 1),
+            Partition(10, 3));
+  std::vector<double> negs(10, -2.0);
+  EXPECT_EQ(CostAwarePartition(negs.data(), negs.size(), 3, 1),
+            Partition(10, 3));
+}
+
+TEST(CostAwarePartitionTest, ClampsPartsToRangeAndOneChunkTakesAll) {
+  std::vector<double> costs(6, 1.0);
+  const auto one = CostAwarePartition(costs.data(), costs.size(), 0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<size_t, size_t>{0, 6}));
+  const auto many = CostAwarePartition(costs.data(), costs.size(), 50, 1);
+  EXPECT_LE(many.size(), 6u);
+  size_t covered = 0;
+  for (const auto& [lo, hi] : many) covered += hi - lo;
+  EXPECT_EQ(covered, 6u);
+  EXPECT_TRUE(CostAwarePartition(costs.data(), 0, 3, 1).empty());
+}
+
 TEST(ParallelForTest, NullPoolRunsInline) {
   std::vector<int> hits(16, 0);
   ParallelFor(static_cast<ThreadPool*>(nullptr), 0, hits.size(),
@@ -188,6 +256,88 @@ TEST(ParallelForTest, ExecContextOverloadAndOrElse) {
     total.fetch_add(static_cast<int>(hi - lo));
   });
   EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelForTest, CostSeededChunksCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  // Heavily skewed costs (every 8th index is 40x) over a non-zero begin:
+  // costs[i] weighs index begin + i, so the array is sized to the range.
+  const size_t begin = 5;
+  const size_t end = 105;
+  std::vector<double> costs(end - begin);
+  for (size_t i = 0; i < costs.size(); ++i) {
+    costs[i] = i % 8 == 0 ? 40.0 : 1.0;
+  }
+  std::vector<std::atomic<int>> hits(end);
+  ParallelFor(
+      &pool, begin, end,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      {.label = "test.cost_fanout", .costs = costs.data()});
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), i >= begin ? 1 : 0) << i;
+  }
+}
+
+TEST(ScratchArenaTest, AllocationsAre64ByteAlignedAndStableAcrossGrowth) {
+  ScratchArena arena;
+  ScratchScope scope(arena);
+  double* a = scope.Doubles(7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 64, 0u);
+  a[0] = 1.0;
+  // Outgrow the first block: earlier storage must not move.
+  double* big = scope.Doubles(1 << 14);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % 64, 0u);
+  big[0] = 2.0;
+  EXPECT_EQ(a[0], 1.0);
+  EXPECT_GE(arena.bytes_reserved(), (size_t{1} << 14) * sizeof(double));
+}
+
+TEST(ScratchArenaTest, ScopeRollbackReusesBytesWithoutNewReservation) {
+  ScratchArena arena;
+  double* first = nullptr;
+  {
+    ScratchScope scope(arena);
+    first = scope.Doubles(256);
+  }
+  const size_t reserved = arena.bytes_reserved();
+  for (int iter = 0; iter < 10; ++iter) {
+    // The hot-loop shape: after the first iteration, scratch is free.
+    ScratchScope scope(arena);
+    EXPECT_EQ(scope.Doubles(256), first) << iter;
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ScratchArenaTest, NestedScopesRollBackInStackOrder) {
+  ScratchArena arena;
+  ScratchScope outer(arena);
+  size_t* kept = outer.Indices(8);
+  kept[0] = 11;
+  size_t* inner_ptr = nullptr;
+  {
+    ScratchScope inner(arena);
+    inner_ptr = inner.Indices(8);
+    inner_ptr[0] = 22;
+  }
+  {
+    // The sibling scope reuses exactly the bytes the first inner released.
+    ScratchScope inner(arena);
+    EXPECT_EQ(inner.Indices(8), inner_ptr);
+  }
+  EXPECT_EQ(kept[0], 11u);  // outer storage untouched by inner rollbacks
+}
+
+TEST(ScratchArenaTest, ForThreadIsPerThread) {
+  ScratchArena* mine = &ScratchArena::ForThread();
+  EXPECT_EQ(mine, &ScratchArena::ForThread());  // stable within a thread
+  ScratchArena* theirs = nullptr;
+  std::thread worker([&] { theirs = &ScratchArena::ForThread(); });
+  worker.join();
+  EXPECT_NE(mine, theirs);
 }
 
 TEST(ParallelMapTest, ReturnsResultsInIndexOrder) {

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "linalg/simd_kernels.h"
 #include "linalg/subspace.h"
 
 namespace ipool {
@@ -394,6 +397,145 @@ TEST(RidgeLeastSquaresTest, HandlesRankDeficiency) {
   for (size_t i = 0; i < 3; ++i) {
     const double fit = a(i, 0) * (*x)[0] + a(i, 1) * (*x)[1];
     EXPECT_NEAR(fit, 2.0 * static_cast<double>(i + 1), 1e-4);
+  }
+}
+
+// ---- SIMD microkernels: the dispatch contract of simd_kernels.h ----------
+// Every kernel must produce BIT-IDENTICAL results on every IsaLevel, across
+// odd lengths that exercise the 8-wide main loop, the 4-wide loop and the
+// scalar tail in every combination. On hosts without AVX2+FMA forcing kAvx2
+// degrades to scalar and the comparisons hold trivially.
+
+std::vector<double> RandomKernelVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-3.0, 3.0);
+  return v;
+}
+
+// The odd sizes: empty, pure tail, one full vector, vector+tail, etc.
+const size_t kKernelSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                               12, 15, 16, 17, 31, 32, 33, 100};
+
+TEST(SimdKernelTest, ScopedForceIsaPinsAndRestoresDispatch) {
+  const simd::IsaLevel ambient = simd::ActiveIsa();
+  if (!simd::Avx2Available()) {
+    EXPECT_EQ(ambient, simd::IsaLevel::kScalar);
+  }
+  {
+    simd::ScopedForceIsa force(simd::IsaLevel::kScalar);
+    EXPECT_EQ(simd::ActiveIsa(), simd::IsaLevel::kScalar);
+    {
+      // Nested force restores the outer pin, not the ambient default.
+      simd::ScopedForceIsa inner(simd::IsaLevel::kAvx2);
+      EXPECT_EQ(simd::ActiveIsa(), simd::Avx2Available()
+                                       ? simd::IsaLevel::kAvx2
+                                       : simd::IsaLevel::kScalar);
+    }
+    EXPECT_EQ(simd::ActiveIsa(), simd::IsaLevel::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveIsa(), ambient);
+  EXPECT_STREQ(simd::IsaName(simd::IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::IsaName(simd::IsaLevel::kAvx2), "avx2");
+}
+
+TEST(SimdKernelTest, DotBitIdenticalAcrossIsaLevels) {
+  for (size_t n : kKernelSizes) {
+    const auto a = RandomKernelVec(n, 900 + n);
+    const auto b = RandomKernelVec(n, 1900 + n);
+    double scalar = 0.0;
+    double dispatched = 0.0;
+    {
+      simd::ScopedForceIsa force(simd::IsaLevel::kScalar);
+      scalar = simd::Dot(a.data(), b.data(), n);
+    }
+    {
+      simd::ScopedForceIsa force(simd::IsaLevel::kAvx2);
+      dispatched = simd::Dot(a.data(), b.data(), n);
+    }
+    EXPECT_EQ(scalar, dispatched) << "n=" << n;
+    // And against the definition itself: eight strided fma lanes, the fixed
+    // pairwise reduction, then a sequential fused tail.
+    double lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+      for (size_t l = 0; l < 8; ++l) {
+        lane[l] = std::fma(a[k + l], b[k + l], lane[l]);
+      }
+    }
+    double want = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+                  ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+    for (; k < n; ++k) want = std::fma(a[k], b[k], want);
+    EXPECT_EQ(scalar, want) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, MulAddBitIdenticalToPlainLoopOnEveryIsa) {
+  for (size_t n : kKernelSizes) {
+    const auto src = RandomKernelVec(n, 300 + n);
+    const auto init = RandomKernelVec(n, 1300 + n);
+    const double scale = 1.0 / 3.0;  // not exactly representable: real
+                                     // rounding on every element
+    std::vector<double> want = init;
+    for (size_t j = 0; j < n; ++j) want[j] += scale * src[j];
+    for (simd::IsaLevel level :
+         {simd::IsaLevel::kScalar, simd::IsaLevel::kAvx2}) {
+      simd::ScopedForceIsa force(level);
+      std::vector<double> dst = init;
+      simd::MulAdd(dst.data(), src.data(), scale, n);
+      EXPECT_EQ(dst, want) << "n=" << n << " isa "
+                           << simd::IsaName(simd::ActiveIsa());
+    }
+  }
+}
+
+TEST(SimdKernelTest, MatMulMatVecDotBitIdenticalAcrossIsa) {
+  // Odd shapes so row lengths hit main loop + tail; compare the full
+  // public entry points under forced scalar vs dispatched.
+  const std::vector<std::array<size_t, 3>> shapes = {
+      {1, 1, 1}, {3, 7, 5}, {17, 9, 11}, {5, 33, 2}, {23, 16, 8}};
+  for (const auto& [m, k, n] : shapes) {
+    const Matrix a = *Matrix::FromRowMajor(m, k, RandomKernelVec(m * k, m + k));
+    const Matrix b = *Matrix::FromRowMajor(k, n, RandomKernelVec(k * n, k + n));
+    const auto x = RandomKernelVec(k, 7 * k + 1);
+    auto run = [&] {
+      auto c = *MatMul(a, b);
+      auto y = *MatVec(a, x);
+      auto d = Dot(x, x);
+      return std::tuple<std::vector<double>, std::vector<double>, double>(
+          c.data(), std::move(y), d);
+    };
+    simd::ScopedForceIsa scalar(simd::IsaLevel::kScalar);
+    const auto want = run();
+    {
+      simd::ScopedForceIsa dispatched(simd::IsaLevel::kAvx2);
+      EXPECT_EQ(run(), want) << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+TEST(SimdKernelTest, HankelGramBitIdenticalAcrossIsaAndSlideConsistent) {
+  const auto series = RandomKernelVec(97, 4242);
+  const size_t window = 31;
+  auto run = [&] { return (*HankelGram(series, window)).data(); };
+  simd::ScopedForceIsa scalar(simd::IsaLevel::kScalar);
+  const auto want = run();
+  {
+    simd::ScopedForceIsa dispatched(simd::IsaLevel::kAvx2);
+    EXPECT_EQ(run(), want);
+    // The incremental slide must land on the same Gram the kernelized
+    // from-scratch build produces for the shifted series.
+    const size_t shift = 8;
+    auto gram = *HankelGram(
+        std::vector<double>(series.begin(), series.end() - shift), window);
+    ASSERT_TRUE(SlideHankelGram(gram, series, window, shift).ok());
+    const auto shifted = *HankelGram(
+        std::vector<double>(series.begin() + shift, series.end()), window);
+    for (size_t i = 0; i < window; ++i) {
+      for (size_t j = 0; j < window; ++j) {
+        EXPECT_NEAR(gram(i, j), shifted(i, j), 1e-9 * (1.0 + std::fabs(gram(i, j))));
+      }
+    }
   }
 }
 

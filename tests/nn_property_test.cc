@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.h"
+#include "linalg/simd_kernels.h"
 #include "nn/gradcheck.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
@@ -182,6 +185,53 @@ TEST(OptimizerPropertyTest, AdamAndSgdAgreeOnConvexQuadraticLimit) {
     EXPECT_NEAR(adam_w[i], target[i], 1e-2);
     EXPECT_NEAR(sgd_w[i], target[i], 1e-2);
   }
+}
+
+// ---- SIMD bit-identity across the autodiff kernels ------------------------
+// The nn forward/backward GEMM paths dispatch into simd::Dot / simd::MulAdd;
+// their scalar fallback is bit-identical to the vector path by contract
+// (simd_kernels.h), so values AND gradients must match exactly between a
+// forced-scalar run and the default dispatch. Odd shapes keep row lengths
+// off the 8-wide boundary so tails are always exercised.
+
+TEST(SimdBitIdentityTest, MatMulForwardBackwardMatchForcedScalar) {
+  auto run = [] {
+    Rng rng(61);
+    Tensor a = RandomParam({9, 13}, rng);
+    Tensor b = RandomParam({13, 7}, rng);
+    Tensor loss = SumAll(Mul(MatMul(a, b), MatMul(a, b)));
+    EXPECT_TRUE(loss.Backward().ok());
+    return std::tuple<std::vector<double>, std::vector<double>,
+                      std::vector<double>>(loss.value(), a.grad(), b.grad());
+  };
+  auto under = [&](simd::IsaLevel level) {
+    simd::ScopedForceIsa force(level);
+    return run();
+  };
+  EXPECT_EQ(under(simd::IsaLevel::kScalar), under(simd::IsaLevel::kAvx2));
+}
+
+TEST(SimdBitIdentityTest, MatVecAndConv1dMatchForcedScalar) {
+  auto run = [] {
+    Rng rng(67);
+    Tensor w = RandomParam({5, 9}, rng);
+    Tensor x = RandomParam({9}, rng);
+    Tensor input = RandomParam({3, 11}, rng);   // {c_in, len}
+    Tensor weight = RandomParam({2, 15}, rng);  // {c_out, c_in * k}, k = 5
+    Tensor mv = MatVec(w, x);
+    Tensor conv = Conv1dSame(input, weight, 5);
+    Tensor loss = Add(SumAll(Mul(mv, mv)), SumAll(Mul(conv, conv)));
+    EXPECT_TRUE(loss.Backward().ok());
+    return std::tuple<std::vector<double>, std::vector<double>,
+                      std::vector<double>, std::vector<double>,
+                      std::vector<double>>(loss.value(), w.grad(), x.grad(),
+                                           input.grad(), weight.grad());
+  };
+  auto under = [&](simd::IsaLevel level) {
+    simd::ScopedForceIsa force(level);
+    return run();
+  };
+  EXPECT_EQ(under(simd::IsaLevel::kScalar), under(simd::IsaLevel::kAvx2));
 }
 
 }  // namespace

@@ -121,6 +121,38 @@ TEST(ParallelDeterminismTest, LinalgMatMulBitIdentical) {
   }
 }
 
+TEST(ParallelDeterminismTest, CostSeededFanOutBitIdentical) {
+  // Cost-weighted chunk boundaries come from CostAwarePartition — like
+  // Partition, a pure function of (costs, n, parts, grain), never of the
+  // worker count or scheduling — so a cost-seeded fan-out must stay
+  // bit-identical to serial at 1/2/hw threads even though each run claims
+  // the chunks in a different order. Skewed per-index work mirrors the
+  // table1/fig5 deep-model-cell-next-to-baseline-cell shape.
+  const size_t n = 113;
+  std::vector<double> costs(n);
+  for (size_t i = 0; i < n; ++i) costs[i] = i % 9 == 0 ? 40.0 : 1.0;
+  auto cell = [](size_t i) {
+    Rng rng(exec::DeriveTaskSeed(77, i));
+    const size_t rounds = 50 + (i % 9 == 0 ? 2000 : 0);
+    double acc = 0.0;
+    for (size_t r = 0; r < rounds; ++r) {
+      acc += rng.Uniform(-1.0, 1.0) * std::sin(static_cast<double>(r + i));
+    }
+    return acc;
+  };
+  const exec::ParallelForOptions options{.label = "test.cost_cells",
+                                         .costs = costs.data()};
+  const auto serial = exec::ParallelMap(static_cast<exec::ThreadPool*>(nullptr),
+                                        n, cell, options);
+  for (size_t threads : ThreadCounts()) {
+    exec::ThreadPool pool(threads);
+    const auto parallel = exec::ParallelMap(&pool, n, cell, options);
+    pool.Wait();
+    EXPECT_GT(pool.tasks_executed(), 0u) << threads << " threads: inline?";
+    EXPECT_EQ(serial, parallel) << threads;
+  }
+}
+
 TEST(ParallelDeterminismTest, SsaFitRefitAndForecastBitIdentical) {
   // The SSA fast path fans three stages over the ambient pool — the blocked
   // MatMuls inside the subspace iteration, the rank-major W = H^T U build,
