@@ -10,6 +10,7 @@
 //   loadgen [--clients 4] [--server-threads 4] [--seconds 5]
 //           [--port 0] [--host 127.0.0.1] [--key east-medium]
 //           [--publish-every 64] [--publish-pct 0] [--inflight 64]
+//           [--pools 1] [--zipf 0] [--shards 16] [--pipeline 1]
 //
 // `--publish-pct P` (0 < P < 100) switches to the mixed read/write
 // scenario: P percent of each client's requests are PublishTelemetry
@@ -19,6 +20,18 @@
 // `scenario` field, so mixed runs sit alongside the read-mostly baseline
 // instead of replacing it.
 //
+// `--pools N` (N > 1) is the sharded-serving stress scenario (ROADMAP item
+// 2): the in-process server seeds N documents `pool-0000..` and every read
+// picks its key from a Zipf(`--zipf S`) distribution over them (pool-0000
+// hottest; S = 0 is uniform). `--shards` sets the shard count of the
+// in-process sharded stores — sweeping it (1/4/16) under a fixed workload
+// is how BENCH_serving.json shows lock contention falling out of the read
+// path. `--pipeline W` keeps W requests in flight per connection (one
+// write + one drain per window), which lifts the per-request syscall tax
+// enough that the store, not the client loop, is what's being measured;
+// keep W at or below the server's --inflight budget. Latency quantiles in
+// pipelined runs are per-window round trips, not per-request.
+//
 // Every completed run appends a JSON record (throughput, latency quantiles,
 // shed/error counts) to BENCH_serving.json (IPOOL_BENCH_SERVING_JSON
 // overrides the path) and exits non-zero if any client or server protocol
@@ -26,6 +39,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,15 +49,16 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "core/recommendation_engine.h"
 #include "exec/thread_pool.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/server.h"
 #include "obs/metrics.h"
-#include "service/document_store.h"
 #include "service/recommendation_io.h"
-#include "service/telemetry_store.h"
+#include "service/sharded_document_store.h"
+#include "service/sharded_telemetry_store.h"
 #include "workload/demand_generator.h"
 
 namespace ipool::bench {
@@ -94,6 +109,31 @@ struct WorkerResult {
   net::ClientStats stats;
 };
 
+/// Zipf(s) sampler over [0, n): rank 0 is hottest; s = 0 degenerates to
+/// uniform. Inverse-CDF over the precomputed normalized weights, shared
+/// read-only by every client thread.
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Pick(Rng& rng) const {
+    const double u = rng.Uniform(0.0, 1.0);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 int Run(int argc, char** argv) {
   const bool quick = QuickMode();
   const size_t clients =
@@ -117,6 +157,22 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--publish-pct must be in [0, 100)\n");
     return 1;
   }
+  // Sharded-serving stress scenario (see file comment).
+  const size_t pools = static_cast<size_t>(ArgOr(argc, argv, "pools", 1));
+  const double zipf_s = ArgOr(argc, argv, "zipf", 0.0);
+  const size_t shards = static_cast<size_t>(ArgOr(argc, argv, "shards", 16));
+  const size_t pipeline =
+      static_cast<size_t>(ArgOr(argc, argv, "pipeline", 1));
+  if (pools == 0 || pipeline == 0) {
+    std::fprintf(stderr, "--pools and --pipeline must be >= 1\n");
+    return 1;
+  }
+  if (pools > 1 && external_port != 0) {
+    std::fprintf(stderr,
+                 "--pools > 1 needs the in-process server (it seeds the "
+                 "pool-NNNN documents)\n");
+    return 1;
+  }
 
   PrintHeader("Serving-layer load generator (ipool::net)",
               "Sustained loopback GetRecommendation throughput; the paper's "
@@ -124,8 +180,8 @@ int Run(int argc, char** argv) {
 
   // In-process server unless an external one was named.
   obs::MetricsRegistry registry;
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents(shards);
+  ShardedTelemetryStore telemetry(shards);
   std::unique_ptr<exec::ThreadPool> pool;
   std::unique_ptr<net::Router> router;
   std::unique_ptr<net::Server> server;
@@ -143,7 +199,16 @@ int Run(int argc, char** argv) {
     stored.recommendation = CheckOk(engine.Run(demand), "recommend");
     stored.start_time = demand.TimeAt(demand.size() - 1) + demand.interval();
     stored.interval_seconds = demand.interval();
-    documents.Put(key, SerializeRecommendation(stored), stored.start_time);
+    const std::string serialized = SerializeRecommendation(stored);
+    documents.Put(key, serialized, stored.start_time);
+    // The multi-pool scenario serves the same document bytes under every
+    // key: what varies per request is the shard the lookup routes to.
+    if (pools > 1) {
+      for (size_t p = 0; p < pools; ++p) {
+        documents.Put(StrFormat("pool-%04zu", p), serialized,
+                      stored.start_time);
+      }
+    }
 
     pool = std::make_unique<exec::ThreadPool>(server_threads);
     router = std::make_unique<net::Router>(
@@ -162,11 +227,15 @@ int Run(int argc, char** argv) {
         "server");
     port = server->port();
   }
-  std::printf("target %s:%u, %zu clients, %zu server threads, %.1fs\n\n",
+  std::printf("target %s:%u, %zu clients, %zu server threads, %.1fs\n",
               host.c_str(), port, clients, server_threads, seconds);
+  std::printf("shards %zu, pools %zu, zipf %.2f, pipeline window %zu\n\n",
+              shards, pools, zipf_s, pipeline);
 
   // Fan out the client threads. Telemetry times must be non-decreasing per
   // metric, so each client publishes to its own metric stream.
+  const std::unique_ptr<const ZipfPicker> zipf =
+      pools > 1 ? std::make_unique<ZipfPicker>(pools, zipf_s) : nullptr;
   std::vector<WorkerResult> results(clients);
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
@@ -189,39 +258,94 @@ int Run(int argc, char** argv) {
       const std::string metric =
           publish_pct > 0.0 ? StrFormat("demand.loadgen-%zu", c)
                             : StrFormat("loadgen_client_%zu", c);
+      Rng key_rng(2000 + c);
+      const auto read_key = [&]() -> std::string {
+        if (pools <= 1) return key;
+        return StrFormat("pool-%04zu", zipf->Pick(key_rng));
+      };
       uint64_t i = 0;
       double publish_time = 0.0;
       // Accumulator for the publish mix: adds pct/100 per request and
       // publishes each time it crosses 1, so the ratio holds exactly
       // without randomness.
       double publish_credit = 0.0;
-      while (std::chrono::steady_clock::now() < deadline) {
-        const auto start = std::chrono::steady_clock::now();
-        Status status = Status::OK();
-        bool publish = false;
-        if (publish_pct > 0.0) {
-          publish_credit += publish_pct / 100.0;
-          publish = publish_credit >= 1.0;
-          if (publish) publish_credit -= 1.0;
-        } else {
-          publish = publish_every != 0 && (i + 1) % publish_every == 0;
+      if (pipeline > 1) {
+        // Pipelined mode: one window of requests per round trip. Publishes
+        // within a window share one timestamp — the server may execute a
+        // window's handlers in any order, and equal times are the one
+        // ordering every interleaving satisfies. Windows are sequential, so
+        // cross-window times stay non-decreasing.
+        std::vector<net::PipelinedRequest> window(pipeline);
+        while (std::chrono::steady_clock::now() < deadline) {
+          bool published = false;
+          for (auto& request : window) {
+            bool publish = false;
+            if (publish_pct > 0.0) {
+              publish_credit += publish_pct / 100.0;
+              publish = publish_credit >= 1.0;
+              if (publish) publish_credit -= 1.0;
+            } else {
+              publish = publish_every != 0 && (i + 1) % publish_every == 0;
+            }
+            ++i;
+            if (publish) {
+              request.method = net::Method::kPublishTelemetry;
+              request.payload =
+                  StrFormat("%s,%.17g,1\n", metric.c_str(), publish_time);
+              published = true;
+            } else {
+              request.method = net::Method::kGetRecommendation;
+              request.payload = read_key();
+            }
+          }
+          if (published) publish_time += publish_pct > 0.0 ? 30.0 : 1.0;
+          const auto start = std::chrono::steady_clock::now();
+          auto frames = client.CallPipelined(window);
+          out.latencies_seconds.push_back(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          if (!frames.ok()) {
+            out.failed += window.size();
+            continue;
+          }
+          for (const net::Frame& frame : *frames) {
+            if (frame.status == net::WireStatus::kOk) {
+              ++out.ok;
+            } else if (frame.status != net::WireStatus::kRetryAfter) {
+              ++out.failed;
+            }  // RETRY_AFTER is shed, already counted in client stats
+          }
         }
-        ++i;
-        if (publish) {
-          status = client.PublishTelemetry(metric, publish_time, 1.0);
-          publish_time += publish_pct > 0.0 ? 30.0 : 1.0;
-        } else {
-          auto doc = client.GetRecommendation(key);
-          status = doc.ok() ? Status::OK() : doc.status();
-        }
-        out.latencies_seconds.push_back(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count());
-        if (status.ok()) {
-          ++out.ok;
-        } else {
-          ++out.failed;
+      } else {
+        while (std::chrono::steady_clock::now() < deadline) {
+          const auto start = std::chrono::steady_clock::now();
+          Status status = Status::OK();
+          bool publish = false;
+          if (publish_pct > 0.0) {
+            publish_credit += publish_pct / 100.0;
+            publish = publish_credit >= 1.0;
+            if (publish) publish_credit -= 1.0;
+          } else {
+            publish = publish_every != 0 && (i + 1) % publish_every == 0;
+          }
+          ++i;
+          if (publish) {
+            status = client.PublishTelemetry(metric, publish_time, 1.0);
+            publish_time += publish_pct > 0.0 ? 30.0 : 1.0;
+          } else {
+            auto doc = client.GetRecommendation(read_key());
+            status = doc.ok() ? Status::OK() : doc.status();
+          }
+          out.latencies_seconds.push_back(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          if (status.ok()) {
+            ++out.ok;
+          } else {
+            ++out.failed;
+          }
         }
       }
       out.stats = client.stats();
@@ -290,6 +414,9 @@ int Run(int argc, char** argv) {
                     server->connections_accepted()));
   }
 
+  const char* scenario =
+      pools > 1 ? (publish_pct > 0.0 ? "zipf-mixed" : "zipf")
+                : (publish_pct > 0.0 ? "mixed" : "read-mostly");
   // Append the record.
   const char* path_env = std::getenv("IPOOL_BENCH_SERVING_JSON");
   const std::string path =
@@ -299,13 +426,16 @@ int Run(int argc, char** argv) {
         f,
         "{\"benchmark\":\"loadgen\",\"mode\":\"%s\",\"scenario\":\"%s\","
         "\"publish_pct\":%.1f,\"clients\":%zu,"
-        "\"server_threads\":%zu,\"seconds\":%.2f,\"requests_ok\":%llu,"
+        "\"server_threads\":%zu,\"shards\":%zu,\"pools\":%zu,"
+        "\"zipf_s\":%.2f,\"pipeline\":%zu,\"hw_threads\":%u,"
+        "\"seconds\":%.2f,\"requests_ok\":%llu,"
         "\"requests_failed\":%llu,\"throughput_rps\":%.1f,\"p50_ms\":%.4f,"
         "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"retries\":%llu,\"shed\":%llu,"
         "\"client_protocol_errors\":%llu,\"server_protocol_errors\":%.0f}\n",
-        external_port == 0 ? "in-process" : "external",
-        publish_pct > 0.0 ? "mixed" : "read-mostly", publish_pct, clients,
-        server_threads, elapsed, static_cast<unsigned long long>(ok),
+        external_port == 0 ? "in-process" : "external", scenario,
+        publish_pct, clients, server_threads, shards, pools, zipf_s,
+        pipeline, std::thread::hardware_concurrency(), elapsed,
+        static_cast<unsigned long long>(ok),
         static_cast<unsigned long long>(failed), throughput, p50_ms, p95_ms,
         p99_ms, static_cast<unsigned long long>(retries),
         static_cast<unsigned long long>(shed),

@@ -239,20 +239,27 @@ Status SsaForecaster::FitImpl(const TimeSeries& history, bool allow_warm) {
         },
         {exec::Chunking::kDynamic, 1});
     reconstruction_.assign(n, 0.0);
+    const size_t eig_cols = eigvecs.cols();
+    const double* eig_data = eigvecs.data().data();
+    const double* w_data = w.data().data();
     exec::ParallelFor(
         exec::Current(), 0, n,
         [&](size_t lo, size_t hi) {
           for (size_t d = lo; d < hi; ++d) {
             const size_t i0 = d >= k ? d - k + 1 : 0;
             const size_t i1 = std::min(len - 1, d);
+            // Anti-diagonal d pairs the eigvec column (strided, row-major)
+            // with the W row walked backwards from d - i0 — the
+            // StridedRevDot shape, vectorized as gather + reversed load.
+            const size_t span = i1 - i0 + 1;
             double acc = 0.0;
             for (size_t r = 0; r < rank; ++r) {
-              for (size_t i = i0; i <= i1; ++i) {
-                acc += eigvecs(i, r) * w(r, d - i);
-              }
+              acc += simd::StridedRevDot(eig_data + i0 * eig_cols + r,
+                                         eig_cols,
+                                         w_data + r * k + (d - i0), span);
             }
-            const double cnt = static_cast<double>(i1 - i0 + 1);
-            reconstruction_[d] = (acc / cnt) * scale_;
+            reconstruction_[d] =
+                (acc / static_cast<double>(span)) * scale_;
           }
         },
         {exec::Chunking::kDynamic, 64});

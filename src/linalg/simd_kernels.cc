@@ -63,6 +63,29 @@ void MulAddScalar(double* dst, const double* src, double scale, size_t n) {
   for (size_t j = 0; j < n; ++j) dst[j] += scale * src[j];
 }
 
+// StridedRevDot's fixed semantics: four lane accumulators (one AVX2 vector —
+// the gather port, not FMA latency, bounds this kernel, so one chain is
+// enough), lane l owns t with t % 4 == l, reduced (l0+l1)+(l2+l3), then a
+// sequential fused tail.
+constexpr size_t kRevDotLanes = 4;
+
+double StridedRevDotScalar(const double* a, size_t stride, const double* b,
+                           size_t n) {
+  double lane[kRevDotLanes] = {0, 0, 0, 0};
+  size_t t = 0;
+  for (; t + kRevDotLanes <= n; t += kRevDotLanes) {
+    for (size_t l = 0; l < kRevDotLanes; ++l) {
+      lane[l] = std::fma(a[(t + l) * stride],
+                         b[-static_cast<ptrdiff_t>(t + l)], lane[l]);
+    }
+  }
+  double acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; t < n; ++t) {
+    acc = std::fma(a[t * stride], b[-static_cast<ptrdiff_t>(t)], acc);
+  }
+  return acc;
+}
+
 #if IPOOL_SIMD_X86
 
 __attribute__((target("avx2,fma"))) double DotAvx2(const double* a,
@@ -106,6 +129,30 @@ __attribute__((target("avx2,fma"))) void MulAddAvx2(double* dst,
     _mm256_storeu_pd(dst + j, _mm256_add_pd(_mm256_loadu_pd(dst + j), p));
   }
   for (; j < n; ++j) dst[j] += scale * src[j];
+}
+
+__attribute__((target("avx2,fma"))) double StridedRevDotAvx2(
+    const double* a, size_t stride, const double* b, size_t n) {
+  // Lane l of the gather reads a[(t+l)*stride]; the b vector is a contiguous
+  // load of b[-t-3..-t] reversed by permute so lane l holds b[-(t+l)] —
+  // exactly the scalar reference's lane ownership.
+  const long long s = static_cast<long long>(stride);
+  const __m256i idx = _mm256_set_epi64x(3 * s, 2 * s, s, 0);
+  __m256d acc = _mm256_setzero_pd();
+  size_t t = 0;
+  for (; t + kRevDotLanes <= n; t += kRevDotLanes) {
+    const __m256d va = _mm256_i64gather_pd(a + t * stride, idx, 8);
+    const __m256d vb = _mm256_permute4x64_pd(
+        _mm256_loadu_pd(b - static_cast<ptrdiff_t>(t) - 3), 0x1B);
+    acc = _mm256_fmadd_pd(va, vb, acc);
+  }
+  alignas(32) double lane[kRevDotLanes];
+  _mm256_store_pd(lane, acc);
+  double out = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; t < n; ++t) {
+    out = std::fma(a[t * stride], b[-static_cast<ptrdiff_t>(t)], out);
+  }
+  return out;
 }
 
 #endif  // IPOOL_SIMD_X86
@@ -156,6 +203,16 @@ void MulAdd(double* dst, const double* src, double scale, size_t n) {
   }
 #endif
   MulAddScalar(dst, src, scale, n);
+}
+
+double StridedRevDot(const double* a, size_t stride, const double* b,
+                     size_t n) {
+#if IPOOL_SIMD_X86
+  if (ActiveIsa() == IsaLevel::kAvx2) {
+    return StridedRevDotAvx2(a, stride, b, n);
+  }
+#endif
+  return StridedRevDotScalar(a, stride, b, n);
 }
 
 }  // namespace ipool::simd

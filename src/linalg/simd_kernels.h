@@ -1,9 +1,13 @@
 // Vectorized microkernels under the blocked MatMul, the nn forward/backward
-// GEMM paths and the SSA Gram/reconstruction hot loops. Two primitives cover
-// every inner loop in the codebase:
+// GEMM paths and the SSA Gram/reconstruction hot loops. Three primitives
+// cover every inner loop in the codebase:
 //
 //   Dot(a, b, n)          -> sum_k a[k] * b[k]       (reduction)
 //   MulAdd(dst, src, s, n) : dst[j] += s * src[j]    (axpy)
+//   StridedRevDot(a, stride, b, n)
+//                         -> sum_t a[t*stride] * b[-t]
+//     (the SSA diagonal-averaging shape: a column of a row-major matrix
+//      against a row walked backwards)
 //
 // Dispatch contract (see DESIGN.md "SIMD kernels & runtime dispatch"):
 //  * The instruction set is resolved ONCE per process (AVX2+FMA when the CPU
@@ -57,6 +61,17 @@ double Dot(const double* a, const double* b, size_t n);
 /// add per element (never fused), so results are bit-identical to the plain
 /// scalar loop on every IsaLevel.
 void MulAdd(double* dst, const double* src, double scale, size_t n);
+
+/// sum_t a[t*stride] * b[-t] for t in [0, n) — the SSA diagonal-averaging
+/// inner loop (strided column of the eigvec matrix against a reversed slice
+/// of a W row). Fixed semantics on every IsaLevel: four lane accumulators
+/// (lane l owns t with t % 4 == l), fused multiply-adds, a
+/// (l0+l1)+(l2+l3) reduction, then a sequential fused tail — the scalar
+/// path mirrors the AVX2 gather/permute path bit for bit. Like Dot, results
+/// differ from a naive sequential loop by normal reassociation error.
+/// `b` points at the t = 0 element; the kernel reads b[-(n-1)] .. b[0].
+double StridedRevDot(const double* a, size_t stride, const double* b,
+                     size_t n);
 
 /// Pins ActiveIsa() to `level` for this object's lifetime (restores the
 /// previous pin on destruction). Forcing kAvx2 on a CPU without AVX2 is

@@ -8,9 +8,9 @@
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "service/document_store.h"
 #include "service/recommendation_io.h"
-#include "service/telemetry_store.h"
+#include "service/sharded_document_store.h"
+#include "service/sharded_telemetry_store.h"
 #include "tsdata/time_series.h"
 
 namespace ipool::live {
@@ -66,26 +66,23 @@ struct LiveControlPlane::PoolWork {
 };
 
 Result<std::unique_ptr<LiveControlPlane>> LiveControlPlane::Create(
-    const RecommendationEngine* engine, TelemetryStore* telemetry,
-    DocumentStore* documents, std::shared_mutex* store_mu,
-    const LiveControlPlaneConfig& config) {
+    const RecommendationEngine* engine, ShardedTelemetryStore* telemetry,
+    ShardedDocumentStore* documents, const LiveControlPlaneConfig& config) {
   IPOOL_RETURN_NOT_OK(config.Validate());
   if (engine == nullptr || telemetry == nullptr || documents == nullptr) {
     return Status::InvalidArgument("null dependency");
   }
   return std::unique_ptr<LiveControlPlane>(
-      new LiveControlPlane(engine, telemetry, documents, store_mu, config));
+      new LiveControlPlane(engine, telemetry, documents, config));
 }
 
 LiveControlPlane::LiveControlPlane(const RecommendationEngine* engine,
-                                   TelemetryStore* telemetry,
-                                   DocumentStore* documents,
-                                   std::shared_mutex* store_mu,
+                                   ShardedTelemetryStore* telemetry,
+                                   ShardedDocumentStore* documents,
                                    const LiveControlPlaneConfig& config)
     : engine_(engine),
       telemetry_(telemetry),
       documents_(documents),
-      store_mu_(store_mu != nullptr ? store_mu : &own_store_mu_),
       config_(config) {
   if (!config_.clock) config_.clock = SteadySeconds;
   if (obs::MetricsRegistry* metrics = config_.obs.metrics;
@@ -140,36 +137,36 @@ TickStatus LiveControlPlane::TickOnce() {
   obs::ScopedSpan tick_span(config_.obs.tracer, "live.tick");
   obs::ScopedTimer tick_timer(tick_seconds_);
 
-  // Stage 1: snapshot. A shared lock suffices — discovery and QueryBinned
-  // only read, and PublishTelemetry writers hold the unique lock.
+  // Stage 1: snapshot. No global lock: each pool's point count, last time
+  // and binned history come from ONE shard shared-lock acquisition
+  // (SnapshotBinned), so every pool's view is internally consistent even
+  // while publishers keep appending to other shards.
   std::vector<PoolWork> work;
   size_t skipped = 0;
   {
     obs::ScopedSpan span(config_.obs.tracer, "live.snapshot");
-    std::shared_lock<std::shared_mutex> lock(*store_mu_);
     for (const std::string& metric : telemetry_->Metrics()) {
       if (metric.rfind(config_.demand_metric_prefix, 0) != 0) continue;
       std::string key = metric.substr(config_.demand_metric_prefix.size());
       if (key.empty()) continue;
-      if (telemetry_->PointCount(metric) < config_.min_history_points) {
+      auto view = telemetry_->SnapshotBinned(
+          metric, config_.bin_interval_seconds, config_.history_bins);
+      if (!view.ok()) {
+        PoolWork item;
+        item.key = std::move(key);
+        item.result = view.status();  // pipeline failure for this pool
+        work.push_back(std::move(item));
+        continue;
+      }
+      if (view->point_count < config_.min_history_points) {
         ++skipped;
         continue;
       }
       PoolWork item;
       item.key = std::move(key);
-      item.last_time = telemetry_->LastTime(metric);
       // `history_bins` bins ending with (and including) the newest point.
-      const double start =
-          item.last_time + config_.bin_interval_seconds -
-          config_.bin_interval_seconds *
-              static_cast<double>(config_.history_bins);
-      auto history = telemetry_->QueryBinned(
-          metric, start, config_.bin_interval_seconds, config_.history_bins);
-      if (history.ok()) {
-        item.history = std::move(*history);
-      } else {
-        item.result = history.status();  // pipeline failure for this pool
-      }
+      item.last_time = view->last_time;
+      item.history = std::move(view->history);
       work.push_back(std::move(item));
     }
   }
@@ -211,26 +208,30 @@ TickStatus LiveControlPlane::TickOnce() {
         options);
   }
 
-  // Stage 3: publish every fresh recommendation in one unique-lock critical
-  // section — the snapshot-consistent atomic swap. Failed pools are not
-  // touched: their previous document keeps serving (§7.6).
+  // Stage 3: publish every fresh recommendation through PutBatch — ops are
+  // grouped by shard and each shard's snapshot swaps exactly once, so
+  // readers of a shard see either none or all of this tick's writes to it.
+  // Unchanged serialized documents reuse the store's cached payload bytes
+  // (payload_builds stays flat). Failed pools are not touched: their
+  // previous document keeps serving (§7.6).
   const double wall = Now();
   size_t published = 0;
   size_t failed = 0;
   std::string last_error;
   {
     obs::ScopedSpan span(config_.obs.tracer, "live.publish");
-    std::unique_lock<std::shared_mutex> lock(*store_mu_);
+    std::vector<ShardedDocumentStore::PutOp> puts;
     for (PoolWork& item : work) {
       if (!item.result.ok()) continue;
       StoredRecommendation stored;
       stored.recommendation = std::move(*item.result);
       stored.start_time = item.last_time + config_.bin_interval_seconds;
       stored.interval_seconds = config_.bin_interval_seconds;
-      documents_->Put(item.key, SerializeRecommendation(stored),
-                      stored.start_time);
+      puts.push_back(ShardedDocumentStore::PutOp{
+          item.key, SerializeRecommendation(stored), stored.start_time});
       ++published;
     }
+    if (!puts.empty()) documents_->PutBatch(std::move(puts));
   }
   for (const PoolWork& item : work) {
     if (item.result.ok()) continue;

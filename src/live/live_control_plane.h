@@ -8,16 +8,22 @@
 // (own thread, condition-variable timed wait, clean shutdown on Stop). Each
 // tick:
 //
-//   1. snapshot  — under a shared lock on the store mutex, discover pools
-//      from the TelemetryStore (every metric named `<prefix><pool>` is a
-//      pool) and copy out each eligible pool's recent binned demand;
+//   1. snapshot  — discover pools from the ShardedTelemetryStore (every
+//      metric named `<prefix><pool>` is a pool) and copy out each eligible
+//      pool's recent binned demand; each pool's point count, last time and
+//      history are read under ONE shard shared lock (SnapshotBinned), so
+//      the view is consistent per pool without any global mutex;
 //   2. compute   — with no lock held, warm-refit the per-pool forecaster
 //      state and run the SAA solve, fanned out over the exec pool
 //      (RunFleet-style: one task per pool, per-pool warm state owned here);
-//   3. publish   — under a unique lock, Put every fresh recommendation into
-//      the DocumentStore in one critical section, so GetRecommendation
-//      readers observe either the whole previous fleet or the whole new one
-//      (snapshot-consistent atomic swap), never a half-published mix.
+//   3. publish   — PutBatch every fresh recommendation into the
+//      ShardedDocumentStore: ops are grouped by shard and each shard's
+//      snapshot is swapped exactly once, so GetRecommendation readers of a
+//      shard observe either none or all of this tick's writes to it
+//      (document + version swap atomically within a shard). Documents whose
+//      serialized bytes did not change reuse the store's cached payload —
+//      no re-serialization cost on the read path, no version churn
+//      (ShardedDocumentStore::payload_builds stays flat).
 //
 // Fault tolerance (§7.6): a pool whose pipeline fails this tick — engine
 // error, solver infeasibility, injected fault — keeps its previous document
@@ -36,7 +42,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 
@@ -46,8 +51,8 @@
 #include "obs/obs_context.h"
 
 namespace ipool {
-class DocumentStore;
-class TelemetryStore;
+class ShardedDocumentStore;
+class ShardedTelemetryStore;
 namespace obs {
 class Counter;
 class Gauge;
@@ -119,14 +124,13 @@ struct LiveStatus {
 
 class LiveControlPlane {
  public:
-  /// `store_mu` is the mutex serializing all TelemetryStore/DocumentStore
-  /// access — pass net::Router::store_mutex() so the loop coordinates with
-  /// concurrently served requests. Null makes the plane own a private mutex
-  /// (fine when nothing else touches the stores). `engine` and the stores
-  /// must outlive the plane.
+  /// The stores are internally synchronized (per-shard mutexes), so the
+  /// plane needs no external coordination with the serving router — its
+  /// reads and publishes are atomic per shard by construction. `engine` and
+  /// the stores must outlive the plane.
   static Result<std::unique_ptr<LiveControlPlane>> Create(
-      const RecommendationEngine* engine, TelemetryStore* telemetry,
-      DocumentStore* documents, std::shared_mutex* store_mu,
+      const RecommendationEngine* engine, ShardedTelemetryStore* telemetry,
+      ShardedDocumentStore* documents,
       const LiveControlPlaneConfig& config);
 
   /// Stops the tick thread if running.
@@ -171,19 +175,16 @@ class LiveControlPlane {
   };
 
   LiveControlPlane(const RecommendationEngine* engine,
-                   TelemetryStore* telemetry, DocumentStore* documents,
-                   std::shared_mutex* store_mu,
+                   ShardedTelemetryStore* telemetry,
+                   ShardedDocumentStore* documents,
                    const LiveControlPlaneConfig& config);
 
   void ThreadMain();
   double Now() const { return config_.clock(); }
 
   const RecommendationEngine* engine_;
-  TelemetryStore* telemetry_;
-  DocumentStore* documents_;
-  /// Points at own_store_mu_ unless an external mutex was wired in.
-  std::shared_mutex* store_mu_;
-  std::shared_mutex own_store_mu_;
+  ShardedTelemetryStore* telemetry_;
+  ShardedDocumentStore* documents_;
   LiveControlPlaneConfig config_;
 
   /// Per-pool warm forecaster state; touched only inside TickOnce (map node

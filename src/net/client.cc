@@ -254,6 +254,65 @@ Result<Frame> Client::Call(Method method, std::string payload,
   return last;
 }
 
+Result<std::vector<Frame>> Client::CallPipelined(
+    const std::vector<PipelinedRequest>& requests) {
+  std::vector<Frame> out(requests.size());
+  if (requests.empty()) return out;
+  IPOOL_RETURN_NOT_OK(EnsureConnected());
+
+  // One trace id for the whole window: the server's per-request spans all
+  // join the same tree, mirroring how a fleet worker batches fetches.
+  const uint64_t trace_id = NextTraceId();
+  stats_.last_trace_id = trace_id;
+  obs::ScopedSpan call_span(config_.tracer, "client.pipeline",
+                            obs::SpanContext{trace_id, 0});
+  const double deadline = NowSeconds() + config_.request_timeout_seconds;
+
+  const uint32_t first_id = next_request_id_;
+  std::string wire;
+  for (const PipelinedRequest& request : requests) {
+    ++stats_.requests;
+    ++stats_.attempts;
+    Frame frame;
+    frame.type = FrameType::kRequest;
+    frame.method = request.method;
+    frame.trace_id = trace_id;
+    frame.request_id = next_request_id_++;
+    frame.payload = request.payload;
+    wire += EncodeFrame(frame);
+  }
+  if (Status sent = SendAll(wire, deadline); !sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+
+  // Handlers run on a pool, so responses may interleave arbitrarily; match
+  // each one back to its slot by request id.
+  std::vector<bool> seen(requests.size(), false);
+  for (size_t received = 0; received < requests.size(); ++received) {
+    auto response = ReadResponse(deadline);
+    if (!response.ok()) {
+      Disconnect();
+      return response.status();
+    }
+    const size_t idx =
+        static_cast<size_t>(response->request_id - first_id);  // mod 2^32
+    if (response->type != FrameType::kResponse || idx >= requests.size() ||
+        seen[idx] || response->trace_id != trace_id) {
+      ++stats_.protocol_errors;
+      Disconnect();
+      return Status::Internal(
+          StrFormat("pipelined response id %u outside window [%u, %zu)",
+                    response->request_id, first_id,
+                    static_cast<size_t>(first_id) + requests.size()));
+    }
+    if (response->status == WireStatus::kRetryAfter) ++stats_.shed_responses;
+    seen[idx] = true;
+    out[idx] = std::move(*response);
+  }
+  return out;
+}
+
 Result<std::string> Client::GetRecommendation(const std::string& pool_key) {
   IPOOL_ASSIGN_OR_RETURN(auto frame,
                          Call(Method::kGetRecommendation, pool_key));

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -67,6 +68,12 @@ struct RequestOptions {
   Idempotency idempotency = Idempotency::kDefault;
 };
 
+/// One request in a CallPipelined window.
+struct PipelinedRequest {
+  Method method = Method::kGetRecommendation;
+  std::string payload;
+};
+
 class Client {
  public:
   explicit Client(ClientConfig config);
@@ -81,6 +88,18 @@ class Client {
   /// the exchange itself succeeded.
   Result<Frame> Call(Method method, std::string payload,
                      const RequestOptions& options = {});
+
+  /// Pipelined exchange: encodes every request, writes them in one stream,
+  /// then drains the responses (the server may answer out of order; frames
+  /// are matched by request id and returned in request order). One deadline
+  /// covers the whole window. No retries — a transport error or mismatched
+  /// frame drops the connection and fails the window, because replaying a
+  /// partially-executed window is not idempotent in general. Keep the
+  /// window at or below the server's per-connection inflight budget or the
+  /// tail of the window is load-shed (RETRY_AFTER frames, counted in
+  /// stats().shed_responses, returned to the caller unretried).
+  Result<std::vector<Frame>> CallPipelined(
+      const std::vector<PipelinedRequest>& requests);
 
   /// Typed conveniences over Call (errors fold the wire status in).
   Result<std::string> GetRecommendation(const std::string& pool_key);

@@ -1,5 +1,6 @@
 #include "net/router.h"
 
+#include <memory>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -7,8 +8,8 @@
 #include "common/strings.h"
 #include "live/live_control_plane.h"
 #include "obs/export.h"
-#include "service/document_store.h"
-#include "service/telemetry_store.h"
+#include "service/sharded_document_store.h"
+#include "service/sharded_telemetry_store.h"
 
 namespace ipool::net {
 
@@ -58,9 +59,15 @@ Result<std::string> Router::Dispatch(Method method,
       if (payload.empty()) {
         return Status::InvalidArgument("GetRecommendation needs a pool key");
       }
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      IPOOL_ASSIGN_OR_RETURN(auto doc, config_.documents->Get(payload));
-      return std::move(doc.value);
+      // The snapshot read path: one atomic shard-snapshot load, a map
+      // lookup, and a copy of the pre-serialized payload bytes — no lock
+      // held, no serialization work on the hot path.
+      std::shared_ptr<const std::string> doc =
+          config_.documents->GetPayload(payload);
+      if (doc == nullptr) {
+        return Status::NotFound("document not found: " + payload);
+      }
+      return std::string(*doc);
     }
     case Method::kPublishTelemetry: {
       obs::ScopedSpan span(config_.tracer, "router.PublishTelemetry");
@@ -69,7 +76,7 @@ Result<std::string> Router::Dispatch(Method method,
       }
       // Validate the whole batch before touching the store so a malformed
       // tail cannot leave a half-applied append behind a retry.
-      std::vector<std::pair<std::string, std::pair<double, double>>> points;
+      std::vector<ShardedTelemetryStore::BatchPoint> points;
       std::istringstream in(payload);
       std::string line;
       while (std::getline(in, line)) {
@@ -79,19 +86,17 @@ Result<std::string> Router::Dispatch(Method method,
               StrFormat("telemetry batch exceeds %zu lines",
                         kMaxTelemetryLines));
         }
-        double time = 0.0, value = 0.0;
-        IPOOL_ASSIGN_OR_RETURN(auto metric,
-                               ParseTelemetryLine(line, &time, &value));
-        points.emplace_back(std::move(metric), std::make_pair(time, value));
+        ShardedTelemetryStore::BatchPoint point;
+        IPOOL_ASSIGN_OR_RETURN(
+            point.metric, ParseTelemetryLine(line, &point.time, &point.value));
+        points.push_back(std::move(point));
       }
       if (points.empty()) {
         return Status::InvalidArgument("PublishTelemetry got no points");
       }
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      for (const auto& [metric, tv] : points) {
-        IPOOL_RETURN_NOT_OK(
-            config_.telemetry->Record(metric, tv.first, tv.second));
-      }
+      // One lock acquisition per touched shard; each shard's slice of the
+      // batch is validated against store order and applied all-or-nothing.
+      IPOOL_RETURN_NOT_OK(config_.telemetry->RecordBatch(std::move(points)));
       return std::string();
     }
     case Method::kHealth: {
@@ -125,9 +130,8 @@ Result<std::string> Router::Dispatch(Method method,
       if (config_.tracer != nullptr) {
         config_.tracer->PublishTo(config_.metrics);
       }
-      // PrometheusText reads instruments via atomics; the shared lock only
-      // keeps a scrape consistent with concurrent telemetry appends.
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      // PrometheusText reads instruments via atomics; no store lock is
+      // taken, so a scrape never contends with publishes or the live tick.
       return obs::PrometheusText(*config_.metrics);
     }
     case Method::kTrace: {

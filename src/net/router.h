@@ -11,7 +11,7 @@
 //   * PublishTelemetry   — request: one `metric,time,value` triple per
 //                          line; response: empty. Appends must arrive in
 //                          non-decreasing time order per metric (the
-//                          TelemetryStore contract).
+//                          telemetry-store contract).
 //   * Health             — request: must be empty (anything else is
 //                          rejected as INVALID_ARGUMENT); response: "ok",
 //                          followed by live-control-plane fields
@@ -24,20 +24,28 @@
 //                          the most recent finished server spans as JSONL
 //                          (obs::SpansJsonl), newest last.
 //
-// Handle() is thread-safe (an internal mutex serializes store access), so
-// the server may dispatch it from every worker of an exec::ThreadPool.
+// Concurrency: the router itself holds no lock — the stores it fronts are
+// sharded and internally synchronized (per-shard mutexes; see
+// service/sharded_document_store.h and service/sharded_telemetry_store.h),
+// replacing the single store_mutex() the pre-shard router exposed.
+// GetRecommendation is lock-free-in-practice: one atomic shard-snapshot
+// load, a map lookup, and a copy of the pre-serialized payload bytes.
+// PublishTelemetry applies each parse-validated batch with one lock
+// acquisition per touched shard. Health and Metrics never touch a store
+// lock at all (live status and instruments are read via atomics), so
+// scrapes cannot contend with publishes. Handle() is therefore safe to
+// dispatch from every worker of an exec::ThreadPool.
 #ifndef IPOOL_NET_ROUTER_H_
 #define IPOOL_NET_ROUTER_H_
 
-#include <shared_mutex>
 #include <string>
 
 #include "common/status.h"
 #include "net/frame.h"
 
 namespace ipool {
-class DocumentStore;
-class TelemetryStore;
+class ShardedDocumentStore;
+class ShardedTelemetryStore;
 namespace live {
 class LiveControlPlane;
 }  // namespace live
@@ -51,10 +59,10 @@ namespace ipool::net {
 
 struct RouterConfig {
   /// Recommendation documents served to GetRecommendation. May be null
-  /// (every lookup answers NOT_FOUND).
-  DocumentStore* documents = nullptr;
+  /// (every lookup answers UNAVAILABLE).
+  ShardedDocumentStore* documents = nullptr;
   /// Sink for PublishTelemetry. May be null (publishes answer UNAVAILABLE).
-  TelemetryStore* telemetry = nullptr;
+  ShardedTelemetryStore* telemetry = nullptr;
   /// Scrape target for Metrics. May be null (scrapes answer UNAVAILABLE).
   obs::MetricsRegistry* metrics = nullptr;
   /// Source for Trace and for per-method handler child spans. May be null
@@ -63,9 +71,9 @@ struct RouterConfig {
   /// request span.
   obs::Tracer* tracer = nullptr;
   /// In-process streaming control plane (optional): Health folds its tick
-  /// counters and recommendation staleness into the payload. The plane must
-  /// share this router's store_mutex() so its publishes stay atomic with
-  /// respect to served reads.
+  /// counters and recommendation staleness into the payload. The plane
+  /// publishes through the same sharded stores, so its document swaps are
+  /// atomic per shard with respect to served reads.
   const live::LiveControlPlane* live = nullptr;
 };
 
@@ -84,26 +92,16 @@ class Router {
   /// payload; this never fails out-of-band.
   Frame Handle(const Frame& request);
 
-  /// The mutex serializing all access to the wired stores. Anything else
-  /// that touches them while the router serves — the LiveControlPlane's
-  /// snapshot/publish stages — must lock it (shared to read, unique to
-  /// write) so telemetry appends and recommendation swaps stay atomic with
-  /// respect to served requests.
-  std::shared_mutex& store_mutex() { return mu_; }
-
-  /// Wires the live control plane after construction — the plane itself is
-  /// built against this router's store_mutex(), so it cannot exist yet when
-  /// the RouterConfig is assembled. Call before serving starts; Handle()
-  /// reads the pointer unsynchronized.
+  /// Wires the live control plane after construction — the plane is built
+  /// against the same stores this router serves, so it typically does not
+  /// exist yet when the RouterConfig is assembled. Call before serving
+  /// starts; Handle() reads the pointer unsynchronized.
   void set_live(const live::LiveControlPlane* live) { config_.live = live; }
 
  private:
   Result<std::string> Dispatch(Method method, const std::string& payload);
 
   RouterConfig config_;
-  /// Readers (GetRecommendation, Metrics) share; PublishTelemetry is the
-  /// only writer. The stores themselves are not thread-safe.
-  std::shared_mutex mu_;
 };
 
 }  // namespace ipool::net

@@ -1,0 +1,157 @@
+#include "service/sharded_telemetry_store.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t Fnv1a(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedTelemetryStore::ShardedTelemetryStore(size_t shards) {
+  const size_t count = RoundUpPowerOfTwo(shards == 0 ? 1 : shards);
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedTelemetryStore::ShardIndex(const std::string& metric) const {
+  return static_cast<size_t>(Fnv1a(metric)) & (shards_.size() - 1);
+}
+
+Status ShardedTelemetryStore::Record(const std::string& metric, double time,
+                                     double value) {
+  Shard& shard = *shards_[ShardIndex(metric)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store.Record(metric, time, value);
+}
+
+Status ShardedTelemetryStore::RecordBatch(std::vector<BatchPoint> points) {
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    by_shard[ShardIndex(points[i].metric)].push_back(i);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    // Pass 1: validate the shard's slice against the store's last-seen
+    // times without mutating anything, so a mid-slice ordering violation
+    // rejects the whole slice instead of leaving a prefix applied.
+    std::map<std::string, double> last_time;
+    for (const size_t i : by_shard[s]) {
+      const BatchPoint& p = points[i];
+      auto [it, inserted] = last_time.try_emplace(p.metric, 0.0);
+      if (inserted) it->second = shard.store.LastTime(p.metric);
+      if (p.time < it->second) {
+        return Status::InvalidArgument(
+            StrFormat("out-of-order telemetry for %s: %g < %g",
+                      p.metric.c_str(), p.time, it->second));
+      }
+      it->second = p.time;
+    }
+    // Pass 2: apply. Record cannot fail now — ordering was just proven.
+    for (const size_t i : by_shard[s]) {
+      const BatchPoint& p = points[i];
+      IPOOL_RETURN_NOT_OK(shard.store.Record(p.metric, p.time, p.value));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TimeSeries> ShardedTelemetryStore::QueryBinned(
+    const std::string& metric, double start, double interval_seconds,
+    size_t bins) const {
+  const Shard& shard = *shards_[ShardIndex(metric)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store.QueryBinned(metric, start, interval_seconds, bins);
+}
+
+Result<ShardedTelemetryStore::BinnedView> ShardedTelemetryStore::SnapshotBinned(
+    const std::string& metric, double interval_seconds, size_t bins) const {
+  if (interval_seconds <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  const Shard& shard = *shards_[ShardIndex(metric)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  BinnedView view;
+  view.point_count = shard.store.PointCount(metric);
+  view.last_time = shard.store.LastTime(metric);
+  if (view.point_count == 0) return view;
+  const double start = view.last_time + interval_seconds -
+                       interval_seconds * static_cast<double>(bins);
+  IPOOL_ASSIGN_OR_RETURN(
+      view.history,
+      shard.store.QueryBinned(metric, start, interval_seconds, bins));
+  return view;
+}
+
+double ShardedTelemetryStore::Sum(const std::string& metric, double start,
+                                  double end) const {
+  const Shard& shard = *shards_[ShardIndex(metric)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store.Sum(metric, start, end);
+}
+
+size_t ShardedTelemetryStore::PointCount(const std::string& metric) const {
+  const Shard& shard = *shards_[ShardIndex(metric)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store.PointCount(metric);
+}
+
+int64_t ShardedTelemetryStore::CountInRange(const std::string& metric,
+                                            double start, double end) const {
+  const Shard& shard = *shards_[ShardIndex(metric)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store.CountInRange(metric, start, end);
+}
+
+std::vector<std::string> ShardedTelemetryStore::Metrics() const {
+  std::vector<std::string> names;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    std::vector<std::string> shard_names = shard->store.Metrics();
+    names.insert(names.end(), std::make_move_iterator(shard_names.begin()),
+                 std::make_move_iterator(shard_names.end()));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+double ShardedTelemetryStore::LastTime(const std::string& metric) const {
+  const Shard& shard = *shards_[ShardIndex(metric)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.store.LastTime(metric);
+}
+
+void ShardedTelemetryStore::PublishTo(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    shard->store.PublishTo(registry);
+  }
+}
+
+}  // namespace ipool

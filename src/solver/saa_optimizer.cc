@@ -349,6 +349,19 @@ Result<std::vector<ParetoPoint>> SweepPareto(
   // sweep fans out.
   std::vector<ParetoPoint> points(alphas.size());
   std::vector<Status> statuses(alphas.size());
+  // Seed the chunker with the per-α′ solve shape, which is known up front:
+  // the grouped DP scans num_blocks × num_sizes cells and the evaluation
+  // adds a num_bins pass, and neither depends on α′ itself. Today that
+  // makes every index cost the same — the point is that CostAwarePartition
+  // balances on solve size, not index count, so the boundaries stay correct
+  // if a future per-α′ config (e.g. α′-dependent pool bounds) skews them.
+  const size_t num_bins = planning_demand.size();
+  const double solve_cost =
+      static_cast<double>(pool_config.NumBlocks(num_bins)) *
+          static_cast<double>(std::max<int64_t>(
+              1, pool_config.max_pool_size - pool_config.min_pool_size + 1)) +
+      static_cast<double>(num_bins);
+  std::vector<double> costs(alphas.size(), solve_cost);
   exec::ParallelFor(
       exec, 0, alphas.size(),
       [&](size_t lo, size_t hi) {
@@ -371,7 +384,7 @@ Result<std::vector<ParetoPoint>> SweepPareto(
       }();
     }
       },
-      {.label = "solver.sweep_pareto"});
+      {.label = "solver.sweep_pareto", .costs = costs.data()});
   // First error by alpha index wins, matching what the serial loop reports.
   for (const Status& s : statuses) {
     IPOOL_RETURN_NOT_OK(s);

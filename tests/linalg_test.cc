@@ -489,6 +489,46 @@ TEST(SimdKernelTest, MulAddBitIdenticalToPlainLoopOnEveryIsa) {
   }
 }
 
+TEST(SimdKernelTest, StridedRevDotBitIdenticalAcrossIsaLevels) {
+  // a is a strided column of a row-major matrix; b is walked backwards from
+  // its anchor. Odd strides and the kKernelSizes lengths hit the gather
+  // main loop and every tail shape.
+  for (const size_t stride : {1u, 3u, 8u}) {
+    for (size_t n : kKernelSizes) {
+      const auto a = RandomKernelVec(n * stride + 1, 700 + n * stride);
+      const auto rev = RandomKernelVec(n + 1, 1700 + n);
+      // Anchor b at its last element so b[-t] stays in bounds for t < n.
+      const double* b = rev.data() + (n == 0 ? 0 : n - 1);
+      double scalar = 0.0;
+      double dispatched = 0.0;
+      {
+        simd::ScopedForceIsa force(simd::IsaLevel::kScalar);
+        scalar = simd::StridedRevDot(a.data(), stride, b, n);
+      }
+      {
+        simd::ScopedForceIsa force(simd::IsaLevel::kAvx2);
+        dispatched = simd::StridedRevDot(a.data(), stride, b, n);
+      }
+      EXPECT_EQ(scalar, dispatched) << "n=" << n << " stride=" << stride;
+      // And against the definition itself: four strided fma lanes, the
+      // fixed (l0+l1)+(l2+l3) reduction, then a sequential fused tail.
+      double lane[4] = {0, 0, 0, 0};
+      size_t t = 0;
+      for (; t + 4 <= n; t += 4) {
+        for (size_t l = 0; l < 4; ++l) {
+          lane[l] = std::fma(a[(t + l) * stride],
+                             b[-static_cast<ptrdiff_t>(t + l)], lane[l]);
+        }
+      }
+      double want = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+      for (; t < n; ++t) {
+        want = std::fma(a[t * stride], b[-static_cast<ptrdiff_t>(t)], want);
+      }
+      EXPECT_EQ(scalar, want) << "n=" << n << " stride=" << stride;
+    }
+  }
+}
+
 TEST(SimdKernelTest, MatMulMatVecDotBitIdenticalAcrossIsa) {
   // Odd shapes so row lengths hit main loop + tail; compare the full
   // public entry points under forced scalar vs dispatched.

@@ -20,9 +20,9 @@
 #include "net/frame.h"
 #include "net/router.h"
 #include "obs/metrics.h"
-#include "service/document_store.h"
+#include "service/sharded_document_store.h"
 #include "service/recommendation_io.h"
-#include "service/telemetry_store.h"
+#include "service/sharded_telemetry_store.h"
 
 namespace ipool {
 namespace {
@@ -117,10 +117,10 @@ TEST(LiveConfigTest, ValidateRejectsBadValues) {
   EXPECT_FALSE(config.Validate().ok());
   EXPECT_TRUE(LiveControlPlaneConfig().Validate().ok());
 
-  TelemetryStore telemetry;
-  DocumentStore documents;
+  ShardedTelemetryStore telemetry;
+  ShardedDocumentStore documents;
   EXPECT_FALSE(LiveControlPlane::Create(nullptr, &telemetry, &documents,
-                                        nullptr, LiveControlPlaneConfig())
+                                        LiveControlPlaneConfig())
                    .ok());
 }
 
@@ -128,8 +128,8 @@ TEST(LiveConfigTest, ValidateRejectsBadValues) {
 // PublishTelemetry moves the served pool size within one tick, and once the
 // spike ages out of the history window the pool decays back.
 TEST(LiveControlPlaneTest, SpikeRaisesServedPoolThenDecays) {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
   net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
 
@@ -141,7 +141,7 @@ TEST(LiveControlPlaneTest, SpikeRaisesServedPoolThenDecays) {
   config.obs.metrics = &registry;
   config.clock = [&now] { return now; };
   auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
-                                        &router.store_mutex(), config);
+                                        config);
   ASSERT_TRUE(plane.ok()) << plane.status().ToString();
   router.set_live(plane->get());
 
@@ -196,8 +196,8 @@ TEST(LiveControlPlaneTest, SpikeRaisesServedPoolThenDecays) {
 // §7.6: a pool whose pipeline fails keeps serving its previous document
 // while the staleness age keeps rising; the next good tick recovers.
 TEST(LiveControlPlaneTest, FailedTickKeepsServingPreviousSnapshot) {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
   net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
 
@@ -209,7 +209,7 @@ TEST(LiveControlPlaneTest, FailedTickKeepsServingPreviousSnapshot) {
   config.obs.metrics = &registry;
   config.clock = [&now] { return now; };
   auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
-                                        &router.store_mutex(), config);
+                                        config);
   ASSERT_TRUE(plane.ok());
 
   PublishPoints(&router, "demand.east", 0.0, 8, 4.0);
@@ -258,8 +258,8 @@ TEST(LiveControlPlaneTest, FailedTickKeepsServingPreviousSnapshot) {
 // tick counts as idle, never failed (the CI smoke job asserts zero failed
 // ticks on a freshly started server).
 TEST(LiveControlPlaneTest, InsufficientTelemetryIsIdleNotFailed) {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
 
   auto engine = RecommendationEngine::Create(BaselinePipeline());
@@ -267,7 +267,7 @@ TEST(LiveControlPlaneTest, InsufficientTelemetryIsIdleNotFailed) {
   LiveControlPlaneConfig config = SmallLiveConfig();
   config.obs.metrics = &registry;
   auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
-                                        nullptr, config);
+                                        config);
   ASSERT_TRUE(plane.ok());
 
   for (size_t i = 0; i < 4; ++i) {  // below min_history_points = 8
@@ -293,8 +293,8 @@ TEST(LiveControlPlaneTest, InsufficientTelemetryIsIdleNotFailed) {
 // --warm-refit carries per-pool SSA training state across ticks: the second
 // tick's refit must warm-start (observable through the SSA counter).
 TEST(LiveControlPlaneTest, WarmRefitReusesForecasterState) {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
 
   PipelineConfig pipeline;
@@ -314,7 +314,7 @@ TEST(LiveControlPlaneTest, WarmRefitReusesForecasterState) {
   config.min_history_points = 32;
   config.warm_refit = true;
   auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
-                                        nullptr, config);
+                                        config);
   ASSERT_TRUE(plane.ok());
 
   for (size_t i = 0; i < 64; ++i) {  // a deterministic periodic series
@@ -338,8 +338,8 @@ TEST(LiveControlPlaneTest, WarmRefitReusesForecasterState) {
 // Health folds the loop's tick counters and staleness into its payload once
 // a plane is wired in.
 TEST(LiveControlPlaneTest, HealthReportsLiveFields) {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
   net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
 
@@ -347,7 +347,7 @@ TEST(LiveControlPlaneTest, HealthReportsLiveFields) {
   ASSERT_TRUE(engine.ok());
   auto plane =
       LiveControlPlane::Create(&*engine, &telemetry, &documents,
-                               &router.store_mutex(), SmallLiveConfig());
+                               SmallLiveConfig());
   ASSERT_TRUE(plane.ok());
   router.set_live(plane->get());
 
@@ -365,13 +365,58 @@ TEST(LiveControlPlaneTest, HealthReportsLiveFields) {
   EXPECT_TRUE(Contains(live.payload, "live_pools_published 1"));
 }
 
+// The no-re-serialization contract end to end: a tick that sees no new
+// telemetry republishes byte-identical documents, so the sharded store's
+// payload_builds counter must stay flat — the serving path keeps handing
+// out the same cached buffer and versions do not move.
+TEST(LiveControlPlaneTest, UnchangedTicksDoNotReserialize) {
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        SmallLiveConfig());
+  ASSERT_TRUE(plane.ok());
+  router.set_live(plane->get());
+
+  PublishPoints(&router, "demand.east", 0.0, 8, 4.0);
+  PublishPoints(&router, "demand.west", 0.0, 8, 6.0);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  const uint64_t builds_after_first = documents.payload_builds();
+  EXPECT_GE(builds_after_first, 2u);
+  const auto east = documents.Get("east");
+  ASSERT_TRUE(east.ok());
+  const std::shared_ptr<const std::string> east_payload =
+      documents.GetPayload("east");
+
+  // Three more ticks with no new telemetry: same forecasts, same bytes, so
+  // no payload materializes and the served buffer is literally the same
+  // object.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  }
+  EXPECT_EQ(documents.payload_builds(), builds_after_first);
+  EXPECT_EQ(documents.GetPayload("east"), east_payload);
+  EXPECT_EQ(documents.Get("east")->version, east->version);
+
+  // New telemetry that changes the forecast rebuilds exactly the changed
+  // pool's payload.
+  PublishPoints(&router, "demand.east", 240.0, 8, 40.0);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  EXPECT_EQ(documents.payload_builds(), builds_after_first + 1);
+  EXPECT_NE(documents.GetPayload("east"), east_payload);
+}
+
 // Publish-while-tick: writers hammer the router while the Start()ed loop
 // snapshots and publishes against the same store mutex. The TSan job runs
 // this test; any lock-discipline slip between the three tick stages and the
 // served paths is a data-race report here.
 TEST(LiveControlPlaneTest, ConcurrentPublishWhileTicking) {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
   net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
 
@@ -385,7 +430,7 @@ TEST(LiveControlPlaneTest, ConcurrentPublishWhileTicking) {
   config.exec.pool = &pool;
   config.obs.metrics = &registry;
   auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
-                                        &router.store_mutex(), config);
+                                        config);
   ASSERT_TRUE(plane.ok());
   router.set_live(plane->get());
 

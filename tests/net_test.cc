@@ -28,8 +28,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "service/document_store.h"
-#include "service/telemetry_store.h"
+#include "service/sharded_document_store.h"
+#include "service/sharded_telemetry_store.h"
 
 namespace ipool::net {
 namespace {
@@ -181,7 +181,7 @@ Frame MakeRequest(Method method, std::string payload) {
 }
 
 TEST(RouterTest, ServesDocumentsAndHealth) {
-  DocumentStore documents;
+  ShardedDocumentStore documents;
   documents.Put("east-medium", "v1\npool=1,2,3\n", 0.0);
   obs::MetricsRegistry registry;
   Router router(RouterConfig{&documents, nullptr, &registry});
@@ -215,7 +215,7 @@ TEST(RouterTest, HealthRejectsPayload) {
 }
 
 TEST(RouterTest, PublishesTelemetryAtomically) {
-  TelemetryStore telemetry;
+  ShardedTelemetryStore telemetry;
   Router router(RouterConfig{nullptr, &telemetry, nullptr});
 
   Frame ok = router.Handle(
@@ -273,8 +273,8 @@ TEST(TelemetryLineTest, ParsesStrictly) {
 // ---- live server/client -----------------------------------------------------
 
 struct TestService {
-  DocumentStore documents;
-  TelemetryStore telemetry;
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   std::unique_ptr<Router> router;

@@ -18,7 +18,7 @@
 //                       [--days 2] [--seed 7] [--model ssa+] [--key NAME]
 //                       [--max-seconds 0] [--max-inflight 64]
 //                       [--loop-interval 0] [--min-history 64]
-//                       [--warm-refit 1] [--history-bins 480]
+//                       [--warm-refit 1] [--history-bins 480] [--shards 16]
 //   ipool_cli get       --port 7070 [--key NAME] [--trace 1]
 //   ipool_cli publish   --port 7070 --metric demand.POOL [--start 0]
 //                       [--interval 30] [--count N --value V |
@@ -109,6 +109,8 @@
 #include "obs/trace.h"
 #include "service/control_loop.h"
 #include "service/document_store.h"
+#include "service/sharded_document_store.h"
+#include "service/sharded_telemetry_store.h"
 #include "service/monitoring.h"
 #include "service/recommendation_io.h"
 #include "service/telemetry_store.h"
@@ -158,7 +160,8 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
        {"port", "threads", "drain-timeout", "profile", "demand", "days",
         "seed", "model", "key", "max-seconds", "max-inflight", "window",
         "horizon", "loss-alpha", "alpha", "tau-bins", "max-pool", "bins",
-        "loop-interval", "min-history", "warm-refit", "history-bins"}},
+        "loop-interval", "min-history", "warm-refit", "history-bins",
+        "shards"}},
       {"get", {"host", "port", "key", "timeout", "retries", "trace"}},
       {"publish",
        {"host", "port", "metric", "start", "interval", "count", "value",
@@ -593,9 +596,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   stored.start_time = demand.TimeAt(demand.size() - 1) + demand.interval();
   stored.interval_seconds = demand.interval();
   const std::string key = FlagOr(flags, "key", profile);
-  DocumentStore documents;
+  const size_t shards = static_cast<size_t>(NumFlag(flags, "shards", 16));
+  ShardedDocumentStore documents(shards);
   documents.Put(key, SerializeRecommendation(stored), stored.start_time);
-  TelemetryStore telemetry;
+  ShardedTelemetryStore telemetry(shards);
 
   const size_t threads = static_cast<size_t>(NumFlag(flags, "threads", 4));
   std::unique_ptr<exec::ThreadPool> pool =
@@ -609,8 +613,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 
   // --loop-interval > 0 runs the streaming control plane inside the server:
   // every `demand.<pool>` telemetry metric becomes a pool whose document is
-  // re-published each tick. It shares the router's store mutex so published
-  // fleets swap atomically under concurrent reads.
+  // re-published each tick. The sharded stores make each tick's publish
+  // atomic per shard under concurrent reads.
   std::unique_ptr<live::LiveControlPlane> live_plane;
   const double loop_interval = NumFlag(flags, "loop-interval", 0.0);
 
@@ -629,7 +633,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     live_config.obs = ObsContext{&registry, &tracer};
     live_plane = DieOnError(
         live::LiveControlPlane::Create(&engine, &telemetry, &documents,
-                                       &router.store_mutex(), live_config),
+                                       live_config),
         "live control plane");
     router.set_live(live_plane.get());
   }
