@@ -84,6 +84,11 @@ enum class ModelKind {
 
 std::string ModelKindToString(ModelKind kind);
 
+/// Inverse of ModelKindToString (exact paper-table names: "SSA+", "mWDN",
+/// ...). InvalidArgument on anything else — parsers of persisted tuning
+/// documents must reject unknown models rather than guess.
+Result<ModelKind> ModelKindFromString(const std::string& name);
+
 /// Shared hyper-parameters (paper defaults scaled to laptop budgets; see
 /// EXPERIMENTS.md for the mapping).
 struct ForecastParams {

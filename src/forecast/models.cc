@@ -410,6 +410,15 @@ std::string ModelKindToString(ModelKind kind) {
   return "Unknown";
 }
 
+Result<ModelKind> ModelKindFromString(const std::string& name) {
+  for (ModelKind kind :
+       {ModelKind::kBaseline, ModelKind::kSsa, ModelKind::kSsaPlus,
+        ModelKind::kMwdn, ModelKind::kTst, ModelKind::kInceptionTime}) {
+    if (name == ModelKindToString(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown model kind: " + name);
+}
+
 Result<std::unique_ptr<Forecaster>> CreateForecaster(
     ModelKind kind, const ForecastParams& params) {
   IPOOL_RETURN_NOT_OK(params.Validate());

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/recommendation_io.h"
+#include "service/tuning_io.h"
 #include "service/sharded_document_store.h"
 #include "service/sharded_telemetry_store.h"
 #include "tsdata/time_series.h"
@@ -53,6 +54,23 @@ Status LiveControlPlaneConfig::Validate() const {
   if (min_history_points == 0) {
     return Status::InvalidArgument("min_history_points must be >= 1");
   }
+  if (tune_interval_seconds < 0.0) {
+    return Status::InvalidArgument("tune interval must be >= 0");
+  }
+  if (tune_interval_seconds > 0.0) {
+    if (tuning_doc_prefix.empty()) {
+      return Status::InvalidArgument("tuning doc prefix must be non-empty");
+    }
+    // The tuner backtests on the tick's own snapshots, which are always
+    // exactly history_bins long — reject geometries where every tune would
+    // fail for lack of bins.
+    if (history_bins < tuner.eval_bins + tuner.min_train_bins) {
+      return Status::InvalidArgument(StrFormat(
+          "history_bins %zu cannot cover tuner eval_bins %zu + "
+          "min_train_bins %zu",
+          history_bins, tuner.eval_bins, tuner.min_train_bins));
+    }
+  }
   return Status::OK();
 }
 
@@ -62,6 +80,9 @@ struct LiveControlPlane::PoolWork {
   /// Virtual time of the newest telemetry point (the recommendation starts
   /// one bin later).
   double last_time = 0.0;
+  /// Per-pool engine override resolved from the pool's tuning document;
+  /// null serves with the shared engine.
+  const RecommendationEngine* engine = nullptr;
   Result<Recommendation> result = Status::Internal("not computed");
 };
 
@@ -72,8 +93,26 @@ Result<std::unique_ptr<LiveControlPlane>> LiveControlPlane::Create(
   if (engine == nullptr || telemetry == nullptr || documents == nullptr) {
     return Status::InvalidArgument("null dependency");
   }
-  return std::unique_ptr<LiveControlPlane>(
+  auto plane = std::unique_ptr<LiveControlPlane>(
       new LiveControlPlane(engine, telemetry, documents, config));
+  if (config.tune_interval_seconds > 0.0) {
+    // Pin the tuner's backtest geometry to the serving engine so a tuning
+    // score means exactly what serving with that config would do; callers
+    // only shape the search (grid, rungs, hysteresis...).
+    autotune::FleetTunerConfig tuner_config = config.tuner;
+    tuner_config.pool = engine->config().saa.pool;
+    tuner_config.forecast = engine->config().forecast;
+    tuner_config.forecast.ssa_warm = nullptr;
+    tuner_config.forecast.exec = {};
+    tuner_config.forecast.obs = {};
+    if (tuner_config.exec.pool == nullptr) {
+      tuner_config.exec = plane->config_.exec;
+    }
+    if (!tuner_config.obs.enabled()) tuner_config.obs = plane->config_.obs;
+    IPOOL_ASSIGN_OR_RETURN(plane->tuner_,
+                           autotune::FleetTuner::Create(tuner_config));
+  }
+  return plane;
 }
 
 LiveControlPlane::LiveControlPlane(const RecommendationEngine* engine,
@@ -99,7 +138,54 @@ LiveControlPlane::LiveControlPlane(const RecommendationEngine* engine,
     pools_skipped_ = metrics->GetCounter("ipool_live_pools_skipped_total");
     pools_published_gauge_ = metrics->GetGauge("ipool_live_pools_published");
     tick_seconds_ = metrics->GetHistogram("ipool_live_tick_seconds");
+    tuning_docs_rejected_ =
+        metrics->GetCounter("ipool_live_tuning_docs_rejected_total");
+    pools_tuned_gauge_ = metrics->GetGauge("ipool_live_pools_tuned");
   }
+}
+
+const RecommendationEngine* LiveControlPlane::ResolveEngine(
+    const std::string& pool) {
+  auto doc = documents_->Get(config_.tuning_doc_prefix + pool);
+  if (!doc.ok()) {
+    // No (or deleted) tuning document: the pool serves with the shared
+    // engine again.
+    pool_engines_.erase(pool);
+    return nullptr;
+  }
+  auto it = pool_engines_.find(pool);
+  if (it != pool_engines_.end() && it->second.doc_version == doc->version) {
+    return it->second.engine.get();
+  }
+  Status error = Status::OK();
+  auto parsed = ParseTuning(doc->value);
+  if (parsed.ok()) {
+    PipelineConfig pipeline = engine_->config();
+    pipeline.model = parsed->model;
+    pipeline.forecast.window = parsed->window;
+    pipeline.saa.alpha_prime = parsed->alpha_prime;
+    auto built = RecommendationEngine::Create(pipeline);
+    if (built.ok()) {
+      PoolEngine& slot = pool_engines_[pool];
+      slot.doc_version = doc->version;
+      slot.active = autotune::TuningCandidate{parsed->model,
+                                              parsed->alpha_prime,
+                                              parsed->window};
+      slot.engine =
+          std::make_unique<RecommendationEngine>(std::move(*built));
+      return slot.engine.get();
+    }
+    error = built.status();
+  } else {
+    error = parsed.status();
+  }
+  // §7.6 posture: a corrupt or unbuildable tuning document must not take
+  // the pool down — whatever engine served before keeps serving, and the
+  // document is re-tried next tick (a fixed document is picked up without
+  // a restart).
+  if (tuning_docs_rejected_ != nullptr) tuning_docs_rejected_->Add(1);
+  it = pool_engines_.find(pool);
+  return it != pool_engines_.end() ? it->second.engine.get() : nullptr;
 }
 
 LiveControlPlane::~LiveControlPlane() { Stop(); }
@@ -172,6 +258,17 @@ TickStatus LiveControlPlane::TickOnce() {
   }
   if (pools_skipped_ != nullptr && skipped > 0) pools_skipped_->Add(skipped);
 
+  // Stage 1.5: resolve each pool's serving engine from its `tuning.<pool>`
+  // document (serial — it touches the pool_engines_ cache). Documents
+  // published by the PREVIOUS tick's tune stage take effect here, so the
+  // tuning document is the single source of truth for what serves.
+  if (tuner_ != nullptr) {
+    obs::ScopedSpan span(config_.obs.tracer, "live.resolve");
+    for (PoolWork& item : work) {
+      item.engine = ResolveEngine(item.key);
+    }
+  }
+
   // Stage 2: compute, store lock released. Warm-state map nodes are created
   // serially here so the parallel bodies only touch their own pool's entry.
   if (!work.empty()) {
@@ -202,7 +299,9 @@ TickStatus LiveControlPlane::TickOnce() {
               continue;
             }
             obs::ScopedSpan pool_span(config_.obs.tracer, "live.pool");
-            item.result = engine_->Run(item.history, warm[i]);
+            const RecommendationEngine* engine =
+                item.engine != nullptr ? item.engine : engine_;
+            item.result = engine->Run(item.history, warm[i]);
           }
         },
         options);
@@ -240,6 +339,55 @@ TickStatus LiveControlPlane::TickOnce() {
                            item.result.status().ToString().c_str());
   }
   if (pool_failures_ != nullptr && failed > 0) pool_failures_->Add(failed);
+
+  // Stage 4: tune. Pools whose last tune is at least tune_interval_seconds
+  // old re-run the successive-halving search over the history snapshotted
+  // in stage 1, and every successful tune republishes `tuning.<pool>` — a
+  // kept incumbent re-serializes byte-identically, so the store's payload
+  // cache absorbs it (no version bump, stage 1.5's engine cache stays
+  // warm). A failed/degenerate tune publishes nothing and does NOT fail
+  // the tick: the incumbent config keeps serving (§7.6).
+  size_t tunes_run = 0, tunes_switched = 0, tunes_failed = 0;
+  std::string last_tune_error;
+  if (tuner_ != nullptr) {
+    obs::ScopedSpan span(config_.obs.tracer, "live.tune");
+    std::vector<ShardedDocumentStore::PutOp> puts;
+    for (PoolWork& item : work) {
+      if (item.history.empty()) continue;  // snapshot failed this tick
+      auto it = last_tuned_.find(item.key);
+      if (it != last_tuned_.end() &&
+          wall - it->second < config_.tune_interval_seconds) {
+        continue;
+      }
+      last_tuned_[item.key] = wall;
+      const autotune::TuningCandidate* incumbent = nullptr;
+      auto active = pool_engines_.find(item.key);
+      if (active != pool_engines_.end() && active->second.engine != nullptr) {
+        incumbent = &active->second.active;
+      }
+      autotune::PoolTuneResult tuned =
+          tuner_->TunePool(item.key, item.history, incumbent);
+      ++tunes_run;
+      if (!tuned.ok) {
+        ++tunes_failed;
+        if (!tuned.error.empty()) {
+          last_tune_error = StrFormat("pool %s: %s", item.key.c_str(),
+                                      tuned.error.c_str());
+        }
+        continue;
+      }
+      if (tuned.switched) ++tunes_switched;
+      StoredTuning stored;
+      stored.pool = item.key;
+      stored.model = tuned.winner.model;
+      stored.alpha_prime = tuned.winner.alpha_prime;
+      stored.window = tuned.winner.window;
+      puts.push_back(ShardedDocumentStore::PutOp{
+          config_.tuning_doc_prefix + item.key, SerializeTuning(stored),
+          wall});
+    }
+    if (!puts.empty()) documents_->PutBatch(std::move(puts));
+  }
 
   const TickStatus status = failed > 0   ? TickStatus::kFailed
                             : published > 0 ? TickStatus::kOk
@@ -296,6 +444,17 @@ TickStatus LiveControlPlane::TickOnce() {
     if (pools_published_gauge_ != nullptr) {
       pools_published_gauge_->Set(
           static_cast<double>(status_.pools_published));
+    }
+    status_.tunes_total += tunes_run;
+    status_.tunes_switched += tunes_switched;
+    status_.tunes_failed += tunes_failed;
+    if (!last_tune_error.empty()) status_.last_tune_error = last_tune_error;
+    status_.pools_tuned = 0;
+    for (const auto& [key, slot] : pool_engines_) {
+      if (slot.engine != nullptr) ++status_.pools_tuned;
+    }
+    if (pools_tuned_gauge_ != nullptr) {
+      pools_tuned_gauge_->Set(static_cast<double>(status_.pools_tuned));
     }
   }
   return status;

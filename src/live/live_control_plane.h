@@ -45,6 +45,7 @@
 #include <string>
 #include <thread>
 
+#include "autotune/fleet_tuner.h"
 #include "common/status.h"
 #include "core/recommendation_engine.h"
 #include "exec/thread_pool.h"
@@ -92,6 +93,25 @@ struct LiveControlPlaneConfig {
   /// virtual clock to make staleness deterministic.
   std::function<double()> clock;
 
+  /// Fleet auto-tuning cadence, in clock seconds per pool (0 disables the
+  /// tuner entirely). When enabled, each tick appends a TUNE stage: every
+  /// pool whose last tune is at least this old re-runs the
+  /// successive-halving search over its snapshotted history, and the
+  /// winning config is published as document `<tuning_doc_prefix><pool>` —
+  /// a kept incumbent re-serializes byte-identically, so the store's
+  /// payload cache absorbs the republish. The next tick's engine-resolve
+  /// stage picks the document up and serves with it. A failed/degenerate
+  /// tune never fails the tick: the incumbent config keeps serving (§7.6).
+  double tune_interval_seconds = 0.0;
+  std::string tuning_doc_prefix = "tuning.";
+  /// Search-space shape for the tuner (grid, rungs, hysteresis...). The
+  /// backtest geometry is pinned to the serving engine at Create: `pool`
+  /// and `forecast` are overwritten from the engine's own config so tuning
+  /// scores and serving behavior can't drift apart, and exec/obs default to
+  /// the plane's own when left unset. Ignored unless
+  /// tune_interval_seconds > 0.
+  autotune::FleetTunerConfig tuner;
+
   Status Validate() const;
 };
 
@@ -120,6 +140,14 @@ struct LiveStatus {
   /// Oldest live recommendation across pools, in clock seconds; 0 before
   /// the first publish.
   double max_recommendation_age_seconds = 0.0;
+  /// Fleet auto-tuning (all 0 when the tuner is disabled).
+  uint64_t tunes_total = 0;
+  uint64_t tunes_switched = 0;
+  uint64_t tunes_failed = 0;
+  /// Pools currently served by a per-pool tuned engine (vs the shared one).
+  size_t pools_tuned = 0;
+  /// Message of the most recent failed tune ("" when none).
+  std::string last_tune_error;
 };
 
 class LiveControlPlane {
@@ -174,6 +202,16 @@ class LiveControlPlane {
     uint64_t consecutive_failures = 0;
   };
 
+  /// Per-pool serving override built from a parsed `tuning.<pool>`
+  /// document. Touched only inside TickOnce (single-threaded by contract).
+  struct PoolEngine {
+    /// Document version the engine was built from; a version bump (new
+    /// bytes) rebuilds, a byte-identical republish (same version) doesn't.
+    int64_t doc_version = -1;
+    autotune::TuningCandidate active;
+    std::unique_ptr<RecommendationEngine> engine;
+  };
+
   LiveControlPlane(const RecommendationEngine* engine,
                    ShardedTelemetryStore* telemetry,
                    ShardedDocumentStore* documents,
@@ -181,6 +219,14 @@ class LiveControlPlane {
 
   void ThreadMain();
   double Now() const { return config_.clock(); }
+
+  /// Resolves the engine serving `pool` this tick: the cached per-pool
+  /// engine when its tuning document is unchanged, a freshly built one when
+  /// the document moved, the shared engine when no document exists. A
+  /// document that fails to parse (or to build an engine) keeps whatever
+  /// served before — §7.6 — and counts against
+  /// ipool_live_tuning_docs_rejected_total.
+  const RecommendationEngine* ResolveEngine(const std::string& pool);
 
   const RecommendationEngine* engine_;
   ShardedTelemetryStore* telemetry_;
@@ -191,6 +237,12 @@ class LiveControlPlane {
   /// pointers are stable, so the parallel compute stage can write each
   /// pool's entry concurrently).
   std::map<std::string, ForecastWarmState> warm_;
+
+  /// Fleet auto-tuner (null when tune_interval_seconds == 0) and its
+  /// per-pool bookkeeping; all touched only inside TickOnce.
+  std::unique_ptr<autotune::FleetTuner> tuner_;
+  std::map<std::string, PoolEngine> pool_engines_;
+  std::map<std::string, double> last_tuned_;
 
   /// Tick thread machinery.
   std::thread ticker_;
@@ -214,6 +266,8 @@ class LiveControlPlane {
   obs::Counter* pools_skipped_ = nullptr;
   obs::Gauge* pools_published_gauge_ = nullptr;
   obs::Histogram* tick_seconds_ = nullptr;
+  obs::Counter* tuning_docs_rejected_ = nullptr;
+  obs::Gauge* pools_tuned_gauge_ = nullptr;
 };
 
 }  // namespace ipool::live

@@ -114,11 +114,19 @@ Result<std::string> Router::Dispatch(Method method,
           "live_ticks_failed %llu\n"
           "live_last_tick_status %s\n"
           "live_pools_published %zu\n"
-          "live_max_recommendation_age_seconds %.3f\n",
+          "live_max_recommendation_age_seconds %.3f\n"
+          "live_tunes_total %llu\n"
+          "live_tunes_switched %llu\n"
+          "live_tunes_failed %llu\n"
+          "live_pools_tuned %zu\n",
           static_cast<unsigned long long>(live.ticks_total),
           static_cast<unsigned long long>(live.ticks_failed),
           live::TickStatusName(live.last_tick_status), live.pools_published,
-          live.max_recommendation_age_seconds);
+          live.max_recommendation_age_seconds,
+          static_cast<unsigned long long>(live.tunes_total),
+          static_cast<unsigned long long>(live.tunes_switched),
+          static_cast<unsigned long long>(live.tunes_failed),
+          live.pools_tuned);
     }
     case Method::kMetrics: {
       obs::ScopedSpan span(config_.tracer, "router.Metrics");

@@ -1,0 +1,79 @@
+#include "service/tuning_io.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ipool {
+
+std::string SerializeTuning(const StoredTuning& stored) {
+  std::ostringstream out;
+  out << "tune-v1\n";
+  out << "pool=" << stored.pool << "\n";
+  out << "model=" << ModelKindToString(stored.model) << "\n";
+  out << StrFormat("alpha=%.6f\n", stored.alpha_prime);
+  out << StrFormat("window=%zu\n", stored.window);
+  return out.str();
+}
+
+Result<StoredTuning> ParseTuning(const std::string& text) {
+  // Same posture as ParseRecommendation: cap size before touching content,
+  // parse numbers strictly (ParseDouble rejects NaN/inf and trailing
+  // garbage), reject duplicates and unknown fields.
+  if (text.size() > kMaxTuningBytes) {
+    return Status::InvalidArgument(
+        StrFormat("tuning document of %zu bytes exceeds cap %zu", text.size(),
+                  kMaxTuningBytes));
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "tune-v1") {
+    return Status::InvalidArgument("unsupported tuning format");
+  }
+  StoredTuning stored;
+  bool saw_pool = false, saw_model = false, saw_alpha = false,
+       saw_window = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed tuning line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "pool") {
+      if (saw_pool) return Status::InvalidArgument("duplicate pool field");
+      saw_pool = true;
+      if (value.empty()) return Status::InvalidArgument("empty pool name");
+      stored.pool = value;
+    } else if (key == "model") {
+      if (saw_model) return Status::InvalidArgument("duplicate model field");
+      saw_model = true;
+      IPOOL_ASSIGN_OR_RETURN(stored.model, ModelKindFromString(value));
+    } else if (key == "alpha") {
+      if (saw_alpha) return Status::InvalidArgument("duplicate alpha field");
+      saw_alpha = true;
+      IPOOL_ASSIGN_OR_RETURN(stored.alpha_prime, ParseDouble(value));
+      if (stored.alpha_prime < 0.0 || stored.alpha_prime > 1.0) {
+        return Status::InvalidArgument("alpha outside [0, 1]: " + value);
+      }
+    } else if (key == "window") {
+      if (saw_window) return Status::InvalidArgument("duplicate window field");
+      saw_window = true;
+      IPOOL_ASSIGN_OR_RETURN(int64_t window, ParseInt64(value));
+      if (window < static_cast<int64_t>(kMinTuningWindow) ||
+          window > static_cast<int64_t>(kMaxTuningWindow)) {
+        return Status::InvalidArgument("window out of range: " + value);
+      }
+      stored.window = static_cast<size_t>(window);
+    } else {
+      return Status::InvalidArgument("unknown tuning field: " + key);
+    }
+  }
+  if (!saw_pool || !saw_model || !saw_alpha || !saw_window) {
+    return Status::InvalidArgument("tuning document missing required fields");
+  }
+  return stored;
+}
+
+}  // namespace ipool

@@ -1,0 +1,58 @@
+// Serialization of per-pool tuning configurations into the document store:
+// the fleet auto-tuner persists each pool's winning (model, alpha', window)
+// under key `tuning.<pool>`, and the live control plane parses it back to
+// build that pool's serving engine. The document carries CONFIG ONLY — no
+// scores, timestamps or other volatile detail — so a tune that keeps the
+// incumbent re-serializes to byte-identical text and the sharded store's
+// payload cache absorbs the republish (payload_builds stays flat, no
+// version churn).
+#ifndef IPOOL_SERVICE_TUNING_IO_H_
+#define IPOOL_SERVICE_TUNING_IO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "forecast/forecaster.h"
+
+namespace ipool {
+
+/// Caps applied by ParseTuning before any content is interpreted (the
+/// parser faces the network through GetRecommendation on `tuning.*` keys).
+/// A tuning document is four short lines; 4 KiB is far above anything the
+/// tuner emits.
+inline constexpr size_t kMaxTuningBytes = 4096;
+inline constexpr size_t kMinTuningWindow = 4;
+inline constexpr size_t kMaxTuningWindow = 65536;
+
+/// One pool's serving configuration as chosen by the fleet auto-tuner.
+struct StoredTuning {
+  /// Pool key the config applies to (sanity cross-check against the
+  /// document key; must be non-empty).
+  std::string pool;
+  ModelKind model = ModelKind::kSsaPlus;
+  /// Eq 16 SAA trade-off knob, in [0, 1].
+  double alpha_prime = 0.5;
+  /// Forecast window / SSA embedding dimension, in
+  /// [kMinTuningWindow, kMaxTuningWindow].
+  size_t window = 96;
+
+  bool operator==(const StoredTuning& other) const {
+    return pool == other.pool && model == other.model &&
+           alpha_prime == other.alpha_prime && window == other.window;
+  }
+};
+
+/// Deterministic: equal StoredTuning values serialize to identical bytes
+/// (alpha is emitted at fixed precision; callers quantize alpha to 1e-6
+/// before publishing so Serialize/Parse round-trips exactly).
+std::string SerializeTuning(const StoredTuning& stored);
+
+/// Strict: rejects oversized documents, unknown/duplicate/missing fields,
+/// NaN/inf/out-of-range numbers and unknown model names — a corrupt tuning
+/// document must never morph into a plausible config.
+Result<StoredTuning> ParseTuning(const std::string& text);
+
+}  // namespace ipool
+
+#endif  // IPOOL_SERVICE_TUNING_IO_H_

@@ -62,11 +62,42 @@ double AutoTuner::Observe(double alpha_used, double wait_seconds) {
   }
   if (!fitted) {
     // Degenerate fit: nudge in the direction that should correct the error.
+    double step = 0.0;
     if (latest_wait > config_.target_wait_seconds) {
-      next = alpha_ - config_.fallback_step;  // grow the pool
+      step = -config_.fallback_step;  // grow the pool
     } else if (latest_wait < config_.target_wait_seconds) {
-      next = alpha_ + config_.fallback_step;  // shrink the pool
+      step = config_.fallback_step;  // shrink the pool
     }
+    if (step != 0.0 && n == config_.window) {
+      // Clamp saturation: a full window of observations at one alpha pinned
+      // to a bound. Stepping INTO the bound is a no-op and stepping OUT on
+      // a single sample oscillates against the clamp when waits are noisy,
+      // because the window stays degenerate and the next above/below-target
+      // sample reverses the step. Hold the bound unless every wait in the
+      // window agrees the bound is wrong (all below target at min_alpha /
+      // all above at max_alpha) — a persistent error is the escape path.
+      double alpha_min = history_.front().alpha;
+      double alpha_max = alpha_min;
+      size_t below_target = 0, above_target = 0;
+      for (const Observation& o : history_) {
+        alpha_min = std::min(alpha_min, o.alpha);
+        alpha_max = std::max(alpha_max, o.alpha);
+        if (o.wait < config_.target_wait_seconds) ++below_target;
+        if (o.wait > config_.target_wait_seconds) ++above_target;
+      }
+      const bool uniform = alpha_max - alpha_min <= 1e-12;
+      const bool at_min =
+          uniform && std::fabs(alpha_min - config_.min_alpha) <= 1e-12;
+      const bool at_max =
+          uniform && std::fabs(alpha_max - config_.max_alpha) <= 1e-12;
+      const bool escapes_min = at_min && step > 0.0 && below_target == n;
+      const bool escapes_max = at_max && step < 0.0 && above_target == n;
+      if ((at_min || at_max) && !escapes_min && !escapes_max) {
+        step = 0.0;
+        ++hold_count_;
+      }
+    }
+    next = alpha_ + step;
   }
   alpha_ = std::clamp(next, config_.min_alpha, config_.max_alpha);
   return alpha_;

@@ -7,6 +7,7 @@
 #ifndef IPOOL_TUNING_AUTO_TUNER_H_
 #define IPOOL_TUNING_AUTO_TUNER_H_
 
+#include <cstdint>
 #include <deque>
 
 #include "common/status.h"
@@ -41,9 +42,23 @@ class AutoTuner {
 
   /// Records the wait time observed while running with `alpha_used`, then
   /// retunes. Returns the new alpha'.
+  ///
+  /// Clamp saturation: when the trailing window holds only observations at
+  /// one alpha pinned to min_alpha/max_alpha, the least-squares fit is
+  /// degenerate by construction (identical alphas, zero spread) and the
+  /// fallback step would oscillate against the clamp on noisy waits —
+  /// stepping into the bound is a no-op, stepping out reverses on the next
+  /// noisy sample. Saturation is therefore held: the tuner leaves the bound
+  /// only when EVERY wait in the window sits on the escape side of the
+  /// target (persistently low wait at min_alpha, persistently high at
+  /// max_alpha).
   double Observe(double alpha_used, double wait_seconds);
 
   size_t observation_count() const { return history_.size(); }
+
+  /// Observations answered by holding a saturated clamp bound (see
+  /// Observe). Exposed for the regression tests.
+  uint64_t hold_count() const { return hold_count_; }
 
  private:
   explicit AutoTuner(const AutoTunerConfig& config)
@@ -57,6 +72,7 @@ class AutoTuner {
   AutoTunerConfig config_;
   double alpha_;
   std::deque<Observation> history_;
+  uint64_t hold_count_ = 0;
 };
 
 }  // namespace ipool

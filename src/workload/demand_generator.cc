@@ -36,6 +36,12 @@ Status WorkloadConfig::Validate() const {
   if (noise_cv < 0.0) {
     return Status::InvalidArgument("noise_cv must be non-negative");
   }
+  if (level_shift_factor <= 0.0) {
+    return Status::InvalidArgument("level_shift_factor must be positive");
+  }
+  if (level_shift_day < 0.0) {
+    return Status::InvalidArgument("level_shift_day must be non-negative");
+  }
   return Status::OK();
 }
 
@@ -112,6 +118,29 @@ WorkloadConfig SpikyRegionProfile(uint64_t seed) {
   return config;
 }
 
+WorkloadConfig RegimeShiftProfile(uint64_t seed, double shift_day,
+                                  double shift_factor) {
+  WorkloadConfig config;
+  config.seed = seed;
+  // Pre-shift: a smooth, low-noise diurnal wave — the regime a periodic
+  // forecaster (SSA) models near-perfectly, so it wins any pre-shift tune.
+  // Post-shift the same wave runs at `shift_factor` times the level; a
+  // forecaster trained only on pre-shift history keeps predicting the old
+  // level and under-provisions, which is what the auto-tuner's e2e
+  // scenario detects. The amplitude keeps the trough at 20% of base (the
+  // shift is visible at any hour) and the default shift lands at noon,
+  // near the peak, not in the overnight trough.
+  config.base_rate_per_minute = 6.0;
+  config.diurnal_amplitude = 0.4;
+  config.peak_hour = 14.0;
+  config.weekend_factor = 1.0;  // pure diurnal: no weekly confound
+  config.hourly_spike_requests = 0.0;
+  config.noise_cv = 0.05;
+  config.level_shift_day = shift_day;
+  config.level_shift_factor = shift_factor;
+  return config;
+}
+
 Result<DemandGenerator> DemandGenerator::Create(const WorkloadConfig& config) {
   IPOOL_RETURN_NOT_OK(config.Validate());
   return DemandGenerator(config);
@@ -182,6 +211,14 @@ double DemandGenerator::RateAt(double t) const {
       rate += config_.irregular_spike_requests /
               config_.irregular_spike_width_seconds;
     }
+  }
+
+  // Regime change: the permanent level shift scales EVERYTHING (diurnal
+  // curve, hourly bursts, sporadic spikes) — the workload's whole level
+  // moved, not one component.
+  if (config_.level_shift_factor != 1.0 &&
+      t >= config_.level_shift_day * kSecondsPerDay) {
+    rate *= config_.level_shift_factor;
   }
   return rate;
 }

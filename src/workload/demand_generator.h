@@ -53,6 +53,17 @@ struct WorkloadConfig {
   bool irregular_spikes_business_hours_only = false;
   /// Coefficient of variation of the per-bin multiplicative noise.
   double noise_cv = 0.15;
+  /// Regime change: a PERMANENT multiplicative level shift applied to the
+  /// whole rate (diurnal curve, bursts and spikes included) from
+  /// `level_shift_day` onward. 1.0 disables. Unlike the transient spikes
+  /// above, the shift never reverts — history straddling it mixes two
+  /// regimes, which is exactly the case that invalidates a forecaster's
+  /// learned basis (an SSA basis trained pre-shift keeps predicting the old
+  /// level; see ROADMAP item 4).
+  double level_shift_factor = 1.0;
+  /// Day offset (fractional days from trace start) at which the shift
+  /// lands.
+  double level_shift_day = 0.0;
   /// PRNG seed; same seed + config => identical trace.
   uint64_t seed = 1;
 
@@ -76,6 +87,14 @@ WorkloadConfig RegionNodeProfile(Region region, NodeSize size, uint64_t seed);
 /// The §7.5 region: low baseline demand with sporadic spikes roughly every
 /// three hours, irregularly timed.
 WorkloadConfig SpikyRegionProfile(uint64_t seed);
+
+/// Regime-change family: a smooth, low-noise diurnal workload (the regime a
+/// periodic forecaster models near-perfectly) that permanently jumps to
+/// `shift_factor` times its level at `shift_day` — the mid-trace level
+/// shift of ROADMAP item 4 and the fleet auto-tuner's e2e scenario (the
+/// pre-shift winner's basis goes stale and must be demoted).
+WorkloadConfig RegimeShiftProfile(uint64_t seed, double shift_day = 7.5,
+                                  double shift_factor = 6.0);
 
 class DemandGenerator {
  public:

@@ -1,0 +1,376 @@
+// Tests for the fleet auto-tuner (src/autotune) and its persisted document
+// format (service/tuning_io): config validation, the successive-halving
+// search on smooth and regime-shifted workloads, hysteresis against the
+// incumbent, stale-incumbent demotion, rung-score memoization (the warm
+// path), and the ParseTuning hardening that faces the network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autotune/fleet_tuner.h"
+#include "service/tuning_io.h"
+#include "tsdata/time_series.h"
+#include "workload/demand_generator.h"
+
+namespace ipool {
+namespace {
+
+using autotune::FleetTuner;
+using autotune::FleetTunerConfig;
+using autotune::PoolTuneResult;
+using autotune::TuningCandidate;
+
+// ---------------------------------------------------------------------------
+// tuning_io: the persisted `tuning.<pool>` document.
+
+StoredTuning SampleTuning() {
+  StoredTuning stored;
+  stored.pool = "west-small";
+  stored.model = ModelKind::kSsa;
+  stored.alpha_prime = 0.3;
+  stored.window = 48;
+  return stored;
+}
+
+TEST(TuningIoTest, RoundTrips) {
+  const StoredTuning stored = SampleTuning();
+  auto parsed = ParseTuning(SerializeTuning(stored));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, stored);
+}
+
+TEST(TuningIoTest, EqualConfigsSerializeToIdenticalBytes) {
+  // The payload-cache contract: a kept incumbent republishes byte-identical
+  // text, so the sharded store never re-serializes or bumps the version.
+  EXPECT_EQ(SerializeTuning(SampleTuning()), SerializeTuning(SampleTuning()));
+}
+
+TEST(TuningIoTest, QuantizedAlphaRoundTripsExactly) {
+  // The tuner quantizes every alpha to 1e-6 before persisting; such values
+  // must survive the %.6f round trip bit-for-bit.
+  StoredTuning stored = SampleTuning();
+  stored.alpha_prime = 0.414213;  // an exact multiple of 1e-6
+  auto parsed = ParseTuning(SerializeTuning(stored));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->alpha_prime, stored.alpha_prime);
+}
+
+TEST(TuningIoTest, RejectsOversizedDocument) {
+  std::string text = SerializeTuning(SampleTuning());
+  text.append(kMaxTuningBytes, ' ');
+  EXPECT_FALSE(ParseTuning(text).ok());
+}
+
+TEST(TuningIoTest, RejectsWrongHeader) {
+  EXPECT_FALSE(ParseTuning("tune-v2\npool=p\nmodel=SSA\nalpha=0.5\n"
+                           "window=48\n")
+                   .ok());
+  EXPECT_FALSE(ParseTuning("").ok());
+}
+
+TEST(TuningIoTest, RejectsDuplicateField) {
+  EXPECT_FALSE(
+      ParseTuning("tune-v1\npool=p\npool=q\nmodel=SSA\nalpha=0.5\n"
+                  "window=48\n")
+          .ok());
+}
+
+TEST(TuningIoTest, RejectsMissingField) {
+  EXPECT_FALSE(ParseTuning("tune-v1\npool=p\nmodel=SSA\nalpha=0.5\n").ok());
+}
+
+TEST(TuningIoTest, RejectsUnknownField) {
+  EXPECT_FALSE(
+      ParseTuning("tune-v1\npool=p\nmodel=SSA\nalpha=0.5\nwindow=48\n"
+                  "score=1.0\n")
+          .ok());
+}
+
+TEST(TuningIoTest, RejectsNonFiniteAndOutOfRangeAlpha) {
+  for (const char* alpha : {"nan", "inf", "-inf", "1.5", "-0.1", "0.5x"}) {
+    const std::string text = std::string("tune-v1\npool=p\nmodel=SSA\n") +
+                             "alpha=" + alpha + "\nwindow=48\n";
+    EXPECT_FALSE(ParseTuning(text).ok()) << alpha;
+  }
+}
+
+TEST(TuningIoTest, RejectsOutOfRangeWindow) {
+  for (const char* window : {"0", "3", "65537", "-48", "48.5"}) {
+    const std::string text = std::string("tune-v1\npool=p\nmodel=SSA\n") +
+                             "alpha=0.5\nwindow=" + window + "\n";
+    EXPECT_FALSE(ParseTuning(text).ok()) << window;
+  }
+}
+
+TEST(TuningIoTest, RejectsUnknownModel) {
+  EXPECT_FALSE(
+      ParseTuning("tune-v1\npool=p\nmodel=LSTM\nalpha=0.5\nwindow=48\n").ok());
+}
+
+TEST(TuningIoTest, RejectsEmptyPool) {
+  EXPECT_FALSE(
+      ParseTuning("tune-v1\npool=\nmodel=SSA\nalpha=0.5\nwindow=48\n").ok());
+}
+
+TEST(ModelKindFromStringTest, RoundTripsEveryKind) {
+  for (ModelKind kind :
+       {ModelKind::kBaseline, ModelKind::kSsa, ModelKind::kSsaPlus,
+        ModelKind::kMwdn, ModelKind::kTst, ModelKind::kInceptionTime}) {
+    auto parsed = ModelKindFromString(ModelKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ModelKindFromString("prophet").ok());
+}
+
+// ---------------------------------------------------------------------------
+// FleetTuner: search behavior.
+
+// A tuner grid small enough for a sub-second test yet rich enough to
+// discriminate: the baseline (gamma * max, shift-robust) against SSA
+// (periodic, tight on smooth waves), two alphas, one window.
+FleetTunerConfig SmallConfig() {
+  FleetTunerConfig config;
+  config.models = {ModelKind::kBaseline, ModelKind::kSsa};
+  config.alphas = {0.3, 0.7};
+  config.windows = {48};
+  config.eval_bins = 120;
+  config.min_train_bins = 32;
+  config.refine_steps = 2;
+  return config;
+}
+
+// The regime-change scenario trace: a smooth diurnal wave that jumps to 6x
+// its level at `shift_day` (fractional days). 30 s bins.
+TimeSeries RegimeTrace(double duration_days, double shift_day,
+                       uint64_t seed = 7) {
+  WorkloadConfig workload = RegimeShiftProfile(seed, shift_day);
+  workload.duration_days = duration_days;
+  auto generator = DemandGenerator::Create(workload);
+  EXPECT_TRUE(generator.ok());
+  return generator->GenerateBinned();
+}
+
+TEST(FleetTunerConfigTest, ValidateRejectsBadValues) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+
+  FleetTunerConfig c = SmallConfig();
+  c.models.clear();
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.alphas = {1.5};
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.windows = {0};
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.rungs = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.eta = 1;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.eval_bins = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.hysteresis_pct = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.idle_cost_weight = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(FleetTunerTest, ShortHistoryFailsGracefully) {
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const TimeSeries tiny(0.0, 30.0, std::vector<double>(64, 1.0));
+  const PoolTuneResult result = (*tuner)->TunePool("p", tiny, nullptr);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(FleetTunerTest, SmoothPeriodicWorkloadPicksSsa) {
+  // All pre-shift (the shift lands past the end of the trace): the periodic
+  // forecaster tracks the wave tightly, the baseline's gamma * max
+  // overprovisions and pays idle cost.
+  const TimeSeries trace = RegimeTrace(/*duration_days=*/0.5,
+                                       /*shift_day=*/2.0);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult result = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.winner.model, ModelKind::kSsa);
+  EXPECT_TRUE(result.switched);  // first config for the pool
+  EXPECT_TRUE(std::isinf(result.incumbent_score));
+  EXPECT_GT(result.candidates, 0u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(FleetTunerTest, RegimeShiftDemotesThePeriodicIncumbent) {
+  // Train ends at the shift, the holdout is post-shift: the SSA basis only
+  // ever saw the old level and underpredicts 6x; the baseline adapts
+  // within its max window. The pre-shift winner must be demoted.
+  const TimeSeries trace = RegimeTrace(/*duration_days=*/0.54,
+                                       /*shift_day=*/0.5);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const TuningCandidate incumbent{ModelKind::kSsa, 0.3, 48};
+  const PoolTuneResult result = (*tuner)->TunePool("p", trace, &incumbent);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.switched);
+  EXPECT_EQ(result.winner.model, ModelKind::kBaseline);
+  EXPECT_LT(result.winner_score, result.incumbent_score);
+}
+
+TEST(FleetTunerTest, HysteresisKeepsTheIncumbent) {
+  // Re-tuning over the unchanged trace with the previous winner installed
+  // must keep it: the winner cannot beat itself by the hysteresis margin.
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult first = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(first.ok) << first.error;
+  const PoolTuneResult second =
+      (*tuner)->TunePool("p", trace, &first.winner);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.switched);
+  EXPECT_EQ(second.winner, first.winner);
+}
+
+TEST(FleetTunerTest, StaleIncumbentIsDemotedByAnyFiniteChallenger) {
+  // An incumbent whose own evaluation fails (window below the forecaster's
+  // floor of 4, so CreateForecaster rejects it) scores +inf and must lose
+  // to any finite challenger even inside the hysteresis margin.
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const TuningCandidate broken{ModelKind::kSsa, 0.3, 2};
+  const PoolTuneResult result = (*tuner)->TunePool("p", trace, &broken);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.switched);
+  EXPECT_TRUE(std::isinf(result.incumbent_score));
+  EXPECT_TRUE(std::isfinite(result.winner_score));
+}
+
+TEST(FleetTunerTest, MemoizationServesRepeatTunesWithoutRefits) {
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult cold = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.memo_hits, 0u);
+
+  const PoolTuneResult warm = (*tuner)->TunePool("p", trace, &cold.winner);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_GT(warm.memo_hits, 0u);
+  EXPECT_EQ(warm.winner, cold.winner);
+  EXPECT_EQ(warm.winner_score, cold.winner_score);
+
+  // Dropping the caches forces the refits back.
+  (*tuner)->InvalidateCaches();
+  const PoolTuneResult recold = (*tuner)->TunePool("p", trace, &cold.winner);
+  ASSERT_TRUE(recold.ok) << recold.error;
+  EXPECT_EQ(recold.memo_hits, 0u);
+  EXPECT_GT(recold.evaluations, 0u);
+  EXPECT_EQ(recold.winner, cold.winner);
+  EXPECT_EQ(recold.winner_score, cold.winner_score);
+}
+
+TEST(FleetTunerTest, RetuneOnUnchangedHistoryIsAFixedPoint) {
+  // Regression: the winner's alpha used to be re-refined on every tune,
+  // so a re-tune over unchanged telemetry kept walking alpha downhill past
+  // the hysteresis margin — the "serving config" never stopped switching.
+  // An incumbent that wins its own re-tune must come back verbatim.
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult cold = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(cold.ok) << cold.error;
+
+  TuningCandidate incumbent = cold.winner;
+  for (int pass = 0; pass < 3; ++pass) {
+    const PoolTuneResult again = (*tuner)->TunePool("p", trace, &incumbent);
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_FALSE(again.switched) << "pass " << pass;
+    EXPECT_EQ(again.winner, incumbent) << "pass " << pass;
+    incumbent = again.winner;
+  }
+}
+
+TEST(FleetTunerTest, MemoKeysOnHistoryContent) {
+  // Sliding the telemetry by one bin must invalidate the memoized scores
+  // (the key hashes the slice content), not serve stale ones.
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  auto tuner = FleetTuner::Create(SmallConfig());
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult cold = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(cold.ok);
+
+  std::vector<double> shifted(trace.values().begin() + 1,
+                              trace.values().end());
+  const TimeSeries slid(trace.start() + trace.interval(), trace.interval(),
+                        std::move(shifted));
+  const PoolTuneResult moved = (*tuner)->TunePool("p", slid, &cold.winner);
+  ASSERT_TRUE(moved.ok) << moved.error;
+  EXPECT_EQ(moved.memo_hits, 0u);
+  EXPECT_GT(moved.evaluations, 0u);
+}
+
+TEST(FleetTunerTest, NeighborWinnerSeedsTheGrid) {
+  // A pool sharing a name token with a previously tuned pool starts its
+  // search with the neighbor's winner appended; with an off-grid alpha the
+  // candidate count visibly grows.
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  FleetTunerConfig config = SmallConfig();
+  config.refine_steps = 5;  // drive the winner's alpha off the grid
+  auto tuner = FleetTuner::Create(config);
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult first =
+      (*tuner)->TunePool("west-small", trace, nullptr);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  const PoolTuneResult neighbor =
+      (*tuner)->TunePool("west-large", trace, nullptr);
+  ASSERT_TRUE(neighbor.ok) << neighbor.error;
+  const PoolTuneResult stranger =
+      (*tuner)->TunePool("east2.medium", trace, nullptr);
+  ASSERT_TRUE(stranger.ok) << stranger.error;
+  EXPECT_GE(neighbor.candidates, stranger.candidates);
+}
+
+TEST(FleetTunerTest, AlphasAreQuantizedForExactPersistence) {
+  // Whatever refinement does, the winning alpha must survive the %.6f
+  // document round trip exactly — the byte-identity contract.
+  const TimeSeries trace = RegimeTrace(0.5, 2.0);
+  FleetTunerConfig config = SmallConfig();
+  config.alphas = {1.0 / 3.0, 0.7};  // not representable at 1e-6 as given
+  config.refine_steps = 3;
+  auto tuner = FleetTuner::Create(config);
+  ASSERT_TRUE(tuner.ok());
+  const PoolTuneResult result = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  StoredTuning stored;
+  stored.pool = "p";
+  stored.model = result.winner.model;
+  stored.alpha_prime = result.winner.alpha_prime;
+  stored.window = result.winner.window;
+  auto parsed = ParseTuning(SerializeTuning(stored));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->alpha_prime, result.winner.alpha_prime);
+  EXPECT_EQ(parsed->window, result.winner.window);
+  EXPECT_EQ(parsed->model, result.winner.model);
+}
+
+}  // namespace
+}  // namespace ipool

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +25,7 @@
 #include "service/sharded_document_store.h"
 #include "service/recommendation_io.h"
 #include "service/sharded_telemetry_store.h"
+#include "service/tuning_io.h"
 
 namespace ipool {
 namespace {
@@ -410,10 +413,216 @@ TEST(LiveControlPlaneTest, UnchangedTicksDoNotReserialize) {
   EXPECT_NE(documents.GetPayload("east"), east_payload);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet auto-tuning inside the tick (tune_interval_seconds > 0).
+
+/// Publishes a strongly periodic wave (period 16 bins, trough 1, peak 11)
+/// scaled by `level` — the regime SSA models tightly and the baseline's
+/// gamma * max flattens into pure overprovisioning.
+void PublishWave(net::Router* router, const std::string& metric, double start,
+                 size_t count, double level) {
+  std::string payload;
+  for (size_t i = 0; i < count; ++i) {
+    const double phase = 2.0 * M_PI *
+                         static_cast<double>(start / 30.0 + double(i)) / 16.0;
+    const double value = level * (6.0 + 5.0 * std::sin(phase));
+    payload += StrFormat("%s,%.1f,%.3f\n", metric.c_str(),
+                         start + 30.0 * static_cast<double>(i), value);
+  }
+  net::Frame response =
+      router->Handle(MakeRequest(net::Method::kPublishTelemetry, payload));
+  ASSERT_EQ(response.status, net::WireStatus::kOk) << response.payload;
+}
+
+LiveControlPlaneConfig TunedLiveConfig() {
+  LiveControlPlaneConfig config;
+  config.bin_interval_seconds = 30.0;
+  config.history_bins = 160;
+  config.min_history_points = 96;
+  config.tune_interval_seconds = 100.0;
+  config.tuner.models = {ModelKind::kBaseline, ModelKind::kSsa};
+  config.tuner.alphas = {0.3, 0.7};
+  config.tuner.windows = {16};
+  config.tuner.eval_bins = 64;
+  config.tuner.min_train_bins = 32;
+  config.tuner.refine_steps = 0;
+  return config;
+}
+
+TEST(LiveConfigTest, ValidateRejectsBadTuningValues) {
+  LiveControlPlaneConfig config = TunedLiveConfig();
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.tune_interval_seconds = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = TunedLiveConfig();
+  config.tuning_doc_prefix = "";
+  EXPECT_FALSE(config.Validate().ok());
+
+  // The tuner's backtest cannot need more history than the plane snapshots.
+  config = TunedLiveConfig();
+  config.history_bins = 64;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+// The tune stage publishes `tuning.<pool>`, the NEXT tick's resolve stage
+// serves with it, and a kept re-tune republishes byte-identical text that
+// the payload cache absorbs (no version churn, no re-serialization).
+TEST(LiveControlPlaneTest, TuneStagePublishesDocAndServesWithIt) {
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+  double now = 0.0;
+  LiveControlPlaneConfig config = TunedLiveConfig();
+  config.obs.metrics = &registry;
+  config.clock = [&now] { return now; };
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        config);
+  ASSERT_TRUE(plane.ok()) << plane.status().ToString();
+  router.set_live(plane->get());
+
+  PublishWave(&router, "demand.east", 0.0, 160, 1.0);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+
+  // The first tune ran and persisted a winner for the pool.
+  LiveStatus status = (*plane)->Snapshot();
+  EXPECT_EQ(status.tunes_total, 1u);
+  EXPECT_EQ(status.tunes_failed, 0u);
+  const auto doc = documents.Get("tuning.east");
+  ASSERT_TRUE(doc.ok());
+  auto stored = ParseTuning(doc->value);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  EXPECT_EQ(stored->pool, "east");
+  // On a strongly periodic wave the periodic forecaster must beat the
+  // baseline's flat gamma * max (which pays idle all trough long).
+  EXPECT_EQ(stored->model, ModelKind::kSsa);
+
+  // Within the tune cadence: the next tick resolves the doc into a
+  // per-pool engine (pools_tuned flips to 1) but does not re-tune.
+  now += 50.0;
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  status = (*plane)->Snapshot();
+  EXPECT_EQ(status.tunes_total, 1u);
+  EXPECT_EQ(status.pools_tuned, 1u);
+  EXPECT_TRUE(GetServed(&router, "east").ok());
+
+  // Past the cadence with unchanged telemetry: the re-tune keeps the
+  // incumbent and republishes the SAME bytes — same version, same payload
+  // object, no tune counted as switched.
+  const int64_t version_before = documents.Get("tuning.east")->version;
+  const std::shared_ptr<const std::string> payload_before =
+      documents.GetPayload("tuning.east");
+  now += 100.0;
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  status = (*plane)->Snapshot();
+  EXPECT_EQ(status.tunes_total, 2u);
+  EXPECT_EQ(status.tunes_switched, 1u);  // only the very first tune
+  EXPECT_EQ(documents.Get("tuning.east")->version, version_before);
+  EXPECT_EQ(documents.GetPayload("tuning.east"), payload_before);
+}
+
+// §7.6 on the tuning path: a corrupt (or truncated) tuning document never
+// breaks the tick — the pool keeps serving on whatever engine it had, and
+// the rejection is counted.
+TEST(LiveControlPlaneTest, CorruptTuningDocKeepsServing) {
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+  double now = 1000.0;
+  LiveControlPlaneConfig config = TunedLiveConfig();
+  // Cadence far in the future: this test drives the resolve stage only.
+  config.tune_interval_seconds = 1e9;
+  config.obs.metrics = &registry;
+  config.clock = [&now] { return now; };
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        config);
+  ASSERT_TRUE(plane.ok());
+  router.set_live(plane->get());
+
+  PublishWave(&router, "demand.east", 0.0, 160, 1.0);
+  documents.Put("tuning.east", "not a tuning document", now);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  EXPECT_TRUE(GetServed(&router, "east").ok());
+  EXPECT_EQ((*plane)->Snapshot().pools_tuned, 0u);
+  EXPECT_EQ(registry
+                .GetCounter("ipool_live_tuning_docs_rejected_total", {})
+                ->value(),
+            1u);
+
+  // A valid document recovers on the next tick: the pool flips onto its
+  // per-pool engine and keeps serving.
+  StoredTuning stored;
+  stored.pool = "east";
+  stored.model = ModelKind::kSsa;
+  stored.alpha_prime = 0.5;
+  stored.window = 16;
+  documents.Put("tuning.east", SerializeTuning(stored), now);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  EXPECT_TRUE(GetServed(&router, "east").ok());
+  EXPECT_EQ((*plane)->Snapshot().pools_tuned, 1u);
+}
+
+// The regime-change scenario end to end inside the plane: the pre-shift
+// tune installs the periodic forecaster; after a permanent 6x level shift
+// the re-tune demotes it for the shift-robust baseline, and the served
+// tuning document switches models.
+TEST(LiveControlPlaneTest, RegimeShiftSwitchesTunedModel) {
+  ShardedDocumentStore documents;
+  ShardedTelemetryStore telemetry;
+  obs::MetricsRegistry registry;
+  net::Router router(net::RouterConfig{&documents, &telemetry, &registry});
+
+  auto engine = RecommendationEngine::Create(BaselinePipeline());
+  ASSERT_TRUE(engine.ok());
+  double now = 0.0;
+  LiveControlPlaneConfig config = TunedLiveConfig();
+  config.obs.metrics = &registry;
+  config.clock = [&now] { return now; };
+  auto plane = LiveControlPlane::Create(&*engine, &telemetry, &documents,
+                                        config);
+  ASSERT_TRUE(plane.ok());
+  router.set_live(plane->get());
+
+  PublishWave(&router, "demand.east", 0.0, 160, 1.0);
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  auto first = ParseTuning(documents.Get("tuning.east")->value);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->model, ModelKind::kSsa);
+
+  // The level shift: the same wave continues at 6x. The snapshot window
+  // now trains on mostly pre-shift bins and evaluates on post-shift ones —
+  // the periodic basis underpredicts 6x, the baseline's max adapts.
+  PublishWave(&router, "demand.east", 160.0 * 30.0, 64, 6.0);
+  now += 200.0;
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  auto second = ParseTuning(documents.Get("tuning.east")->value);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->model, ModelKind::kBaseline);
+
+  const LiveStatus status = (*plane)->Snapshot();
+  EXPECT_EQ(status.tunes_total, 2u);
+  EXPECT_EQ(status.tunes_switched, 2u);  // first install + the demotion
+  EXPECT_EQ(status.tunes_failed, 0u);
+
+  // The next tick serves with the switched engine; serving never paused.
+  ASSERT_EQ((*plane)->TickOnce(), TickStatus::kOk);
+  EXPECT_TRUE(GetServed(&router, "east").ok());
+  EXPECT_EQ((*plane)->Snapshot().pools_tuned, 1u);
+}
+
 // Publish-while-tick: writers hammer the router while the Start()ed loop
 // snapshots and publishes against the same store mutex. The TSan job runs
-// this test; any lock-discipline slip between the three tick stages and the
-// served paths is a data-race report here.
+// this binary; any lock-discipline slip between the three tick stages and
+// the served paths is a data-race report here.
 TEST(LiveControlPlaneTest, ConcurrentPublishWhileTicking) {
   ShardedDocumentStore documents;
   ShardedTelemetryStore telemetry;

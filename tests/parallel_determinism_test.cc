@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "autotune/fleet_tuner.h"
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "forecast/forecaster.h"
@@ -387,6 +388,75 @@ TEST(ParallelDeterminismTest, ControlLoopFleetBitIdentical) {
                 (*parallel)[i].sim.idle_cluster_seconds);
     }
   }
+}
+
+// The fleet auto-tuner's search fans (model, window) groups over the pool
+// with cost-seeded chunking; the winning config and its score must be
+// bit-identical to the serial search at every thread count — a tuner that
+// flips its winner with the machine would churn serving configs.
+TEST(ParallelDeterminismTest, FleetTunerWinnerBitIdentical) {
+  WorkloadConfig workload = RegimeShiftProfile(/*seed=*/7, /*shift_day=*/2.0);
+  workload.duration_days = 0.5;
+  auto generator = DemandGenerator::Create(workload);
+  ASSERT_TRUE(generator.ok());
+  const TimeSeries trace = generator->GenerateBinned();
+
+  autotune::FleetTunerConfig config;
+  config.models = {ModelKind::kBaseline, ModelKind::kSsa, ModelKind::kSsaPlus};
+  config.alphas = {0.2, 0.5, 0.8};
+  config.windows = {32, 48};
+  config.eval_bins = 120;
+  config.min_train_bins = 32;
+
+  auto serial_tuner = autotune::FleetTuner::Create(config);
+  ASSERT_TRUE(serial_tuner.ok());
+  const autotune::PoolTuneResult serial =
+      (*serial_tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(serial.ok) << serial.error;
+
+  for (size_t threads : ThreadCounts()) {
+    exec::ThreadPool pool(threads);
+    autotune::FleetTunerConfig parallel_config = config;
+    parallel_config.exec.pool = &pool;
+    auto tuner = autotune::FleetTuner::Create(parallel_config);
+    ASSERT_TRUE(tuner.ok());
+    const autotune::PoolTuneResult parallel =
+        (*tuner)->TunePool("p", trace, nullptr);
+    ASSERT_TRUE(parallel.ok) << threads << ": " << parallel.error;
+    EXPECT_EQ(parallel.winner, serial.winner) << threads;
+    EXPECT_EQ(parallel.winner_score, serial.winner_score) << threads;
+    EXPECT_EQ(parallel.candidates, serial.candidates) << threads;
+  }
+}
+
+// Warm re-tunes (memo + SSA warm state populated) must reproduce the cold
+// result bit-for-bit — the warm path is a cache, never an approximation.
+TEST(ParallelDeterminismTest, FleetTunerWarmEqualsCold) {
+  WorkloadConfig workload = RegimeShiftProfile(/*seed=*/9, /*shift_day=*/2.0);
+  workload.duration_days = 0.5;
+  auto generator = DemandGenerator::Create(workload);
+  ASSERT_TRUE(generator.ok());
+  const TimeSeries trace = generator->GenerateBinned();
+
+  autotune::FleetTunerConfig config;
+  config.models = {ModelKind::kBaseline, ModelKind::kSsa};
+  config.alphas = {0.3, 0.7};
+  config.windows = {48};
+  config.eval_bins = 120;
+  config.min_train_bins = 32;
+
+  exec::ThreadPool pool(2);
+  config.exec.pool = &pool;
+  auto tuner = autotune::FleetTuner::Create(config);
+  ASSERT_TRUE(tuner.ok());
+  const autotune::PoolTuneResult cold = (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  const autotune::PoolTuneResult warm =
+      (*tuner)->TunePool("p", trace, nullptr);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_GT(warm.memo_hits, 0u);
+  EXPECT_EQ(warm.winner, cold.winner);
+  EXPECT_EQ(warm.winner_score, cold.winner_score);
 }
 
 }  // namespace

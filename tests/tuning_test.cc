@@ -98,6 +98,49 @@ TEST(AutoTunerTest, ConvergesOnConvexSystem) {
   EXPECT_NEAR(16.0 * alpha * alpha, config.target_wait_seconds, 1.0);
 }
 
+TEST(AutoTunerTest, SaturatedClampHoldsAgainstNoisyWaits) {
+  // Regression: alpha pinned at min_alpha for a full window with waits
+  // oscillating around the target. The degenerate-fit fallback used to
+  // step away from the bound on every below-target sample and snap back on
+  // the next above-target one — an oscillation against the clamp. It must
+  // hold the bound instead.
+  AutoTunerConfig config = BasicConfig();
+  config.window = 4;
+  auto tuner = AutoTuner::Create(config);
+  double alpha = tuner->alpha();
+  // Drive alpha to min_alpha with persistently high waits.
+  for (int i = 0; i < 40; ++i) alpha = tuner->Observe(alpha, 50.0);
+  ASSERT_EQ(alpha, config.min_alpha);
+
+  // Mixed waits around the target: some below (which used to trigger the
+  // escape step), some above. The bound must hold exactly.
+  const double waits[] = {0.5, 6.0, 1.0, 9.0, 0.2, 4.0, 1.5, 7.0};
+  const uint64_t holds_before = tuner->hold_count();
+  for (double wait : waits) {
+    alpha = tuner->Observe(alpha, wait);
+    EXPECT_EQ(alpha, config.min_alpha);
+  }
+  EXPECT_GT(tuner->hold_count(), holds_before);
+}
+
+TEST(AutoTunerTest, SaturatedClampEscapesOnPersistentError) {
+  // The escape path: a FULL window of below-target waits at min_alpha is
+  // persistent evidence the bound is wrong, and the tuner must step off it.
+  AutoTunerConfig config = BasicConfig();
+  config.window = 4;
+  auto tuner = AutoTuner::Create(config);
+  double alpha = tuner->alpha();
+  for (int i = 0; i < 40; ++i) alpha = tuner->Observe(alpha, 50.0);
+  ASSERT_EQ(alpha, config.min_alpha);
+
+  // Four consecutive below-target observations flush the window; the next
+  // ones may step up.
+  for (int i = 0; i < 8 && alpha == config.min_alpha; ++i) {
+    alpha = tuner->Observe(alpha, 0.1);
+  }
+  EXPECT_GT(alpha, config.min_alpha);
+}
+
 TEST(AutoTunerTest, NoisyObservationsStayStable) {
   AutoTunerConfig config = BasicConfig();
   config.target_wait_seconds = 5.0;

@@ -132,6 +132,56 @@ TEST(DemandGeneratorTest, SpikyProfileProducesIrregularSpikes) {
   EXPECT_GT(ts.Sum(), 0.0);
 }
 
+TEST(WorkloadConfigTest, ValidateRejectsBadLevelShift) {
+  WorkloadConfig c = SmallConfig();
+  c.level_shift_factor = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.level_shift_factor = -2.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.level_shift_day = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(DemandGeneratorTest, LevelShiftScalesRatePermanently) {
+  WorkloadConfig config = SmallConfig();
+  config.duration_days = 4.0;
+  config.hourly_spike_requests = 0.0;
+  config.level_shift_factor = 6.0;
+  config.level_shift_day = 2.0;
+  auto shifted = DemandGenerator::Create(config);
+  config.level_shift_factor = 1.0;
+  auto flat = DemandGenerator::Create(config);
+
+  // Same hour of day, before vs after the shift: exactly the factor, and
+  // it never reverts.
+  const double t_pre = 1 * 86400.0 + 12 * 3600.0;
+  EXPECT_NEAR(shifted->RateAt(t_pre), flat->RateAt(t_pre), 1e-12);
+  // Noon keeps the diurnal curve well off its (possibly clipped) trough.
+  for (double day : {2.0, 3.0}) {
+    const double t = day * 86400.0 + 12 * 3600.0;
+    EXPECT_NEAR(shifted->RateAt(t) / flat->RateAt(t), 6.0, 1e-9) << day;
+  }
+}
+
+TEST(DemandGeneratorTest, RegimeShiftProfileJumpsAtTheShift) {
+  WorkloadConfig config = RegimeShiftProfile(/*seed=*/7, /*shift_day=*/1.5,
+                                             /*shift_factor=*/6.0);
+  config.duration_days = 3.0;
+  auto g = DemandGenerator::Create(config);
+  ASSERT_TRUE(g.ok());
+  // Same hour (noon) on the day before and the day after the shift.
+  const double before = g->RateAt(0.5 * 86400.0);
+  const double after = g->RateAt(2.5 * 86400.0);
+  EXPECT_NEAR(after / before, 6.0, 1e-9);
+  // The trough never clips to zero (amplitude 0.4 keeps 20% of base), so
+  // the shift stays observable at any hour of day.
+  EXPECT_GT(g->RateAt(2.0 * 86400.0 + 2.0 * 3600.0), 0.0);
+}
+
 TEST(DemandGeneratorTest, RegionProfilesOrderedByVolume) {
   const uint64_t seed = 13;
   auto volume = [&](Region r, NodeSize s) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CI gate over BENCH_tuning.json (ROADMAP item 5): every record of the
+# current run must hold
+#   warm_speedup    >= 2.0   (memoized re-tune at the fleet's fixed point;
+#                             the speedup is algorithmic — rung scores come
+#                             from the memo instead of refits — so the floor
+#                             binds on any host, 1-core containers included)
+#   winners_match   == true  (the warm re-tune reproduces the settled
+#                             winners exactly — the determinism contract)
+#   hold_on_steady  == true  (re-tuning on unchanged telemetry is a fixed
+#                             point: no config churn past the hysteresis)
+#   switch_on_regime == true (the permanent level shift demotes the
+#                             periodic incumbent — the ISSUE's e2e scenario)
+#
+# Usage: check_tuning_bench.sh [BENCH_tuning.json]
+set -u
+
+FILE="${1:-BENCH_tuning.json}"
+if [ ! -s "$FILE" ]; then
+  echo "check_tuning_bench: $FILE missing or empty" >&2
+  exit 1
+fi
+
+fail=0
+lineno=0
+while IFS= read -r line; do
+  lineno=$((lineno + 1))
+  [ -z "$line" ] && continue
+
+  field() {
+    printf '%s\n' "$line" | sed -n "s/.*\"$1\":\([^,}]*\).*/\1/p" | tr -d '"'
+  }
+  speedup=$(field warm_speedup)
+  winners=$(field winners_match)
+  regime=$(field switch_on_regime)
+  steady=$(field hold_on_steady)
+
+  ok=1
+  if [ "$winners" != "true" ]; then
+    echo "FAIL line $lineno: winners_match=$winners (warm re-tune diverged)" >&2
+    ok=0
+  fi
+  if [ "$steady" != "true" ]; then
+    echo "FAIL line $lineno: hold_on_steady=$steady (config churn on unchanged telemetry)" >&2
+    ok=0
+  fi
+  if [ "$regime" != "true" ]; then
+    echo "FAIL line $lineno: switch_on_regime=$regime (level shift did not demote the incumbent)" >&2
+    ok=0
+  fi
+  if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "FAIL line $lineno: warm_speedup $speedup < 2.0 (memo not serving re-tunes)" >&2
+    ok=0
+  fi
+
+  if [ "$ok" -eq 1 ]; then
+    echo "ok   line $lineno: warm_speedup $speedup, winners_match/hold/switch all true"
+  else
+    fail=1
+  fi
+done < "$FILE"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_tuning_bench: gate FAILED for $FILE" >&2
+  exit 1
+fi
+echo "check_tuning_bench: all records pass"

@@ -10,6 +10,14 @@
 //   ipool_cli simulate  --demand demand.csv --schedule schedule.csv
 //                       [--latency 90] [--latency-cv 0.2] [--seed 1]
 //   ipool_cli sweep     --demand demand.csv [--tau-bins 3] [--threads 0]
+//   ipool_cli tune      --demand demand.csv | --profile regime-shift
+//                       [--days 10] [--seed 7] [--pool NAME]
+//                       [--models baseline,ssa,ssa+] [--alphas 0.1,...]
+//                       [--windows 48,96] [--rungs 3] [--eta 3]
+//                       [--eval-bins 120] [--min-train 32]
+//                       [--hysteresis 5] [--target-wait 1]
+//                       [--refine-steps 3] [--idle-weight 2e-4]
+//                       [--threads 0] [--repeat 1]
 //   ipool_cli loop      --demand demand.csv | --profile east-medium
 //                       [--days 2] [--seed 7] [--model ssa+]
 //                       [--run-interval 1800] [--latency 90] [--threads 0]
@@ -19,7 +27,11 @@
 //                       [--max-seconds 0] [--max-inflight 64]
 //                       [--loop-interval 0] [--min-history 64]
 //                       [--warm-refit 1] [--history-bins 480] [--shards 16]
-//   ipool_cli get       --port 7070 [--key NAME] [--trace 1]
+//                       [--tune-interval 0] [--tune-models baseline,ssa,ssa+]
+//                       [--tune-alphas ...] [--tune-windows ...]
+//                       [--tune-eval-bins 120] [--tune-min-train 32]
+//                       [--tune-hysteresis 5]
+//   ipool_cli get       --port 7070 [--key NAME] [--trace 1] [--raw 1]
 //   ipool_cli publish   --port 7070 --metric demand.POOL [--start 0]
 //                       [--interval 30] [--count N --value V |
 //                       --values v0,v1,...]
@@ -46,6 +58,15 @@
 // — PublishTelemetry traffic continuously reshapes what GetRecommendation
 // returns. `publish` injects synthetic telemetry into a running server
 // (the spike half of the spike -> resize demo; see README).
+//
+// `serve --tune-interval T` (T > 0, needs --loop-interval) additionally
+// runs the fleet auto-tuner inside the live loop: each pool's (model,
+// alpha', window) search re-runs every T seconds over its telemetry, the
+// winning config is published as document `tuning.<pool>` and the next
+// tick serves with it. `tune` runs the same search once, offline, over a
+// demand trace — the operator's what-would-the-tuner-pick probe; with
+// --repeat > 1 it re-tunes over the unchanged trace and reports the memo
+// warm-hit speedup.
 //
 // `get --trace 1` runs the fetch with client-side tracing, then pulls the
 // server's recent spans and prints both halves of the request's trace —
@@ -94,6 +115,7 @@
 #include <thread>
 #include <vector>
 
+#include "autotune/fleet_tuner.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/recommendation_engine.h"
@@ -114,6 +136,7 @@
 #include "service/monitoring.h"
 #include "service/recommendation_io.h"
 #include "service/telemetry_store.h"
+#include "service/tuning_io.h"
 #include "sim/pool_simulator.h"
 #include "solver/saa_optimizer.h"
 #include "tsdata/csv.h"
@@ -151,6 +174,11 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
        {"demand", "schedule", "latency", "latency-cv", "seed", "metrics-out",
         "trace-out", "obs-summary"}},
       {"sweep", {"demand", "tau-bins", "max-pool", "threads"}},
+      {"tune",
+       {"demand", "profile", "days", "seed", "pool", "models", "alphas",
+        "windows", "rungs", "eta", "eval-bins", "min-train", "hysteresis",
+        "target-wait", "refine-steps", "idle-weight", "tau-bins", "max-pool",
+        "threads", "repeat"}},
       {"loop",
        {"demand", "profile", "days", "seed", "model", "window", "horizon",
         "loss-alpha", "alpha", "tau-bins", "max-pool", "history-bins",
@@ -161,8 +189,10 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
         "seed", "model", "key", "max-seconds", "max-inflight", "window",
         "horizon", "loss-alpha", "alpha", "tau-bins", "max-pool", "bins",
         "loop-interval", "min-history", "warm-refit", "history-bins",
-        "shards"}},
-      {"get", {"host", "port", "key", "timeout", "retries", "trace"}},
+        "shards", "tune-interval", "tune-models", "tune-alphas",
+        "tune-windows", "tune-eval-bins", "tune-min-train",
+        "tune-hysteresis"}},
+      {"get", {"host", "port", "key", "timeout", "retries", "trace", "raw"}},
       {"publish",
        {"host", "port", "metric", "start", "interval", "count", "value",
         "values", "timeout", "retries"}},
@@ -218,6 +248,7 @@ std::string RequiredFlag(const std::map<std::string, std::string>& flags,
 
 WorkloadConfig ProfileByName(const std::string& name, uint64_t seed) {
   if (name == "spiky") return SpikyRegionProfile(seed);
+  if (name == "regime-shift") return RegimeShiftProfile(seed);
   const auto dash = name.find('-');
   if (dash != std::string::npos) {
     const std::string region_name = name.substr(0, dash);
@@ -243,7 +274,7 @@ WorkloadConfig ProfileByName(const std::string& name, uint64_t seed) {
     return RegionNodeProfile(region, size, seed);
   }
   Die("unknown profile '" + name +
-      "' (use west-small, east-medium, ..., or spiky)");
+      "' (use west-small, east-medium, ..., spiky, or regime-shift)");
 }
 
 ModelKind ModelByName(const std::string& name) {
@@ -465,6 +496,133 @@ int CmdSweep(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> items;
+  std::string item;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != ',') {
+      item += text[i];
+      continue;
+    }
+    if (!item.empty()) items.push_back(item);
+    item.clear();
+  }
+  return items;
+}
+
+// Comma-list flag parsers for the tuner grid; absent flags keep the
+// FleetTunerConfig defaults.
+void ApplyTunerGridFlags(const std::map<std::string, std::string>& flags,
+                         const std::string& models_flag,
+                         const std::string& alphas_flag,
+                         const std::string& windows_flag,
+                         autotune::FleetTunerConfig* tuner) {
+  if (auto it = flags.find(models_flag); it != flags.end()) {
+    tuner->models.clear();
+    for (const std::string& name : SplitCsv(it->second)) {
+      tuner->models.push_back(ModelByName(name));
+    }
+  }
+  if (auto it = flags.find(alphas_flag); it != flags.end()) {
+    tuner->alphas.clear();
+    for (const std::string& item : SplitCsv(it->second)) {
+      tuner->alphas.push_back(DieOnError(ParseDouble(item), alphas_flag.c_str()));
+    }
+  }
+  if (auto it = flags.find(windows_flag); it != flags.end()) {
+    tuner->windows.clear();
+    for (const std::string& item : SplitCsv(it->second)) {
+      tuner->windows.push_back(static_cast<size_t>(
+          DieOnError(ParseDouble(item), windows_flag.c_str())));
+    }
+  }
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The offline what-would-the-tuner-pick probe: one FleetTuner search over a
+// demand trace, printed as the winner plus the exact `tuning.<pool>`
+// document a live tune would publish. --repeat N re-tunes over the same
+// trace, so the second run exercises the memo cache (warm) and the command
+// reports the speedup — a quick local read on the warm >= 2x bench gate.
+int CmdTune(const std::map<std::string, std::string>& flags) {
+  const uint64_t seed = static_cast<uint64_t>(NumFlag(flags, "seed", 7));
+  const std::string profile = FlagOr(flags, "profile", "regime-shift");
+  TimeSeries demand = [&] {
+    if (flags.count("demand") != 0) {
+      return DieOnError(LoadTimeSeriesCsv(flags.at("demand")), "load demand");
+    }
+    WorkloadConfig workload = ProfileByName(profile, seed);
+    workload.duration_days = NumFlag(flags, "days", 10.0);
+    auto generator = DieOnError(DemandGenerator::Create(workload), "generate");
+    return generator.GenerateBinned();
+  }();
+  const std::string pool_name = FlagOr(flags, "pool", profile);
+
+  autotune::FleetTunerConfig config;
+  ApplyTunerGridFlags(flags, "models", "alphas", "windows", &config);
+  config.rungs = static_cast<size_t>(NumFlag(flags, "rungs", 3));
+  config.eta = static_cast<size_t>(NumFlag(flags, "eta", 3));
+  config.eval_bins = static_cast<size_t>(NumFlag(flags, "eval-bins", 120));
+  config.min_train_bins =
+      static_cast<size_t>(NumFlag(flags, "min-train", 32));
+  config.hysteresis_pct = NumFlag(flags, "hysteresis", 5.0);
+  config.target_wait_seconds = NumFlag(flags, "target-wait", 1.0);
+  config.refine_steps =
+      static_cast<size_t>(NumFlag(flags, "refine-steps", 3));
+  config.idle_cost_weight = NumFlag(flags, "idle-weight", 2e-4);
+  config.pool.tau_bins = static_cast<size_t>(NumFlag(flags, "tau-bins", 3));
+  config.pool.max_pool_size =
+      static_cast<int64_t>(NumFlag(flags, "max-pool", 500));
+  ObsBundle obs;
+  config.obs = obs.Context();
+  const auto thread_pool = PoolFromFlags(flags);
+  config.exec.pool = thread_pool.get();
+  auto tuner = DieOnError(autotune::FleetTuner::Create(config), "tune config");
+
+  const int repeat = std::max(1, static_cast<int>(NumFlag(flags, "repeat", 1)));
+  autotune::PoolTuneResult result;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    const double begin = MonotonicSeconds();
+    // Later repeats hand the previous winner in as the incumbent — the same
+    // contract the live loop follows tick over tick.
+    const autotune::TuningCandidate incumbent = result.winner;
+    result = tuner->TunePool(pool_name, demand,
+                             r == 0 || !result.ok ? nullptr : &incumbent);
+    const double elapsed = MonotonicSeconds() - begin;
+    if (r == 0) cold_seconds = elapsed;
+    warm_seconds = elapsed;
+  }
+  if (!result.ok) Die("tune failed: " + result.error);
+
+  std::printf("pool '%s': %zu bins, %zu candidates, %zu evaluations "
+              "(%zu memo hits)\n",
+              pool_name.c_str(), demand.size(), result.candidates,
+              result.evaluations, result.memo_hits);
+  std::printf("winner %s  score %.6f%s\n",
+              autotune::TuningCandidateName(result.winner).c_str(),
+              result.winner_score,
+              result.switched ? "" : "  (incumbent kept)");
+  if (repeat > 1) {
+    std::printf("cold %.3fs -> warm %.3fs (%.2fx)\n", cold_seconds,
+                warm_seconds,
+                warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0);
+  }
+  StoredTuning stored;
+  stored.pool = pool_name;
+  stored.model = result.winner.model;
+  stored.alpha_prime = result.winner.alpha_prime;
+  stored.window = result.winner.window;
+  std::printf("-- tuning document --\n%s", SerializeTuning(stored).c_str());
+  return 0;
+}
+
 int CmdLoop(const std::map<std::string, std::string>& flags) {
   const uint64_t seed = static_cast<uint64_t>(NumFlag(flags, "seed", 7));
   TimeSeries demand = [&] {
@@ -631,6 +789,23 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     live_config.warm_refit = NumFlag(flags, "warm-refit", 1) != 0;
     live_config.exec.pool = pool.get();
     live_config.obs = ObsContext{&registry, &tracer};
+    // --tune-interval > 0 adds the fleet auto-tuner to the loop: each
+    // pool's (model, alpha', window) search re-runs on this cadence and
+    // publishes `tuning.<pool>`; the next tick serves with the winner.
+    live_config.tune_interval_seconds = NumFlag(flags, "tune-interval", 0.0);
+    if (live_config.tune_interval_seconds > 0.0) {
+      ApplyTunerGridFlags(flags, "tune-models", "tune-alphas", "tune-windows",
+                          &live_config.tuner);
+      live_config.tuner.eval_bins =
+          static_cast<size_t>(NumFlag(flags, "tune-eval-bins", 120));
+      // Rung-0 training slices are clamped up to this floor; SSA-family
+      // windows clamp to half the slice, so the floor must be at least 2x
+      // the largest window in the grid or the cheap rungs cut those
+      // candidates on a handicapped fit.
+      live_config.tuner.min_train_bins =
+          static_cast<size_t>(NumFlag(flags, "tune-min-train", 32));
+      live_config.tuner.hysteresis_pct = NumFlag(flags, "tune-hysteresis", 5.0);
+    }
     live_plane = DieOnError(
         live::LiveControlPlane::Create(&engine, &telemetry, &documents,
                                        live_config),
@@ -670,6 +845,12 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                 live_plane->config().demand_metric_prefix.c_str(),
                 live_plane->config().min_history_points,
                 live_plane->config().history_bins);
+    if (live_plane->config().tune_interval_seconds > 0.0) {
+      std::printf("auto-tune: per-pool search every %.2fs, winners under "
+                  "'%s<pool>'\n",
+                  live_plane->config().tune_interval_seconds,
+                  live_plane->config().tuning_doc_prefix.c_str());
+    }
   }
   std::fflush(stdout);
 
@@ -699,6 +880,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
         static_cast<unsigned long long>(live_status.ticks_failed),
         static_cast<unsigned long long>(live_status.ticks_idle),
         live_status.pools_published);
+    if (live_plane->config().tune_interval_seconds > 0.0) {
+      std::printf(
+          "auto-tune: %llu tunes (%llu switched, %llu failed), "
+          "%zu pools on tuned configs\n",
+          static_cast<unsigned long long>(live_status.tunes_total),
+          static_cast<unsigned long long>(live_status.tunes_switched),
+          static_cast<unsigned long long>(live_status.tunes_failed),
+          live_status.pools_tuned);
+    }
   }
   server->Shutdown(drain_timeout);
   if (pool != nullptr) pool->PublishTo(&registry);
@@ -810,6 +1000,13 @@ int CmdGet(const std::map<std::string, std::string>& flags) {
   const std::string key = FlagOr(flags, "key", "east-medium");
   auto document = client.GetRecommendation(key);
   if (!document.ok()) Die("get: " + document.status().ToString());
+  if (NumFlag(flags, "raw", 0) != 0) {
+    // Verbatim payload bytes — the escape hatch for documents that are not
+    // recommendations (tuning.<pool> configs, future formats). Scripts
+    // parse this output, so nothing else is printed.
+    std::fwrite(document->data(), 1, document->size(), stdout);
+    return 0;
+  }
   // The id this Call stamped links the client spans below to the server's.
   const uint64_t trace_id = client.stats().last_trace_id;
   auto stored = DieOnError(ParseRecommendation(*document), "parse");
@@ -858,12 +1055,6 @@ int CmdScrape(const std::map<std::string, std::string>& flags) {
   if (!text.ok()) Die("scrape: " + text.status().ToString());
   std::fwrite(text->data(), 1, text->size(), stdout);
   return 0;
-}
-
-double MonotonicSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
 }
 
 // One bench workload as a pure function of (exec, obs): returns a checksum
@@ -1188,15 +1379,21 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: ipool_cli <generate|recommend|evaluate|simulate|"
-                 "sweep|loop|serve|get|publish|scrape|trace|profile> "
+                 "sweep|tune|loop|serve|get|publish|scrape|trace|profile> "
                  "[--flag value ...]\n"
+                 "  tune:    --demand demand.csv | --profile regime-shift"
+                 " [--models baseline,ssa,ssa+] [--alphas ...]\n"
+                 "           [--windows 48,96] [--rungs 3] [--eval-bins 120]"
+                 " [--hysteresis 5] [--threads 0] [--repeat 1]\n"
                  "  serve:   --port 7070 --threads 4 --drain-timeout 5\n"
                  "           (plus --profile/--demand/--model/--key/"
                  "--max-seconds)\n"
                  "           --loop-interval 5 runs the live control plane "
                  "(--min-history 64, --warm-refit 1, --history-bins 480)\n"
+                 "           --tune-interval T adds the fleet auto-tuner "
+                 "(--tune-models, --tune-alphas, --tune-windows, ...)\n"
                  "  get:     --port 7070 [--host 127.0.0.1] --key east-medium"
-                 " [--trace 1]\n"
+                 " [--trace 1] [--raw 1]\n"
                  "  publish: --port 7070 --metric demand.POOL [--start 0]"
                  " [--interval 30] [--count N --value V | --values v0,v1,..]\n"
                  "  scrape:  --port 7070 [--host 127.0.0.1]\n"
@@ -1212,6 +1409,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "tune") return CmdTune(flags);
   if (command == "loop") return CmdLoop(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "get") return CmdGet(flags);
